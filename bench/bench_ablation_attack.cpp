@@ -1,0 +1,69 @@
+// Ablation: paper Algorithm 1 (connectivity clustering + trimming) vs. the
+// naive grid-histogram attacker, on one-time geo-IND streams.
+//
+// Two claims are checked: (a) even a naive attacker breaks one-time
+// geo-IND given enough observations -- the threat is not an artifact of a
+// clever algorithm; (b) Algorithm 1 is more accurate, justifying its use
+// as the paper's reference attacker.
+#include <cmath>
+#include <cstdio>
+
+#include "attack/grid_attack.hpp"
+#include "bench_common.hpp"
+#include "lppm/planar_laplace.hpp"
+#include "stats/running_stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace privlocad;
+
+  const std::uint64_t users = bench::flag_or(argc, argv, "users", 300);
+
+  bench::print_header(
+      "Ablation -- Algorithm 1 vs grid-histogram attacker (laplace l=ln4, "
+      "r=200m)");
+
+  const lppm::PlanarLaplaceMechanism mech({std::log(4.0), 200.0});
+
+  std::printf("%12s %14s %16s %14s %16s\n", "check-ins", "alg1 err (m)",
+              "alg1-median (m)", "grid err (m)", "alg1 succ@200m");
+  for (const std::size_t observations : {50u, 150u, 500u, 1500u}) {
+    stats::RunningStats alg1_err, median_err, grid_err;
+    std::size_t alg1_success = 0;
+
+    for (std::uint64_t u = 0; u < users; ++u) {
+      rng::Engine e(rng::Engine(1900).split(u * 13 + observations));
+      const geo::Point home{e.uniform_in(-40000, 40000),
+                            e.uniform_in(-40000, 40000)};
+      std::vector<geo::Point> observed;
+      observed.reserve(observations);
+      for (std::size_t i = 0; i < observations; ++i) {
+        observed.push_back(mech.obfuscate_one(e, home));
+      }
+
+      const auto alg1 = attack::deobfuscate_top_locations(
+          observed, bench::attack_config_for(mech, 1));
+      attack::DeobfuscationConfig median_cfg =
+          bench::attack_config_for(mech, 1);
+      median_cfg.estimator = attack::LocationEstimator::kGeometricMedian;
+      const auto alg1_median =
+          attack::deobfuscate_top_locations(observed, median_cfg);
+      attack::GridAttackConfig grid_config;
+      grid_config.cell_size_m = mech.tail_radius(0.05) / 2.0;
+      const auto grid = attack::grid_attack(observed, grid_config);
+
+      const double e1 = geo::distance(alg1.at(0).location, home);
+      alg1_err.add(e1);
+      median_err.add(geo::distance(alg1_median.at(0).location, home));
+      grid_err.add(geo::distance(grid.at(0).location, home));
+      if (e1 <= 200.0) ++alg1_success;
+    }
+    std::printf("%12zu %14.1f %16.1f %14.1f %15.1f%%\n", observations,
+                alg1_err.mean(), median_err.mean(), grid_err.mean(),
+                100.0 * static_cast<double>(alg1_success) /
+                    static_cast<double>(users));
+  }
+  std::printf("\nexpected: every attacker succeeds (the threat is generic); "
+              "Algorithm 1 beats the grid attacker, and the geometric-median "
+              "estimator (the Laplace MLE) edges out the centroid\n");
+  return 0;
+}

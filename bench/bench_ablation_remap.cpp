@@ -1,0 +1,54 @@
+// Ablation: Bayesian posterior remapping on the nomadic one-time path.
+// Quantifies the free (privacy-cost-zero) accuracy gain of remapping a
+// planar-Laplace report onto an informative public prior, across privacy
+// levels -- the utility-improvement line of related work ([21] in the
+// paper) integrated into Edge-PrivLocAd's nomadic path.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "lppm/planar_laplace.hpp"
+#include "lppm/remapping.hpp"
+#include "stats/running_stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace privlocad;
+
+  const std::uint64_t trials = bench::flag_or(argc, argv, "trials", 3000);
+
+  bench::print_header(
+      "Ablation -- Bayesian remapping of nomadic reports (grid prior, "
+      "500 m cells)");
+
+  // A POI-style prior: the user is always at one of the grid's cells.
+  const geo::BoundingBox box({-5000, -5000}, {5000, 5000});
+  const auto prior = lppm::uniform_grid_prior(box, 21);  // 500 m pitch
+  const lppm::BayesianRemapper remapper(prior);
+
+  std::printf("%10s %16s %18s %10s\n", "level l", "raw error (m)",
+              "remapped error (m)", "gain");
+  for (const double level : {std::log(2.0), std::log(4.0), std::log(6.0)}) {
+    const lppm::PlanarLaplaceMechanism mech({level, 200.0});
+    const double eps = level / 200.0;
+
+    rng::Engine parent(1700 + static_cast<std::uint64_t>(level * 100));
+    stats::RunningStats raw, remapped;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      rng::Engine e = parent.split(t);
+      // Truth on the prior's support (a known POI).
+      const geo::Point truth =
+          prior[e.uniform_index(prior.size())].location;
+      const geo::Point reported = mech.obfuscate_one(e, truth);
+      raw.add(geo::distance(reported, truth));
+      remapped.add(
+          geo::distance(remapper.remap_laplace(reported, eps), truth));
+    }
+    std::printf("%10.3f %16.1f %18.1f %+9.1f%%\n", level, raw.mean(),
+                remapped.mean(),
+                (remapped.mean() / raw.mean() - 1.0) * 100.0);
+  }
+  std::printf("\nexpected: remapping reduces error at every level; with a "
+              "fixed-pitch grid prior the relative gain grows as the noise "
+              "scale approaches the prior pitch\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: attack robustness to the temporal model. The paper's attack
+// treats check-ins as a bag of points; real traces are bursty (dwell
+// sessions). This bench runs the Fig.-6 protocol under both the iid and
+// the Markov-dwell generators and shows the success rates barely move --
+// the attack (and therefore the threat) is insensitive to temporal
+// correlation, it only needs marginal frequencies.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "lppm/planar_laplace.hpp"
+
+namespace {
+
+using namespace privlocad;
+
+double attack_success(const std::vector<trace::SyntheticUser>& population,
+                      const lppm::PlanarLaplaceMechanism& mech) {
+  const attack::DeobfuscationConfig config =
+      bench::attack_config_for(mech, 1);
+  attack::SuccessRateAccumulator rates(1, {200.0});
+  rng::Engine parent(6);
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    rng::Engine e = parent.split(i);
+    std::vector<geo::Point> observed;
+    observed.reserve(population[i].trace.check_ins.size());
+    for (const trace::CheckIn& c : population[i].trace.check_ins) {
+      observed.push_back(mech.obfuscate_one(e, c.position));
+    }
+    const auto inferred =
+        attack::deobfuscate_top_locations(observed, config);
+    rates.add(attack::evaluate_attack(inferred, population[i].truth, 1));
+  }
+  return rates.rate(0, 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t users = bench::flag_or(argc, argv, "users", 400);
+
+  bench::print_header(
+      "Ablation -- attack vs temporal model (laplace l=ln4, r=200m, " +
+      std::to_string(users) + " users)");
+
+  const lppm::PlanarLaplaceMechanism mech({std::log(4.0), 200.0});
+
+  trace::SyntheticConfig iid;
+  iid.max_check_ins = 1500;
+  trace::SyntheticConfig markov = iid;
+  markov.temporal_model =
+      trace::SyntheticConfig::TemporalModel::kMarkovDwell;
+  markov.mean_dwell_check_ins = 10.0;
+
+  const rng::Engine parent(66);
+  const auto iid_pop = trace::generate_population(parent, iid, users);
+  const auto markov_pop = trace::generate_population(parent, markov, users);
+
+  std::printf("%16s %18s\n", "temporal model", "top1 succ@200m");
+  std::printf("%16s %17.1f%%\n", "iid",
+              attack_success(iid_pop, mech) * 100.0);
+  std::printf("%16s %17.1f%%\n", "markov-dwell",
+              attack_success(markov_pop, mech) * 100.0);
+  std::printf("\nexpected: both high (dwell sessions shave a few points by "
+              "reducing the number of effectively independent observations, "
+              "but the longitudinal threat persists)\n");
+  return 0;
+}

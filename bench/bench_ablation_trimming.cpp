@@ -1,0 +1,59 @@
+// Ablation: Algorithm 1's stage-2 trimming on vs. off. Measures the
+// attack's top-1 recovery error with and without the iterative trimming
+// refinement, across observation counts -- the justification for the
+// two-stage design of the de-obfuscation attack.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "lppm/planar_laplace.hpp"
+#include "stats/running_stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace privlocad;
+
+  const std::uint64_t users = bench::flag_or(argc, argv, "users", 400);
+
+  bench::print_header(
+      "Ablation -- attack trimming stage on/off (laplace l=ln4, r=200m)");
+
+  const lppm::PlanarLaplaceMechanism mech({std::log(4.0), 200.0});
+
+  std::printf("%12s %18s %18s %14s\n", "check-ins", "error w/ trim (m)",
+              "error w/o trim (m)", "success@200m");
+  for (const std::size_t observations : {50u, 100u, 250u, 500u, 1000u}) {
+    stats::RunningStats with_trim, without_trim;
+    std::size_t success = 0;
+
+    for (std::uint64_t u = 0; u < users; ++u) {
+      rng::Engine e(rng::Engine(1500).split(u * 7 + observations));
+      const geo::Point home{e.uniform_in(-40000, 40000),
+                            e.uniform_in(-40000, 40000)};
+      std::vector<geo::Point> observed;
+      observed.reserve(observations);
+      for (std::size_t i = 0; i < observations; ++i) {
+        observed.push_back(mech.obfuscate_one(e, home));
+      }
+
+      attack::DeobfuscationConfig config = bench::attack_config_for(mech, 1);
+      const auto trimmed =
+          attack::deobfuscate_top_locations(observed, config);
+      config.enable_trimming = false;
+      const auto untrimmed =
+          attack::deobfuscate_top_locations(observed, config);
+
+      const double err_trim =
+          geo::distance(trimmed.at(0).location, home);
+      with_trim.add(err_trim);
+      without_trim.add(geo::distance(untrimmed.at(0).location, home));
+      if (err_trim <= 200.0) ++success;
+    }
+    std::printf("%12zu %18.1f %18.1f %13.1f%%\n", observations,
+                with_trim.mean(), without_trim.mean(),
+                100.0 * static_cast<double>(success) /
+                    static_cast<double>(users));
+  }
+  std::printf("\nexpected: trimming never hurts and helps most at low "
+              "observation counts where stray clusters contaminate\n");
+  return 0;
+}

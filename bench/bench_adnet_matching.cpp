@@ -1,0 +1,67 @@
+// Ad-matching throughput: the spatial index vs. a brute-force scan.
+//
+// The paper's RTB context (100 ms end-to-end budgets, Section II-A) makes
+// per-request matching latency a real constraint once campaign counts
+// reach the tens of thousands. This bench measures both implementations
+// at growing campaign counts; the index must win and both must agree
+// (equivalence is separately pinned by adnet_test).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "adnet/ad_network.hpp"
+#include "adnet/advertiser.hpp"
+#include "rng/engine.hpp"
+
+namespace {
+
+using namespace privlocad;
+
+std::vector<adnet::Advertiser> campaigns(std::size_t count) {
+  rng::Engine e(5);
+  return adnet::generate_campaigns(e, adnet::table1_presets()[3], count,
+                                   40000.0, 25000.0);
+}
+
+void BM_IndexedMatch(benchmark::State& state) {
+  const adnet::AdNetwork network(campaigns(state.range(0)));
+  rng::Engine e(6);
+  for (auto _ : state) {
+    const geo::Point where{e.uniform_in(-40000, 40000),
+                           e.uniform_in(-40000, 40000)};
+    benchmark::DoNotOptimize(network.match(where));
+  }
+}
+
+void BM_BruteForceMatch(benchmark::State& state) {
+  // The full match() work -- collect Ad records, sort by bid, truncate --
+  // minus the spatial index: the honest baseline.
+  const auto advertisers = campaigns(state.range(0));
+  rng::Engine e(6);
+  for (auto _ : state) {
+    const geo::Point where{e.uniform_in(-40000, 40000),
+                           e.uniform_in(-40000, 40000)};
+    std::vector<adnet::Ad> matched;
+    for (const adnet::Advertiser& a : advertisers) {
+      if (geo::distance_squared(a.business_location, where) <=
+          a.targeting_radius_m * a.targeting_radius_m) {
+        matched.push_back(
+            {a.id, a.business_location, a.category, a.bid_cpm});
+      }
+    }
+    std::sort(matched.begin(), matched.end(),
+              [](const adnet::Ad& x, const adnet::Ad& y) {
+                if (x.bid_cpm != y.bid_cpm) return x.bid_cpm > y.bid_cpm;
+                return x.advertiser_id < y.advertiser_id;
+              });
+    if (matched.size() > 10) matched.resize(10);
+    benchmark::DoNotOptimize(matched);
+  }
+}
+
+BENCHMARK(BM_IndexedMatch)->Arg(1000)->Arg(8000)->Arg(32000);
+BENCHMARK(BM_BruteForceMatch)->Arg(1000)->Arg(8000)->Arg(32000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

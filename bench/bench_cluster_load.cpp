@@ -1,0 +1,70 @@
+// Edge-cluster load distribution: how a metro-area deployment (paper
+// Section V-A: devices serve nearby users) spreads request load across
+// cell-sharded edge devices when users follow the synthetic mobility
+// model. Prints requests-per-device statistics -- capacity planners read
+// the max/mean ratio.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/edge_cluster.hpp"
+
+int main(int argc, char** argv) {
+  using namespace privlocad;
+
+  const std::size_t users = bench::flag_or(argc, argv, "users", 300);
+  const double cell_km = static_cast<double>(
+      bench::flag_or(argc, argv, "cell-km", 20));
+
+  bench::print_header(
+      "Edge cluster -- request load across cell devices (" +
+      std::to_string(users) + " users, " +
+      std::to_string(static_cast<int>(cell_km)) + " km cells)");
+
+  core::EdgeClusterConfig config;
+  config.edge.top_params.radius_m = 500.0;
+  config.edge.top_params.epsilon = 1.0;
+  config.edge.top_params.delta = 0.01;
+  config.edge.top_params.n = 10;
+  config.cell_size_m = cell_km * 1000.0;
+  core::EdgeCluster cluster(config, 9);
+
+  trace::SyntheticConfig synth;
+  synth.min_check_ins = 100;
+  synth.max_check_ins = 600;
+  const rng::Engine parent(12);
+  const auto population = trace::generate_population(parent, synth, users);
+
+  std::size_t total_requests = 0;
+  for (const trace::SyntheticUser& user : population) {
+    for (const trace::CheckIn& c : user.trace.check_ins) {
+      cluster.report_location(user.trace.user_id, c.position, c.time);
+      ++total_requests;
+    }
+  }
+
+  // Collect per-cell request counts over the study grid.
+  std::vector<std::size_t> loads;
+  for (std::int32_t cx = -4; cx <= 4; ++cx) {
+    for (std::int32_t cy = -4; cy <= 4; ++cy) {
+      const std::size_t served = cluster.requests_served(cx, cy);
+      if (served > 0) loads.push_back(served);
+    }
+  }
+  std::sort(loads.rbegin(), loads.rend());
+
+  const double mean = static_cast<double>(total_requests) /
+                      static_cast<double>(loads.size());
+  std::printf("total requests    : %zu\n", total_requests);
+  std::printf("active devices    : %zu\n", cluster.active_devices());
+  std::printf("busiest device    : %zu requests (%.1fx the mean)\n",
+              loads.front(), static_cast<double>(loads.front()) / mean);
+  std::printf("quietest device   : %zu requests\n", loads.back());
+  std::printf("\nexpected: load roughly follows population density; top "
+              "locations pin most of a user's requests to one device, "
+              "which is exactly why per-device state (tables, profiles) "
+              "shards cleanly\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench prints a paper-style table to stdout. Workload sizes default
+// to paper scale where feasible on one core and are overridable through
+// argv ("--users=N", "--trials=N") so CI can run quick smoke passes.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attack/deobfuscation.hpp"
+#include "attack/evaluation.hpp"
+#include "lppm/mechanism.hpp"
+#include "trace/synthetic.hpp"
+
+namespace privlocad::bench {
+
+/// Parses "--name=value" integer flags; returns `fallback` when absent.
+inline std::uint64_t flag_or(int argc, char** argv, const std::string& name,
+                             std::uint64_t fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::stoull(arg.substr(prefix.size()));
+    }
+  }
+  return fallback;
+}
+
+/// Prints a separator + header line for a paper artifact.
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Runs the longitudinal attack against `mechanism`-obfuscated check-ins of
+/// every user and accumulates top-1/top-2 success rates at 200 m and 500 m
+/// (the Fig. 6 protocol). Every check-in is obfuscated independently for
+/// one-time mechanisms; for permanent mechanisms the caller should pass
+/// already-obfuscated observations instead (see bench_fig6).
+struct AttackProtocolResult {
+  attack::SuccessRateAccumulator rates{2, {200.0, 500.0}};
+};
+
+/// The de-obfuscation configuration the paper's attack uses: r_alpha at
+/// alpha = 0.05 from the mechanism's tail, connectivity threshold scaled
+/// to the noise magnitude.
+inline attack::DeobfuscationConfig attack_config_for(
+    const lppm::Mechanism& mechanism, std::size_t top_n) {
+  attack::DeobfuscationConfig config;
+  config.trim_radius_m = mechanism.tail_radius(0.05);
+  config.connectivity_threshold_m = config.trim_radius_m / 4.0;
+  config.top_n = top_n;
+  return config;
+}
+
+/// Synthetic population matching the paper's dataset shape, at a
+/// configurable scale (users / max check-ins) so benches stay tractable on
+/// one core. Statistical shape is preserved; see DESIGN.md section 2.
+inline std::vector<trace::SyntheticUser> bench_population(
+    std::uint64_t seed, std::size_t users, std::uint64_t max_check_ins) {
+  trace::SyntheticConfig config;
+  config.max_check_ins = max_check_ins;
+  const rng::Engine parent(seed);
+  return trace::generate_population(parent, config, users);
+}
+
+}  // namespace privlocad::bench

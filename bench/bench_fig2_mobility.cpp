@@ -1,0 +1,75 @@
+// Reproduces paper Fig. 2: a user's 7-day mobility pattern (2,414 raw
+// spatiotemporal points) showing that top locations, their semantics
+// (home/office), and the weekly rhythm are readable straight off the raw
+// trace. We regenerate the figure as a text heat-map: visits per (hour x
+// location class) over one week, plus the semantic labels the attack's
+// labelling stage assigns.
+#include <cstdio>
+
+#include "attack/profile.hpp"
+#include "attack/semantics.hpp"
+#include "bench_common.hpp"
+#include "trace/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace privlocad;
+
+  const std::uint64_t seed = bench::flag_or(argc, argv, "seed", 2);
+
+  bench::print_header("Figure 2 -- a user's 7-day mobility pattern");
+
+  // Dense week: ~2,414 points as in the paper's illustration.
+  trace::SyntheticConfig config;
+  config.min_check_ins = 2414;
+  config.max_check_ins = 2414;
+  config.window_end = config.window_start + 7 * trace::kSecondsPerDay;
+  const trace::SyntheticUser user =
+      trace::generate_user(rng::Engine(seed), config, 0);
+
+  const attack::LocationProfile profile = attack::build_profile(user.trace);
+  std::printf("check-ins: %zu, distinct locations: %zu, entropy: %.2f nats\n\n",
+              user.trace.check_ins.size(), profile.size(),
+              profile.entropy());
+
+  // Label the top locations semantically from the raw schedule.
+  std::vector<attack::InferredLocation> tops;
+  const std::size_t top_k = std::min<std::size_t>(3, profile.size());
+  for (std::size_t i = 0; i < top_k; ++i) {
+    tops.push_back({profile.top(i).location, profile.top(i).frequency});
+  }
+  attack::SemanticConfig sem;
+  sem.attribution_radius_m = 100.0;
+  const auto labels =
+      attack::label_locations(tops, user.trace.check_ins, sem);
+
+  std::printf("%5s %10s %8s %8s %8s  %s\n", "rank", "visits", "night%",
+              "office%", "share%", "label");
+  for (std::size_t i = 0; i < tops.size(); ++i) {
+    std::printf("%5zu %10zu %7.0f%% %7.0f%% %7.1f%%  %s\n", i + 1,
+                labels[i].visits, labels[i].night_fraction * 100.0,
+                labels[i].workday_fraction * 100.0,
+                100.0 * static_cast<double>(tops[i].support) /
+                    static_cast<double>(user.trace.check_ins.size()),
+                attack::to_string(labels[i].semantic).c_str());
+  }
+
+  // Hour-of-day occupancy heat line for the top-2 locations.
+  std::printf("\nvisits by hour (0-23), top-1 then top-2:\n");
+  for (std::size_t rank = 0; rank < std::min<std::size_t>(2, tops.size());
+       ++rank) {
+    std::size_t by_hour[24] = {};
+    for (const trace::CheckIn& c : user.trace.check_ins) {
+      if (geo::distance(c.position, tops[rank].location) <= 100.0) {
+        ++by_hour[(c.time % trace::kSecondsPerDay) / 3600];
+      }
+    }
+    std::printf("top-%zu:", rank + 1);
+    for (int h = 0; h < 24; ++h) {
+      std::printf(" %3zu", by_hour[h]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: home dominates nights, office dominates "
+              "weekday days -- readable from raw data, which is the threat\n");
+  return 0;
+}

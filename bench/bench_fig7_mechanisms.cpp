@@ -1,0 +1,79 @@
+// Reproduces paper Fig. 7: utilization-rate comparison between the n-fold
+// Gaussian mechanism and the two baselines (naive post-processing, plain
+// DP composition) for n in [1, 10], eps = 1, r = 500 m, R = 5 km.
+//
+// The paper's metric (2) is the MINIMAL utilization rate: the lower bound
+// v with Pr(UR >= v) = alpha = 0.9 (Eq. 24). Against that metric the paper
+// reports, at n = 10: ~100% for the n-fold mechanism, ~58% for naive
+// post-processing, and ~20% for plain composition -- and composition
+// DECREASES as n grows. We print both the mean UR and the minimal UR; the
+// minimal column is the paper comparison.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "lppm/baselines.hpp"
+#include "lppm/gaussian.hpp"
+#include "stats/monte_carlo.hpp"
+#include "stats/quantiles.hpp"
+#include "utility/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace privlocad;
+
+  // The paper runs 100,000 trials per point; each trial here also runs a
+  // coverage estimate, so the default is trimmed for single-core wall
+  // clock. Raise with --trials to match the paper exactly.
+  const std::uint64_t trials = bench::flag_or(argc, argv, "trials", 5000);
+  const std::uint64_t ur_samples =
+      bench::flag_or(argc, argv, "ur-samples", 256);
+  constexpr double kTargetingRadius = 5000.0;
+  constexpr double kAlpha = 0.9;
+
+  bench::print_header(
+      "Figure 7 -- utilization rate by mechanism (eps=1, r=500m, R=5km, " +
+      std::to_string(trials) + " trials/point)");
+
+  std::printf("%3s | %9s %9s | %9s %9s | %9s %9s\n", "", "n-fold", "",
+              "post-proc", "", "compos.", "");
+  std::printf("%3s | %9s %9s | %9s %9s | %9s %9s\n", "n", "mean",
+              "min@0.9", "mean", "min@0.9", "mean", "min@0.9");
+
+  for (std::size_t n = 1; n <= 10; ++n) {
+    lppm::BoundedGeoIndParams params;
+    params.radius_m = 500.0;
+    params.epsilon = 1.0;
+    params.delta = 0.01;
+    params.n = n;
+
+    const std::vector<std::unique_ptr<lppm::Mechanism>> mechanisms = [&] {
+      std::vector<std::unique_ptr<lppm::Mechanism>> v;
+      v.push_back(std::make_unique<lppm::NFoldGaussianMechanism>(params));
+      v.push_back(
+          std::make_unique<lppm::NaivePostProcessingMechanism>(params));
+      v.push_back(std::make_unique<lppm::PlainCompositionMechanism>(params));
+      return v;
+    }();
+
+    std::printf("%3zu", n);
+    for (std::size_t m = 0; m < mechanisms.size(); ++m) {
+      const rng::Engine parent(700 + n * 10 + m);
+      stats::MonteCarloOptions opts;
+      opts.trials = trials;
+      opts.keep_samples = true;
+      const auto result = stats::run_monte_carlo(
+          opts, [&](std::uint64_t t) {
+            rng::Engine e = parent.split(t);
+            const auto candidates = mechanisms[m]->obfuscate(e, {0, 0});
+            return utility::utilization_rate(e, {0, 0}, candidates,
+                                             kTargetingRadius, ur_samples);
+          });
+      std::printf(" | %9.3f %9.3f", result.summary.mean(),
+                  stats::lower_bound_at_confidence(result.samples, kAlpha));
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper @ n=10 (minimal UR): n-fold ~1.00, post-processing "
+              "~0.58, composition ~0.20; composition falls with n\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces paper Fig. 9: advertising efficacy vs. the number n of
+// obfuscated outputs, for r in {500, 600, 700, 800} m at eps = 1, with the
+// posterior output-selection module choosing which candidate serves each
+// request.
+//
+// Paper shape to reproduce: efficacy does NOT significantly decrease as n
+// grows -- the output-selection module keeps picking useful candidates
+// even though the per-output noise magnitude grows with sqrt(n).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/output_selection.hpp"
+#include "lppm/gaussian.hpp"
+#include "stats/monte_carlo.hpp"
+#include "utility/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace privlocad;
+
+  const std::uint64_t trials = bench::flag_or(argc, argv, "trials", 20000);
+  constexpr double kTargetingRadius = 5000.0;
+
+  bench::print_header(
+      "Figure 9 -- advertising efficacy with posterior output selection "
+      "(eps=1, " + std::to_string(trials) + " trials/point)");
+
+  std::printf("%3s %10s %10s %10s %10s\n", "n", "r=500m", "r=600m", "r=700m",
+              "r=800m");
+  for (std::size_t n = 1; n <= 10; ++n) {
+    std::printf("%3zu", n);
+    for (const double r : {500.0, 600.0, 700.0, 800.0}) {
+      lppm::BoundedGeoIndParams params;
+      params.radius_m = r;
+      params.epsilon = 1.0;
+      params.delta = 0.01;
+      params.n = n;
+      const lppm::NFoldGaussianMechanism mech(params);
+
+      const rng::Engine parent(900 + n * 100 +
+                               static_cast<std::uint64_t>(r));
+      stats::MonteCarloOptions opts;
+      opts.trials = trials;
+      const auto result = stats::run_monte_carlo(
+          opts, [&](std::uint64_t t) {
+            rng::Engine e = parent.split(t);
+            const auto candidates = mech.obfuscate(e, {0, 0});
+            // Exact efficacy of the selection strategy: the probability-
+            // weighted lens fraction over the candidate the module would
+            // pick (Definition 5 with Algorithm 4's distribution).
+            const auto probs =
+                core::selection_probabilities(candidates, mech.posterior_sigma());
+            return utility::efficacy_weighted({0, 0}, candidates, probs,
+                                              kTargetingRadius);
+          });
+      std::printf(" %10.3f", result.summary.mean());
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: near-flat in n for every r (no significant "
+              "efficacy loss from generating more outputs)\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// System-level end-to-end evaluation: the paper's Figure 6 defence row and
+// Observation 1, measured through the REAL system path instead of the
+// mechanism in isolation -- profile windows, eta-frequent sets, permanent
+// obfuscation tables, posterior selection, nomadic fallback, ad matching,
+// and edge-side filtering all engaged; the adversary reads the ad
+// network's actual bid log.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/simulation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace privlocad;
+
+  const std::size_t users = bench::flag_or(argc, argv, "users", 150);
+
+  bench::print_header(
+      "System end-to-end -- Edge-PrivLocAd under the longitudinal attack (" +
+      std::to_string(users) + " users, full request flow)");
+
+  core::SimulationConfig config;
+  config.user_count = users;
+  config.edge.top_params.radius_m = 500.0;
+  config.edge.top_params.epsilon = 1.0;
+  config.edge.top_params.delta = 0.01;
+  config.edge.top_params.n = 10;
+  config.edge.management.window_seconds = 90 * trace::kSecondsPerDay;
+  config.population.min_check_ins = 200;
+  config.population.max_check_ins = 1500;
+  config.advertiser_count = 2000;
+
+  const core::SimulationResult result = core::run_simulation(config);
+
+  std::printf("users                        : %zu\n", result.users);
+  std::printf("live requests                : %zu\n", result.live_requests);
+  std::printf("top-location report ratio    : %.1f%%\n",
+              result.top_report_ratio * 100.0);
+  std::printf("profile rebuilds             : %zu\n",
+              result.telemetry.profile_rebuilds);
+  std::printf("permanent tables generated   : %zu\n",
+              result.telemetry.tables_generated);
+  std::printf("ads matched per request      : %.2f\n",
+              result.ads_matched_per_request);
+  std::printf("ads delivered per request    : %.2f\n",
+              result.ads_delivered_per_request);
+  std::printf("edge filter drop ratio       : %.1f%%\n",
+              result.telemetry.filter_drop_ratio() * 100.0);
+
+  std::printf("\nlongitudinal attack on the real bid log:\n");
+  std::printf("  top-1 within 200 m : %5.1f%%   (paper defence: < 1%%)\n",
+              result.attack_rates.rate(0, 0) * 100.0);
+  std::printf("  top-1 within 500 m : %5.1f%%   (paper defence: ~6.8%%)\n",
+              result.attack_rates.rate(0, 1) * 100.0);
+  std::printf("  top-2 within 200 m : %5.1f%%   (paper defence: < 1%%)\n",
+              result.attack_rates.rate(1, 0) * 100.0);
+  std::printf("  top-2 within 500 m : %5.1f%%   (paper defence: ~5%%)\n",
+              result.attack_rates.rate(1, 1) * 100.0);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Edge operations walkthrough: the deployment-facing features.
+//
+//   1. serve traffic and read the telemetry counters;
+//   2. snapshot the obfuscation tables to disk, "restart" the device, and
+//      restore -- proving the permanent candidates survive (regenerating
+//      them would be a privacy leak);
+//   3. per-user personalized privacy levels;
+//   4. the privacy accountant's view of a protected user vs. what a
+//      one-time geo-IND user would have spent.
+//
+// Build & run:  ./build/examples/edge_operations
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "core/edge_device.hpp"
+#include "core/table_store.hpp"
+
+int main() {
+  using namespace privlocad;
+
+  core::EdgeConfig config;
+  config.top_params.radius_m = 500.0;
+  config.top_params.epsilon = 1.0;
+  config.top_params.delta = 0.01;
+  config.top_params.n = 10;
+  config.management.window_seconds = 30 * trace::kSecondsPerDay;
+
+  // ---- 1. serve traffic ----------------------------------------------
+  core::EdgeDevice device(config, 2024);
+  const geo::Point alice_home{1200.0, -300.0};
+  trace::UserTrace history;
+  history.user_id = 1;  // alice
+  for (int i = 0; i < 60; ++i) {
+    history.check_ins.push_back(
+        {alice_home, trace::kStudyStart + i * 3600});
+  }
+  device.import_history(1, history);
+
+  // Bob wants stricter privacy before his first report.
+  lppm::BoundedGeoIndParams strict = config.top_params;
+  strict.epsilon = 0.5;
+  device.set_user_privacy(2, strict);
+
+  for (int i = 0; i < 200; ++i) {
+    const trace::Timestamp t =
+        trace::kStudyStart + 40 * trace::kSecondsPerDay + i * 600;
+    device.report_location(1, alice_home, t);
+    device.report_location(2, {i * 400.0, -i * 250.0}, t);  // bob roams
+  }
+  std::printf("--- telemetry after 400 requests ---\n%s\n",
+              device.telemetry().to_string().c_str());
+
+  // ---- 2. snapshot / restart / restore --------------------------------
+  std::stringstream storage, profile_storage;
+  core::save_tables(storage, device.snapshot_tables());
+  core::save_profiles(profile_storage, device.snapshot_profiles());
+  std::printf("persisted: %zu bytes of tables, %zu bytes of profiles\n\n",
+              storage.str().size(), profile_storage.str().size());
+
+  core::EdgeDevice restarted(config, /*different seed=*/777);
+  restarted.restore_tables(core::load_tables(storage, 100.0));
+  restarted.restore_profiles(core::load_profiles(profile_storage));
+  const core::ReportedLocation replay = restarted.report_location(
+      1, alice_home, trace::kStudyStart + 100 * trace::kSecondsPerDay);
+  std::printf("after restart, alice's report still comes from the frozen "
+              "set: (%.1f, %.1f) [%s]\n\n",
+              replay.location.x, replay.location.y,
+              replay.kind == core::ReportKind::kTopLocation ? "top"
+                                                            : "nomadic");
+
+  // ---- 3 + 4. privacy accounting ---------------------------------------
+  const lppm::PrivacySpend alice = device.accountant().spend_for(1);
+  const lppm::PrivacySpend bob = device.accountant().spend_for(2);
+  std::printf("--- privacy ledger ---\n");
+  std::printf("alice (routine, protected): %zu release(s), eps = %.2f\n",
+              alice.releases, alice.basic_epsilon);
+  std::printf("bob   (roaming, one-time) : %zu releases, eps = %.1f "
+              "(every nomadic report composes!)\n",
+              bob.releases, bob.basic_epsilon);
+  std::printf("\nalice reported from home 200 times but spent privacy ONCE "
+              "-- that asymmetry is the defence.\n");
+  std::printf("bob's personalized level for future top locations: eps = "
+              "%.2f\n",
+              device.user_privacy(2).epsilon);
+
+  // ---- 5. risk-driven policy ------------------------------------------
+  const core::RiskAssessment alice_risk = device.assess_user_risk(1);
+  std::printf("\n--- risk assessment (alice) ---\n");
+  std::printf("level: %s (score %.2f; entropy %.2f, exposure %.2f, "
+              "budget %.2f)\n",
+              core::to_string(alice_risk.level).c_str(), alice_risk.score,
+              alice_risk.entropy_signal, alice_risk.exposure_signal,
+              alice_risk.budget_signal);
+  std::printf("recommendation: %s\n", alice_risk.recommendation.c_str());
+  const lppm::BoundedGeoIndParams next =
+      core::recommended_params(alice_risk, device.user_privacy(1));
+  std::printf("policy for alice's future tables: eps %.2f -> %.2f, "
+              "n %zu -> %zu\n",
+              device.user_privacy(1).epsilon, next.epsilon,
+              device.user_privacy(1).n, next.n);
+  device.set_user_privacy(1, next);
+  return 0;
+}

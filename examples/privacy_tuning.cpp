@@ -1,0 +1,96 @@
+// Privacy tuning: an operator-facing walkthrough of the privacy-utility
+// trade-off surface. For a grid of (eps, r, n) settings it prints the
+// calibrated noise, the expected utilization rate, the expected efficacy
+// under posterior selection, and the de-obfuscation error a longitudinal
+// attacker would achieve -- the numbers a deployment needs to pick its
+// parameters.
+//
+// Build & run:  ./build/examples/privacy_tuning
+#include <cstdio>
+
+#include "attack/deobfuscation.hpp"
+#include "core/output_selection.hpp"
+#include "lppm/gaussian.hpp"
+#include "rng/engine.hpp"
+#include "stats/running_stats.hpp"
+#include "utility/metrics.hpp"
+
+namespace {
+
+using namespace privlocad;
+
+struct Setting {
+  double eps;
+  double r;
+  std::size_t n;
+};
+
+void evaluate(const Setting& s) {
+  lppm::BoundedGeoIndParams params;
+  params.radius_m = s.r;
+  params.epsilon = s.eps;
+  params.delta = 0.01;
+  params.n = s.n;
+  const lppm::NFoldGaussianMechanism mech(params);
+  constexpr double kTargetingRadius = 5000.0;
+  constexpr int kTrials = 2000;
+
+  rng::Engine parent(31);
+  stats::RunningStats ur, ae, attacker_error;
+  for (int t = 0; t < kTrials; ++t) {
+    rng::Engine e = parent.split(t);
+    const auto candidates = mech.obfuscate(e, {0, 0});
+    ur.add(utility::utilization_rate(e, {0, 0}, candidates,
+                                     kTargetingRadius, 128));
+    const auto probs =
+        core::selection_probabilities(candidates, mech.posterior_sigma());
+    ae.add(utility::efficacy_weighted({0, 0}, candidates, probs,
+                                      kTargetingRadius));
+
+    // The attacker's best case: cluster a long replayed stream. Because
+    // the candidates are frozen, the attack reduces to locating the
+    // posterior-weighted centroid of the candidate set.
+    geo::Point weighted{};
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      weighted = weighted + candidates[i] * probs[i];
+    }
+    attacker_error.add(geo::norm(weighted));
+  }
+
+  std::printf("%5.2f %6.0f %3zu | %9.0f | %6.3f %6.3f | %12.0f\n", s.eps, s.r,
+              s.n, mech.sigma(), ur.mean(), ae.mean(),
+              attacker_error.mean());
+}
+
+}  // namespace
+
+int main() {
+  using namespace privlocad;
+
+  std::printf("Edge-PrivLocAd parameter tuning (R = 5 km targeting)\n\n");
+  std::printf("%5s %6s %3s | %9s | %6s %6s | %12s\n", "eps", "r", "n",
+              "sigma(m)", "UR", "AE", "attack-err(m)");
+  std::printf("---------------------------------------------------------\n");
+
+  for (const Setting& s : {
+           Setting{0.5, 500.0, 10},
+           Setting{1.0, 500.0, 1},
+           Setting{1.0, 500.0, 5},
+           Setting{1.0, 500.0, 10},
+           Setting{1.0, 800.0, 10},
+           Setting{1.5, 500.0, 10},
+           Setting{1.5, 800.0, 10},
+       }) {
+    evaluate(s);
+  }
+
+  std::printf(
+      "\nreading the table:\n"
+      "  sigma      -- per-candidate noise (Theorem 2 calibration)\n"
+      "  UR         -- fraction of the user's 5 km area still reachable\n"
+      "  AE         -- probability a delivered ad is actually relevant\n"
+      "  attack-err -- expected residual error of the longitudinal attacker\n"
+      "tighter privacy (lower eps / higher r) costs utility; more candidates\n"
+      "(n) buys utilization without weakening the guarantee.\n");
+  return 0;
+}

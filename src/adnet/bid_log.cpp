@@ -1,0 +1,28 @@
+#include "adnet/bid_log.hpp"
+
+namespace privlocad::adnet {
+
+void BidLog::record(std::uint64_t user_id, geo::Point reported_location,
+                    std::int64_t time) {
+  by_user_[user_id].push_back({reported_location, time});
+  ++total_;
+}
+
+const std::vector<LoggedRequest>& BidLog::requests_for(
+    std::uint64_t user_id) const {
+  static const std::vector<LoggedRequest> kEmpty;
+  const auto it = by_user_.find(user_id);
+  return it == by_user_.end() ? kEmpty : it->second;
+}
+
+std::vector<geo::Point> BidLog::positions_for(std::uint64_t user_id) const {
+  const auto& requests = requests_for(user_id);
+  std::vector<geo::Point> positions;
+  positions.reserve(requests.size());
+  for (const LoggedRequest& r : requests) {
+    positions.push_back(r.reported_location);
+  }
+  return positions;
+}
+
+}  // namespace privlocad::adnet

@@ -1,0 +1,42 @@
+// Bid-request log: what the ad ecosystem's observers see.
+//
+// The paper's attack model (Section III-A) assumes any advertiser or
+// third-party verification company can observe location updates in the ad
+// bidding logs, keyed by stable user IDs. This type is that log: a
+// per-user, time-ordered record of every reported location.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/point.hpp"
+
+namespace privlocad::adnet {
+
+struct LoggedRequest {
+  geo::Point reported_location;
+  std::int64_t time = 0;
+};
+
+class BidLog {
+ public:
+  void record(std::uint64_t user_id, geo::Point reported_location,
+              std::int64_t time);
+
+  /// All requests observed for one user, in arrival order. Returns an
+  /// empty vector for unknown users.
+  const std::vector<LoggedRequest>& requests_for(std::uint64_t user_id) const;
+
+  /// Just the reported positions for one user (attack input shape).
+  std::vector<geo::Point> positions_for(std::uint64_t user_id) const;
+
+  std::size_t total_requests() const { return total_; }
+  std::size_t user_count() const { return by_user_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<LoggedRequest>> by_user_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace privlocad::adnet

@@ -1,0 +1,71 @@
+#include "adnet/exchange.hpp"
+
+#include <algorithm>
+
+#include "util/validation.hpp"
+
+namespace privlocad::adnet {
+
+Dsp::Dsp(std::string name, std::vector<Advertiser> advertisers)
+    : name_(std::move(name)),
+      network_(std::move(advertisers), /*max_ads_per_request=*/1) {
+  util::require(!name_.empty(), "DSP needs a name");
+}
+
+std::optional<Ad> Dsp::bid(const AdRequest& request) {
+  // handle_request logs the request (the observation channel) and returns
+  // at most one ad -- the DSP's best bid.
+  std::vector<Ad> best = network_.handle_request(request);
+  if (best.empty()) return std::nullopt;
+  return best.front();
+}
+
+Exchange::Exchange(double reserve_price_cpm)
+    : reserve_price_(reserve_price_cpm) {
+  util::require_non_negative(reserve_price_cpm, "reserve price");
+}
+
+void Exchange::add_dsp(std::unique_ptr<Dsp> dsp) {
+  util::require(dsp != nullptr, "cannot add a null DSP");
+  dsps_.push_back(std::move(dsp));
+}
+
+const Dsp& Exchange::dsp(std::size_t index) const {
+  util::require(index < dsps_.size(), "DSP index out of range");
+  return *dsps_[index];
+}
+
+AuctionResult Exchange::run_auction(const AdRequest& request) {
+  util::require(!dsps_.empty(), "exchange has no DSPs");
+  ++auctions_;
+
+  // Collect bids above the reserve from every DSP (all of them see the
+  // request -- that is the point).
+  std::vector<Ad> bids;
+  for (const auto& dsp : dsps_) {
+    if (std::optional<Ad> ad = dsp->bid(request)) {
+      if (ad->bid_cpm >= reserve_price_) bids.push_back(std::move(*ad));
+    }
+  }
+
+  AuctionResult result;
+  result.bids = bids.size();
+  if (bids.empty()) return result;
+
+  std::sort(bids.begin(), bids.end(), [](const Ad& a, const Ad& b) {
+    if (a.bid_cpm != b.bid_cpm) return a.bid_cpm > b.bid_cpm;
+    return a.advertiser_id < b.advertiser_id;
+  });
+
+  result.filled = true;
+  result.winner = bids.front();
+  // Second price: the runner-up's bid, floored at the reserve.
+  result.clearing_price =
+      bids.size() > 1 ? std::max(bids[1].bid_cpm, reserve_price_)
+                      : reserve_price_;
+  revenue_ += result.clearing_price;
+  ++filled_;
+  return result;
+}
+
+}  // namespace privlocad::adnet

@@ -1,0 +1,78 @@
+// Real-time-bidding exchange (paper Sections I and III-A).
+//
+// The modern ad path is not one network but an exchange fanning each bid
+// request out to multiple demand-side platforms (DSPs), collecting bids
+// within a deadline, and running a second-price auction. The paper's
+// longitudinal attacker sits exactly here: "any advertisers or third-party
+// traffic verification companies can observe the location updating from
+// the billions of ad bidding logs per day" -- i.e. EVERY DSP sees every
+// request's reported location, winner or not. This module models that
+// topology so the attack benches can play an observer at any seat.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adnet/ad_network.hpp"
+
+namespace privlocad::adnet {
+
+/// A demand-side platform: holds its advertisers and answers bid requests.
+/// Each DSP keeps its own bid log -- it observes every request it is asked
+/// to bid on, which is every request the exchange sees.
+class Dsp {
+ public:
+  Dsp(std::string name, std::vector<Advertiser> advertisers);
+
+  /// Returns this DSP's best matching ad for the request (highest bid
+  /// among covering campaigns), or nullopt when nothing matches. Always
+  /// records the request in the DSP's log first.
+  std::optional<Ad> bid(const AdRequest& request);
+
+  const std::string& name() const { return name_; }
+  const BidLog& bid_log() const { return network_.bid_log(); }
+
+ private:
+  std::string name_;
+  AdNetwork network_;
+};
+
+/// Outcome of one exchange auction.
+struct AuctionResult {
+  bool filled = false;
+  Ad winner;                 ///< valid when filled
+  double clearing_price = 0.0;  ///< second price (or reserve)
+  std::size_t bids = 0;      ///< DSPs that returned a bid
+};
+
+class Exchange {
+ public:
+  /// `reserve_price_cpm`: bids below it are rejected; the clearing price
+  /// never falls below it.
+  explicit Exchange(double reserve_price_cpm = 0.1);
+
+  /// Registers a DSP (takes ownership).
+  void add_dsp(std::unique_ptr<Dsp> dsp);
+
+  /// Fans the request out to every DSP, runs the second-price auction.
+  AuctionResult run_auction(const AdRequest& request);
+
+  std::size_t dsp_count() const { return dsps_.size(); }
+  const Dsp& dsp(std::size_t index) const;
+
+  /// Total auctions run / filled (fill rate telemetry).
+  std::size_t auctions() const { return auctions_; }
+  std::size_t filled() const { return filled_; }
+  double total_revenue_cpm() const { return revenue_; }
+
+ private:
+  double reserve_price_;
+  std::vector<std::unique_ptr<Dsp>> dsps_;
+  std::size_t auctions_ = 0;
+  std::size_t filled_ = 0;
+  double revenue_ = 0.0;
+};
+
+}  // namespace privlocad::adnet

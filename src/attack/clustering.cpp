@@ -1,0 +1,65 @@
+#include "attack/clustering.hpp"
+
+#include <algorithm>
+
+#include "geo/grid_index.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::attack {
+
+std::vector<Cluster> connectivity_clusters(
+    const std::vector<geo::Point>& points, double threshold_m) {
+  util::require_positive(threshold_m, "clustering threshold");
+  if (points.empty()) return {};
+
+  const geo::GridIndex index(points, threshold_m);
+  std::vector<bool> visited(points.size(), false);
+  std::vector<Cluster> clusters;
+
+  // BFS over the implicit connectivity graph.
+  std::vector<std::size_t> frontier;
+  for (std::size_t seed = 0; seed < points.size(); ++seed) {
+    if (visited[seed]) continue;
+    Cluster cluster;
+    visited[seed] = true;
+    frontier.assign(1, seed);
+    while (!frontier.empty()) {
+      const std::size_t current = frontier.back();
+      frontier.pop_back();
+      cluster.push_back(current);
+      // Paper: connected iff dist < theta (strict); grid query is <=, so
+      // filter exact ties out. Measure-zero for continuous noise but it
+      // matters for degenerate/duplicated inputs in tests.
+      index.for_each_within(points[current], threshold_m,
+                            [&](std::size_t neighbor) {
+                              if (visited[neighbor]) return;
+                              if (geo::distance(points[current],
+                                                points[neighbor]) >=
+                                  threshold_m) {
+                                return;
+                              }
+                              visited[neighbor] = true;
+                              frontier.push_back(neighbor);
+                            });
+    }
+    std::sort(cluster.begin(), cluster.end());
+    clusters.push_back(std::move(cluster));
+  }
+
+  std::sort(clusters.begin(), clusters.end(),
+            [](const Cluster& a, const Cluster& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a.front() < b.front();
+            });
+  return clusters;
+}
+
+geo::Point cluster_centroid(const std::vector<geo::Point>& points,
+                            const Cluster& cluster) {
+  util::require(!cluster.empty(), "centroid of empty cluster");
+  geo::Point sum{};
+  for (const std::size_t idx : cluster) sum = sum + points[idx];
+  return sum / static_cast<double>(cluster.size());
+}
+
+}  // namespace privlocad::attack

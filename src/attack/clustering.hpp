@@ -1,0 +1,30 @@
+// Connectivity-based clustering (paper Section III-B1).
+//
+// Two check-ins are "connected" when their Euclidean distance is below a
+// threshold theta (50 m in the paper's profiling, and the attack's first
+// stage uses the same notion). Clusters are the connected components of
+// that graph. A uniform grid with cell size theta makes the component
+// sweep near-linear: each point only inspects its 3x3 cell neighborhood.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/point.hpp"
+
+namespace privlocad::attack {
+
+/// One cluster: indices into the input point vector.
+using Cluster = std::vector<std::size_t>;
+
+/// Computes connected components under dist(p_i, p_j) < threshold_m.
+/// Clusters are returned sorted by size, largest first; ties broken by the
+/// smallest contained index so results are deterministic.
+std::vector<Cluster> connectivity_clusters(const std::vector<geo::Point>& points,
+                                           double threshold_m);
+
+/// Centroid of a cluster's points. The cluster must be non-empty.
+geo::Point cluster_centroid(const std::vector<geo::Point>& points,
+                            const Cluster& cluster);
+
+}  // namespace privlocad::attack

@@ -1,0 +1,127 @@
+#include "attack/deobfuscation.hpp"
+
+#include <algorithm>
+
+#include "attack/clustering.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::attack {
+namespace {
+
+void validate(const DeobfuscationConfig& c) {
+  util::require_positive(c.connectivity_threshold_m,
+                         "connectivity threshold theta");
+  util::require_positive(c.trim_radius_m, "trimming radius r_alpha");
+  util::require(c.top_n >= 1, "top_n must be >= 1");
+  util::require(c.max_trim_iterations >= 1,
+                "max_trim_iterations must be >= 1");
+}
+
+/// Stage-2 trimming (Algorithm 1, TRIMMING): refine the membership bitmap
+/// to the fixed point of "keep exactly the points within r_alpha of the
+/// evolving centroid". Returns the final centroid.
+geo::Point trim_cluster(const std::vector<geo::Point>& points,
+                        std::vector<bool>& member,
+                        const DeobfuscationConfig& config) {
+  auto centroid_of_members = [&]() {
+    geo::Point sum{};
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (member[i]) {
+        sum = sum + points[i];
+        ++count;
+      }
+    }
+    return sum / static_cast<double>(count);
+  };
+
+  geo::Point centroid = centroid_of_members();
+  for (std::size_t iter = 0; iter < config.max_trim_iterations; ++iter) {
+    bool changed = false;
+    std::size_t member_count = 0;
+    // One pass decides membership against the current centroid: drops the
+    // far members (Alg. 1: 13-15) and admits the near outsiders (16-18).
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const bool should_belong =
+          geo::distance(points[i], centroid) <= config.trim_radius_m;
+      if (member[i] != should_belong) {
+        member[i] = should_belong;
+        changed = true;
+      }
+      if (should_belong) ++member_count;
+    }
+    if (member_count == 0) {
+      // Trimming ate the whole cluster (r_alpha far below the data's
+      // spread). Keep the last centroid rather than divide by zero.
+      return centroid;
+    }
+    if (!changed) break;
+    centroid = centroid_of_members();
+  }
+  return centroid;
+}
+
+}  // namespace
+
+std::vector<InferredLocation> deobfuscate_top_locations(
+    std::vector<geo::Point> observed_check_ins,
+    const DeobfuscationConfig& config) {
+  validate(config);
+
+  std::vector<geo::Point> remaining = std::move(observed_check_ins);
+  std::vector<InferredLocation> inferred;
+  inferred.reserve(config.top_n);
+
+  for (std::size_t rank = 0; rank < config.top_n; ++rank) {
+    if (remaining.empty()) break;
+
+    const std::vector<Cluster> clusters = connectivity_clusters(
+        remaining, config.connectivity_threshold_m);
+    const Cluster& largest = clusters.front();
+
+    std::vector<bool> member(remaining.size(), false);
+    for (const std::size_t idx : largest) member[idx] = true;
+
+    geo::Point centroid;
+    if (config.enable_trimming) {
+      centroid = trim_cluster(remaining, member, config);
+    } else {
+      centroid = cluster_centroid(remaining, largest);
+    }
+
+    std::size_t support = 0;
+    std::vector<geo::Point> members;
+    std::vector<geo::Point> next;
+    next.reserve(remaining.size());
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      if (member[i]) {
+        ++support;
+        members.push_back(remaining[i]);
+      } else {
+        next.push_back(remaining[i]);
+      }
+    }
+    // The trimming loop always steers by the centroid (cheap, stable);
+    // the configured estimator refines the FINAL estimate only.
+    if (config.estimator != LocationEstimator::kCentroid &&
+        !members.empty()) {
+      centroid = estimate_location(members, config.estimator);
+    }
+    // A fully-trimmed cluster contributes no support but still yields the
+    // centroid estimate; remove the original cluster either way so the
+    // next round makes progress (Alg. 1: 8).
+    if (support == 0) {
+      for (const std::size_t idx : largest) member[idx] = true;
+      next.clear();
+      for (std::size_t i = 0; i < remaining.size(); ++i) {
+        if (!member[i]) next.push_back(remaining[i]);
+      }
+    }
+
+    inferred.push_back({centroid, std::max<std::size_t>(support, 1)});
+    remaining = std::move(next);
+  }
+  return inferred;
+}
+
+}  // namespace privlocad::attack

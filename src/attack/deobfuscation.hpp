@@ -1,0 +1,59 @@
+// Top-n location de-obfuscation attack (paper Algorithm 1).
+//
+// Input: a victim's obfuscated check-ins observed over a long window.
+// For each of the top-n locations, the attack
+//   1. clusters the remaining check-ins by connectivity (threshold theta,
+//      sized to the obfuscation scale rather than the 50 m profiling
+//      threshold -- obfuscated points scatter much wider),
+//   2. takes the largest cluster and iteratively trims it: recompute the
+//      centroid, drop members farther than r_alpha, re-admit outside
+//      points closer than r_alpha, until a fixed point,
+//   3. reports the final centroid as the inferred top-i location and
+//      removes the cluster's points before the next round.
+// r_alpha comes from the obfuscation distribution's tail (Eq. 4):
+// Pr[dist > r_alpha] <= alpha, alpha = 0.05 in the paper.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "attack/estimators.hpp"
+#include "geo/point.hpp"
+
+namespace privlocad::attack {
+
+struct DeobfuscationConfig {
+  /// Connectivity threshold theta for stage-1 clustering, meters.
+  double connectivity_threshold_m = 100.0;
+
+  /// Trimming radius r_alpha, meters (from Mechanism::tail_radius(0.05)).
+  double trim_radius_m = 600.0;
+
+  /// Number of top locations to infer.
+  std::size_t top_n = 1;
+
+  /// Safety valve for the trimming fixed-point loop.
+  std::size_t max_trim_iterations = 100;
+
+  /// Stage-2 trimming enabled (the ablation bench turns it off).
+  bool enable_trimming = true;
+
+  /// Final location estimate over the trimmed cluster. Centroid is the
+  /// paper's Algorithm 1; the geometric median is the Laplace-MLE upgrade
+  /// (see attack/estimators.hpp).
+  LocationEstimator estimator = LocationEstimator::kCentroid;
+};
+
+struct InferredLocation {
+  geo::Point location;        ///< inferred top-location coordinate
+  std::size_t support;        ///< check-ins in the final cluster
+};
+
+/// Runs Algorithm 1. Returns up to `config.top_n` inferred locations in
+/// rank order; fewer if the check-ins run out. An empty input yields an
+/// empty result.
+std::vector<InferredLocation> deobfuscate_top_locations(
+    std::vector<geo::Point> observed_check_ins,
+    const DeobfuscationConfig& config);
+
+}  // namespace privlocad::attack

@@ -1,0 +1,68 @@
+#include "attack/estimators.hpp"
+
+#include <cmath>
+
+#include "util/validation.hpp"
+
+namespace privlocad::attack {
+
+geo::Point geometric_median(const std::vector<geo::Point>& points,
+                            const WeiszfeldOptions& options) {
+  util::require(!points.empty(), "geometric median of empty set");
+  util::require(options.max_iterations >= 1,
+                "Weiszfeld needs at least one iteration");
+  if (points.size() == 1) return points.front();
+  if (points.size() == 2) {
+    // Any point on the segment minimizes; return the midpoint.
+    return (points[0] + points[1]) / 2.0;
+  }
+
+  geo::Point estimate = geo::centroid(points);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    geo::Point weighted_sum{};
+    double weight_total = 0.0;
+    bool on_data_point = false;
+    geo::Point gradient{};  // of sum |q_i - p| excluding the coincident point
+
+    for (const geo::Point& q : points) {
+      const double d = geo::distance(estimate, q);
+      if (d < 1e-12) {
+        on_data_point = true;
+        continue;
+      }
+      const double w = 1.0 / d;
+      weighted_sum = weighted_sum + q * w;
+      weight_total += w;
+      gradient = gradient + (estimate - q) * w;
+    }
+
+    if (on_data_point) {
+      // Vardi-Zhang: the coincident data point is the median iff the
+      // residual gradient's norm is at most 1 (its own subgradient ball).
+      if (geo::norm(gradient) <= 1.0) return estimate;
+      // Otherwise step off the data point along the negative gradient.
+      const double step = 1.0 / weight_total;
+      estimate = estimate - gradient * (step / geo::norm(gradient));
+      continue;
+    }
+
+    const geo::Point next = weighted_sum / weight_total;
+    if (geo::distance(next, estimate) < options.tolerance_m) return next;
+    estimate = next;
+  }
+  return estimate;
+}
+
+geo::Point estimate_location(const std::vector<geo::Point>& points,
+                             LocationEstimator estimator) {
+  util::require(!points.empty(), "estimate of empty set");
+  switch (estimator) {
+    case LocationEstimator::kCentroid:
+      return geo::centroid(points);
+    case LocationEstimator::kGeometricMedian:
+      return geometric_median(points);
+  }
+  return geo::centroid(points);
+}
+
+}  // namespace privlocad::attack

@@ -1,0 +1,57 @@
+#include "attack/evaluation.hpp"
+
+#include "geo/point.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::attack {
+
+UserAttackOutcome evaluate_attack(
+    const std::vector<InferredLocation>& inferred,
+    const trace::GroundTruth& truth, std::size_t ranks) {
+  util::require(ranks >= 1, "evaluation needs at least one rank");
+  UserAttackOutcome outcome;
+  outcome.error_by_rank.resize(ranks);
+  for (std::size_t k = 0; k < ranks; ++k) {
+    if (k >= inferred.size() || k >= truth.top_locations.size()) continue;
+    outcome.error_by_rank[k] =
+        geo::distance(inferred[k].location, truth.top_locations[k]);
+  }
+  return outcome;
+}
+
+SuccessRateAccumulator::SuccessRateAccumulator(
+    std::size_t ranks, std::vector<double> thresholds_m)
+    : ranks_(ranks), thresholds_(std::move(thresholds_m)) {
+  util::require(ranks_ >= 1, "accumulator needs at least one rank");
+  util::require(!thresholds_.empty(), "accumulator needs thresholds");
+  for (const double t : thresholds_) {
+    util::require_positive(t, "success threshold");
+  }
+  successes_.assign(ranks_ * thresholds_.size(), 0);
+}
+
+void SuccessRateAccumulator::add(const UserAttackOutcome& outcome) {
+  util::require(outcome.error_by_rank.size() >= ranks_,
+                "outcome has fewer ranks than the accumulator");
+  ++users_;
+  for (std::size_t k = 0; k < ranks_; ++k) {
+    if (!outcome.error_by_rank[k].has_value()) continue;
+    const double error = *outcome.error_by_rank[k];
+    for (std::size_t t = 0; t < thresholds_.size(); ++t) {
+      if (error <= thresholds_[t]) ++successes_[k * thresholds_.size() + t];
+    }
+  }
+}
+
+double SuccessRateAccumulator::rate(std::size_t rank,
+                                    std::size_t threshold_index) const {
+  util::require(rank < ranks_, "rank out of range");
+  util::require(threshold_index < thresholds_.size(),
+                "threshold index out of range");
+  util::require(users_ > 0, "no users accumulated");
+  return static_cast<double>(
+             successes_[rank * thresholds_.size() + threshold_index]) /
+         static_cast<double>(users_);
+}
+
+}  // namespace privlocad::attack

@@ -1,0 +1,56 @@
+// Attack-success evaluation (paper Section VII, metric 1).
+//
+// An attack on one user "succeeds at rank k within distance d" when the
+// inferred top-k location lies within d meters of the user's true top-k
+// location. The population-level Attack Success Rate is the fraction of
+// users for which the attack succeeds. The paper reports success at
+// 200 m and 500 m for top-1 and top-2.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "attack/deobfuscation.hpp"
+#include "trace/check_in.hpp"
+
+namespace privlocad::attack {
+
+/// Per-user outcome: inference error (meters) for each evaluated rank, or
+/// nullopt when the user has no true location at that rank or the attack
+/// produced no estimate for it.
+struct UserAttackOutcome {
+  std::vector<std::optional<double>> error_by_rank;
+};
+
+/// Distance between inferred and true locations, rank-aligned.
+UserAttackOutcome evaluate_attack(
+    const std::vector<InferredLocation>& inferred,
+    const trace::GroundTruth& truth, std::size_t ranks);
+
+/// Aggregated success rates over a population.
+class SuccessRateAccumulator {
+ public:
+  /// `thresholds_m` are the distances to report success at (e.g. 200, 500).
+  SuccessRateAccumulator(std::size_t ranks, std::vector<double> thresholds_m);
+
+  /// Folds one user's outcome in. Users lacking a rank (nullopt) count
+  /// toward that rank's denominator as failures only if `count_missing`
+  /// users are included; the paper divides by all attacked users, so we do.
+  void add(const UserAttackOutcome& outcome);
+
+  /// Success rate for `rank` (0-based) at threshold index `t`.
+  double rate(std::size_t rank, std::size_t threshold_index) const;
+
+  std::size_t users() const { return users_; }
+  const std::vector<double>& thresholds() const { return thresholds_; }
+
+ private:
+  std::size_t ranks_;
+  std::vector<double> thresholds_;
+  std::size_t users_ = 0;
+  // successes_[rank * thresholds + t]
+  std::vector<std::size_t> successes_;
+};
+
+}  // namespace privlocad::attack

@@ -1,0 +1,86 @@
+#include "attack/grid_attack.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/validation.hpp"
+
+namespace privlocad::attack {
+namespace {
+
+using CellKey = std::uint64_t;
+
+CellKey pack(std::int32_t cx, std::int32_t cy) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+}
+
+std::int32_t cell_of(double coordinate, double cell_size) {
+  return static_cast<std::int32_t>(std::floor(coordinate / cell_size));
+}
+
+}  // namespace
+
+std::vector<GridInferredLocation> grid_attack(std::vector<geo::Point> observed,
+                                              const GridAttackConfig& config) {
+  util::require_positive(config.cell_size_m, "grid attack cell size");
+  util::require(config.top_n >= 1, "grid attack top_n must be >= 1");
+
+  std::vector<GridInferredLocation> inferred;
+  inferred.reserve(config.top_n);
+
+  for (std::size_t rank = 0; rank < config.top_n && !observed.empty();
+       ++rank) {
+    // Histogram pass.
+    std::unordered_map<CellKey, std::size_t> counts;
+    counts.reserve(observed.size());
+    for (const geo::Point& p : observed) {
+      ++counts[pack(cell_of(p.x, config.cell_size_m),
+                    cell_of(p.y, config.cell_size_m))];
+    }
+
+    // Densest 3x3 neighborhood (single-cell mode is too sensitive to the
+    // grid phase; the 3x3 sum is the usual fix).
+    CellKey best_key = 0;
+    std::size_t best_mass = 0;
+    for (const auto& [key, count] : counts) {
+      const auto cx = static_cast<std::int32_t>(key >> 32);
+      const auto cy = static_cast<std::int32_t>(key & 0xFFFFFFFFu);
+      std::size_t mass = 0;
+      for (std::int32_t dx = -1; dx <= 1; ++dx) {
+        for (std::int32_t dy = -1; dy <= 1; ++dy) {
+          const auto it = counts.find(pack(cx + dx, cy + dy));
+          if (it != counts.end()) mass += it->second;
+        }
+      }
+      if (mass > best_mass || (mass == best_mass && key < best_key)) {
+        best_mass = mass;
+        best_key = key;
+      }
+    }
+
+    // Centroid of the winning neighborhood; remove its points.
+    const auto bx = static_cast<std::int32_t>(best_key >> 32);
+    const auto by = static_cast<std::int32_t>(best_key & 0xFFFFFFFFu);
+    geo::Point sum{};
+    std::size_t support = 0;
+    std::vector<geo::Point> remaining;
+    remaining.reserve(observed.size());
+    for (const geo::Point& p : observed) {
+      const std::int32_t cx = cell_of(p.x, config.cell_size_m);
+      const std::int32_t cy = cell_of(p.y, config.cell_size_m);
+      if (std::abs(cx - bx) <= 1 && std::abs(cy - by) <= 1) {
+        sum = sum + p;
+        ++support;
+      } else {
+        remaining.push_back(p);
+      }
+    }
+    inferred.push_back({sum / static_cast<double>(support), support});
+    observed = std::move(remaining);
+  }
+  return inferred;
+}
+
+}  // namespace privlocad::attack

@@ -1,0 +1,55 @@
+#include "attack/profile.hpp"
+
+#include <algorithm>
+
+#include "attack/clustering.hpp"
+#include "stats/entropy.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::attack {
+
+LocationProfile::LocationProfile(std::vector<ProfileEntry> entries)
+    : entries_(std::move(entries)) {
+  util::require(std::is_sorted(entries_.begin(), entries_.end(),
+                               [](const ProfileEntry& a,
+                                  const ProfileEntry& b) {
+                                 return a.frequency > b.frequency;
+                               }),
+                "profile entries must be sorted heaviest-first");
+  for (const ProfileEntry& e : entries_) total_ += e.frequency;
+}
+
+double LocationProfile::entropy() const {
+  util::require(!entries_.empty(), "entropy of empty profile");
+  std::vector<std::uint64_t> freqs;
+  freqs.reserve(entries_.size());
+  for (const ProfileEntry& e : entries_) freqs.push_back(e.frequency);
+  return stats::location_entropy(freqs);
+}
+
+const ProfileEntry& LocationProfile::top(std::size_t i) const {
+  util::require(i < entries_.size(), "profile top index out of range");
+  return entries_[i];
+}
+
+LocationProfile build_profile(const std::vector<geo::Point>& check_ins,
+                              double threshold_m) {
+  const std::vector<Cluster> clusters =
+      connectivity_clusters(check_ins, threshold_m);
+  std::vector<ProfileEntry> entries;
+  entries.reserve(clusters.size());
+  for (const Cluster& cluster : clusters) {
+    entries.push_back({cluster_centroid(check_ins, cluster),
+                       static_cast<std::uint64_t>(cluster.size())});
+  }
+  // connectivity_clusters already orders by size desc; that IS the
+  // frequency order.
+  return LocationProfile(std::move(entries));
+}
+
+LocationProfile build_profile(const trace::UserTrace& trace,
+                              double threshold_m) {
+  return build_profile(trace::positions(trace), threshold_m);
+}
+
+}  // namespace privlocad::attack

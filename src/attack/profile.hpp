@@ -1,0 +1,62 @@
+// Location profiling (paper Section III-B1, Eq. 2-3).
+//
+// A location profile P = {(l_1, f_1), ..., (l_M, f_M)} maps inferred
+// locations to visit frequencies. The profiling step clusters check-ins
+// with the 50 m connectivity threshold, takes each cluster's centroid as
+// the location coordinate and its size as the frequency. Both the attacker
+// (on observed check-ins) and the edge device's location management module
+// (on true check-ins) build profiles this way.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.hpp"
+#include "trace/check_in.hpp"
+
+namespace privlocad::attack {
+
+/// The paper's default connectivity threshold for profiling (50 m).
+inline constexpr double kDefaultProfilingThresholdM = 50.0;
+
+struct ProfileEntry {
+  geo::Point location;       ///< cluster centroid
+  std::uint64_t frequency;   ///< cluster size (visit count)
+};
+
+/// Location profile ordered by frequency, heaviest first.
+class LocationProfile {
+ public:
+  LocationProfile() = default;
+
+  /// Entries must already be sorted heaviest-first; enforced here.
+  explicit LocationProfile(std::vector<ProfileEntry> entries);
+
+  const std::vector<ProfileEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Total check-ins across all entries.
+  std::uint64_t total_frequency() const { return total_; }
+
+  /// Location entropy of the profile (paper Eq. 3, nats). Requires a
+  /// non-empty profile.
+  double entropy() const;
+
+  /// The i-th most frequent location (0-based). Requires i < size().
+  const ProfileEntry& top(std::size_t i) const;
+
+ private:
+  std::vector<ProfileEntry> entries_;
+  std::uint64_t total_ = 0;
+};
+
+/// Builds a profile from raw positions via connectivity clustering.
+LocationProfile build_profile(const std::vector<geo::Point>& check_ins,
+                              double threshold_m = kDefaultProfilingThresholdM);
+
+/// Convenience overload over a trace.
+LocationProfile build_profile(const trace::UserTrace& trace,
+                              double threshold_m = kDefaultProfilingThresholdM);
+
+}  // namespace privlocad::attack

@@ -1,0 +1,95 @@
+#include "attack/semantics.hpp"
+
+#include "util/validation.hpp"
+
+namespace privlocad::attack {
+namespace {
+
+int hour_of_day(trace::Timestamp t) {
+  return static_cast<int>((t % trace::kSecondsPerDay) / 3600);
+}
+
+bool is_weekday(trace::Timestamp t) {
+  // The epoch (1970-01-01) was a Thursday = day 4 of a Mon-based week.
+  const auto day = ((t / trace::kSecondsPerDay) + 3) % 7;
+  return day < 5;
+}
+
+bool is_night(trace::Timestamp t) {
+  const int h = hour_of_day(t);
+  return h < 7 || h >= 22;
+}
+
+bool is_office_hours(trace::Timestamp t) {
+  const int h = hour_of_day(t);
+  return is_weekday(t) && h >= 9 && h < 18;
+}
+
+}  // namespace
+
+std::string to_string(LocationSemantic semantic) {
+  switch (semantic) {
+    case LocationSemantic::kHome:
+      return "home";
+    case LocationSemantic::kWork:
+      return "work";
+    case LocationSemantic::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+std::vector<SemanticLabel> label_locations(
+    const std::vector<InferredLocation>& inferred,
+    const std::vector<trace::CheckIn>& observed,
+    const SemanticConfig& config) {
+  util::require_positive(config.attribution_radius_m, "attribution radius");
+  util::require_unit_open(config.home_night_threshold,
+                          "home night threshold");
+  util::require_unit_open(config.work_day_threshold, "work day threshold");
+
+  struct Tally {
+    std::size_t visits = 0;
+    std::size_t night = 0;
+    std::size_t office = 0;
+  };
+  std::vector<Tally> tallies(inferred.size());
+
+  for (const trace::CheckIn& c : observed) {
+    // Attribute to the nearest inferred location within the radius.
+    std::size_t best = inferred.size();
+    double best_distance = config.attribution_radius_m;
+    for (std::size_t i = 0; i < inferred.size(); ++i) {
+      const double d = geo::distance(c.position, inferred[i].location);
+      if (d <= best_distance) {
+        best = i;
+        best_distance = d;
+      }
+    }
+    if (best == inferred.size()) continue;
+    Tally& tally = tallies[best];
+    ++tally.visits;
+    if (is_night(c.time)) ++tally.night;
+    if (is_office_hours(c.time)) ++tally.office;
+  }
+
+  std::vector<SemanticLabel> labels(inferred.size());
+  for (std::size_t i = 0; i < inferred.size(); ++i) {
+    SemanticLabel& label = labels[i];
+    label.visits = tallies[i].visits;
+    if (tallies[i].visits == 0) continue;
+    const double visits = static_cast<double>(tallies[i].visits);
+    label.night_fraction = static_cast<double>(tallies[i].night) / visits;
+    label.workday_fraction = static_cast<double>(tallies[i].office) / visits;
+    // Night dominance wins over office dominance when both trip: homes are
+    // also occupied on weekday mornings, the reverse is rarer.
+    if (label.night_fraction >= config.home_night_threshold) {
+      label.semantic = LocationSemantic::kHome;
+    } else if (label.workday_fraction >= config.work_day_threshold) {
+      label.semantic = LocationSemantic::kWork;
+    }
+  }
+  return labels;
+}
+
+}  // namespace privlocad::attack

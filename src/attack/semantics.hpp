@@ -1,0 +1,54 @@
+// Semantic labelling of inferred locations (paper Sections I and III-A:
+// the attacker's goal includes "location semantics (e.g., home and work
+// place)" and "mobility patterns").
+//
+// Given the top locations inferred by Algorithm 1 AND the timestamps of
+// the observed check-ins, the attacker labels each location by its visit
+// schedule: a place visited overwhelmingly at night is a home; a place
+// visited during weekday office hours is a workplace. This module is the
+// attack's second stage and is evaluated against the synthetic ground
+// truth (whose generator plants exactly that day/night structure).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/deobfuscation.hpp"
+#include "trace/check_in.hpp"
+
+namespace privlocad::attack {
+
+enum class LocationSemantic { kHome, kWork, kOther };
+
+/// Human-readable name of a semantic label.
+std::string to_string(LocationSemantic semantic);
+
+struct SemanticLabel {
+  LocationSemantic semantic = LocationSemantic::kOther;
+  double night_fraction = 0.0;    ///< share of visits at 22:00-07:00
+  double workday_fraction = 0.0;  ///< share at 09:00-18:00 on weekdays
+  std::size_t visits = 0;         ///< check-ins attributed to the location
+};
+
+struct SemanticConfig {
+  /// A check-in within this distance of an inferred location counts as a
+  /// visit to it (use the attack's trimming radius).
+  double attribution_radius_m = 600.0;
+
+  /// Minimum night-visit share to call a location a home.
+  double home_night_threshold = 0.45;
+
+  /// Minimum weekday-office-hour share to call a location a workplace.
+  double work_day_threshold = 0.45;
+};
+
+/// Labels every inferred location from the observed check-in schedule.
+/// Check-ins are attributed to the nearest inferred location within the
+/// attribution radius; unattributed check-ins are ignored.
+std::vector<SemanticLabel> label_locations(
+    const std::vector<InferredLocation>& inferred,
+    const std::vector<trace::CheckIn>& observed,
+    const SemanticConfig& config = {});
+
+}  // namespace privlocad::attack

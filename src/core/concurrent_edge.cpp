@@ -1,0 +1,72 @@
+#include "core/concurrent_edge.hpp"
+
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+
+ConcurrentEdge::ConcurrentEdge(EdgeConfig config, std::size_t shards,
+                               std::uint64_t seed) {
+  util::require(shards >= 1, "ConcurrentEdge needs at least one shard");
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->device = std::make_unique<EdgeDevice>(
+        config, seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ConcurrentEdge::Shard& ConcurrentEdge::shard_for(std::uint64_t user_id) {
+  // Fibonacci-hash the user id so consecutive ids spread across shards.
+  const std::uint64_t mixed = user_id * 0x9E3779B97F4A7C15ULL;
+  return *shards_[mixed % shards_.size()];
+}
+
+const ConcurrentEdge::Shard& ConcurrentEdge::shard_for(
+    std::uint64_t user_id) const {
+  const std::uint64_t mixed = user_id * 0x9E3779B97F4A7C15ULL;
+  return *shards_[mixed % shards_.size()];
+}
+
+ReportedLocation ConcurrentEdge::report_location(std::uint64_t user_id,
+                                                 geo::Point true_location,
+                                                 trace::Timestamp time) {
+  Shard& shard = shard_for(user_id);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.device->report_location(user_id, true_location, time);
+}
+
+std::vector<adnet::Ad> ConcurrentEdge::filter_ads(
+    std::uint64_t user_id, const std::vector<adnet::Ad>& ads,
+    geo::Point true_location) {
+  Shard& shard = shard_for(user_id);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.device->filter_ads(ads, true_location);
+}
+
+void ConcurrentEdge::import_history(std::uint64_t user_id,
+                                    const trace::UserTrace& trace) {
+  Shard& shard = shard_for(user_id);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.device->import_history(user_id, trace);
+}
+
+EdgeTelemetry ConcurrentEdge::telemetry() const {
+  EdgeTelemetry total;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total.merge(shard->device->telemetry());
+  }
+  return total;
+}
+
+std::size_t ConcurrentEdge::user_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->device->user_count();
+  }
+  return total;
+}
+
+}  // namespace privlocad::core

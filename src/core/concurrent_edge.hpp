@@ -1,0 +1,62 @@
+// Thread-safe edge serving.
+//
+// One physical edge box serves many mobile users concurrently (the paper's
+// Tables II/III measure exactly that load). EdgeDevice itself is single-
+// threaded by design -- its per-user state and its RNG are not synchronized
+// -- so this wrapper shards users across a fixed set of internal devices,
+// one mutex per shard. Users hash to shards, so one user's requests are
+// always serialized (their location manager sees a consistent order) while
+// different users proceed in parallel. Telemetry and privacy spend roll up
+// across shards on demand.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/edge_device.hpp"
+
+namespace privlocad::core {
+
+class ConcurrentEdge {
+ public:
+  /// `shards` internal devices (>= 1). Seeds derive from `seed` so the
+  /// whole server is reproducible given a fixed user->request schedule
+  /// per shard.
+  ConcurrentEdge(EdgeConfig config, std::size_t shards, std::uint64_t seed);
+
+  /// Thread-safe report_location; serialized per shard.
+  ReportedLocation report_location(std::uint64_t user_id,
+                                   geo::Point true_location,
+                                   trace::Timestamp time);
+
+  /// Thread-safe ad filtering (runs on the user's shard).
+  std::vector<adnet::Ad> filter_ads(std::uint64_t user_id,
+                                    const std::vector<adnet::Ad>& ads,
+                                    geo::Point true_location);
+
+  /// Thread-safe history import.
+  void import_history(std::uint64_t user_id, const trace::UserTrace& trace);
+
+  /// Cluster-wide telemetry rollup (locks every shard briefly).
+  EdgeTelemetry telemetry() const;
+
+  /// Total users across all shards.
+  std::size_t user_count() const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::unique_ptr<EdgeDevice> device;
+    mutable std::mutex mutex;
+  };
+
+  Shard& shard_for(std::uint64_t user_id);
+  const Shard& shard_for(std::uint64_t user_id) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace privlocad::core

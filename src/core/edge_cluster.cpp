@@ -1,0 +1,67 @@
+#include "core/edge_cluster.hpp"
+
+#include <cmath>
+
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+
+EdgeCluster::EdgeCluster(EdgeClusterConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  util::require_positive(config.cell_size_m, "edge cluster cell size");
+}
+
+EdgeCluster::CellKey EdgeCluster::key_for(geo::Point location) const {
+  const auto cx = static_cast<std::int32_t>(
+      std::floor(location.x / config_.cell_size_m));
+  const auto cy = static_cast<std::int32_t>(
+      std::floor(location.y / config_.cell_size_m));
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+}
+
+EdgeDevice& EdgeCluster::device_for(geo::Point location) {
+  const CellKey key = key_for(location);
+  auto it = devices_.find(key);
+  if (it == devices_.end()) {
+    // Each device gets its own deterministic seed derived from its cell.
+    it = devices_
+             .emplace(key, std::make_unique<EdgeDevice>(
+                               config_.edge, seed_ ^ (key * 0x9E3779B97F4A7C15ULL)))
+             .first;
+  }
+  return *it->second;
+}
+
+ReportedLocation EdgeCluster::report_location(std::uint64_t user_id,
+                                              geo::Point true_location,
+                                              trace::Timestamp time) {
+  ++served_[key_for(true_location)];
+  return device_for(true_location)
+      .report_location(user_id, true_location, time);
+}
+
+std::vector<adnet::Ad> EdgeCluster::filter_ads(
+    const std::vector<adnet::Ad>& ads, geo::Point true_location) const {
+  const double r2 =
+      config_.edge.targeting_radius_m * config_.edge.targeting_radius_m;
+  std::vector<adnet::Ad> relevant;
+  relevant.reserve(ads.size());
+  for (const adnet::Ad& ad : ads) {
+    if (geo::distance_squared(ad.business_location, true_location) <= r2) {
+      relevant.push_back(ad);
+    }
+  }
+  return relevant;
+}
+
+std::size_t EdgeCluster::requests_served(std::int32_t cx,
+                                         std::int32_t cy) const {
+  const CellKey key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+  const auto it = served_.find(key);
+  return it == served_.end() ? 0 : it->second;
+}
+
+}  // namespace privlocad::core

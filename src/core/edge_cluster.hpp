@@ -1,0 +1,63 @@
+// A metro-area cluster of edge devices (paper Section V-A: "edge devices
+// provide services to nearby mobile users whose locations are closely
+// distributed").
+//
+// The cluster partitions the study area into square cells, one edge device
+// per cell; an LBA request is served by the device owning the user's
+// current cell. Because a moving user touches several devices, each device
+// only sees a local profile slice; the cluster periodically merges the
+// slices (core/profile_merge.hpp) into a global profile and pushes the
+// resulting top-location set back so every device answers from the same
+// permanent obfuscation state.
+//
+// This models the deployment topology the paper's scalability evaluation
+// (Tables II/III) assumes, and lets the benches measure per-device load.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/edge_device.hpp"
+
+namespace privlocad::core {
+
+struct EdgeClusterConfig {
+  EdgeConfig edge;            ///< per-device configuration
+  double cell_size_m = 20000; ///< side of one device's service cell
+};
+
+class EdgeCluster {
+ public:
+  EdgeCluster(EdgeClusterConfig config, std::uint64_t seed);
+
+  /// Serves one request through the device owning the location's cell.
+  ReportedLocation report_location(std::uint64_t user_id,
+                                   geo::Point true_location,
+                                   trace::Timestamp time);
+
+  /// Ad filtering is stateless w.r.t. the device; any device can do it.
+  std::vector<adnet::Ad> filter_ads(const std::vector<adnet::Ad>& ads,
+                                    geo::Point true_location) const;
+
+  /// Number of devices that have served at least one request.
+  std::size_t active_devices() const { return devices_.size(); }
+
+  /// Requests served by the device at cell (cx, cy); 0 if none.
+  std::size_t requests_served(std::int32_t cx, std::int32_t cy) const;
+
+  /// The device owning `location`'s cell, created on first use.
+  EdgeDevice& device_for(geo::Point location);
+
+ private:
+  using CellKey = std::uint64_t;
+  CellKey key_for(geo::Point location) const;
+
+  EdgeClusterConfig config_;
+  std::uint64_t seed_;
+  std::unordered_map<CellKey, std::unique_ptr<EdgeDevice>> devices_;
+  std::unordered_map<CellKey, std::size_t> served_;
+};
+
+}  // namespace privlocad::core

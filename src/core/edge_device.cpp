@@ -1,0 +1,201 @@
+#include "core/edge_device.hpp"
+
+#include "core/output_selection.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+
+EdgeDevice::EdgeDevice(EdgeConfig config, std::uint64_t seed)
+    : config_(config),
+      top_mechanism_(config.top_params),
+      nomadic_mechanism_(config.nomadic_params),
+      engine_(seed) {}
+
+EdgeDevice::UserState& EdgeDevice::state_for(std::uint64_t user_id) {
+  const auto it = users_.find(user_id);
+  if (it != users_.end()) return it->second;
+  return users_
+      .emplace(std::piecewise_construct, std::forward_as_tuple(user_id),
+               std::forward_as_tuple(config_.management,
+                                     config_.table_match_radius_m))
+      .first->second;
+}
+
+const attack::ProfileEntry* EdgeDevice::matching_top(
+    const UserState& state, geo::Point location) const {
+  const attack::ProfileEntry* best = nullptr;
+  double best_distance = config_.top_match_radius_m;
+  for (const attack::ProfileEntry& entry : state.manager.top_locations()) {
+    const double d = geo::distance(entry.location, location);
+    if (d <= best_distance) {
+      best = &entry;
+      best_distance = d;
+    }
+  }
+  return best;
+}
+
+ReportedLocation EdgeDevice::report_location(std::uint64_t user_id,
+                                             geo::Point true_location,
+                                             trace::Timestamp time) {
+  UserState& state = state_for(user_id);
+  ++telemetry_.requests;
+  if (state.manager.record(true_location, time)) {
+    ++telemetry_.profile_rebuilds;
+  }
+
+  if (const attack::ProfileEntry* top = matching_top(state, true_location)) {
+    const lppm::NFoldGaussianMechanism& mechanism = mechanism_for(state);
+    const std::size_t entries_before = state.table.size();
+    const std::vector<geo::Point>& candidates =
+        state.table.candidates_for(engine_, mechanism, top->location);
+    if (state.table.size() > entries_before) {
+      // First sight of this top location: the only moment privacy is
+      // actually spent on it. Every later request replays the set.
+      accountant_.record(user_id, {mechanism.params().epsilon,
+                                   mechanism.params().delta});
+      ++telemetry_.tables_generated;
+    }
+    const std::size_t chosen = select_candidate(
+        engine_, candidates, mechanism.posterior_sigma());
+    ++telemetry_.top_reports;
+    return {candidates[chosen], ReportKind::kTopLocation};
+  }
+
+  // Nomadic path: every release is an independent one-time charge at the
+  // planar-Laplace level (eps = l, pure DP-style: delta = 0).
+  accountant_.record(user_id, {config_.nomadic_params.level, 0.0});
+  ++telemetry_.nomadic_reports;
+  return {nomadic_mechanism_.obfuscate_one(engine_, true_location),
+          ReportKind::kNomadic};
+}
+
+std::vector<adnet::Ad> EdgeDevice::filter_ads(
+    const std::vector<adnet::Ad>& ads, geo::Point true_location) {
+  const double r2 = config_.targeting_radius_m * config_.targeting_radius_m;
+  std::vector<adnet::Ad> relevant;
+  relevant.reserve(ads.size());
+  for (const adnet::Ad& ad : ads) {
+    if (geo::distance_squared(ad.business_location, true_location) <= r2) {
+      relevant.push_back(ad);
+    }
+  }
+  telemetry_.ads_seen += ads.size();
+  telemetry_.ads_delivered += relevant.size();
+  return relevant;
+}
+
+void EdgeDevice::import_history(std::uint64_t user_id,
+                                const trace::UserTrace& trace) {
+  UserState& state = state_for(user_id);
+  for (const trace::CheckIn& c : trace.check_ins) {
+    state.manager.record(c.position, c.time);
+  }
+  state.manager.rebuild_now();
+}
+
+void EdgeDevice::prepare_obfuscation(std::uint64_t user_id) {
+  UserState& state = state_for(user_id);
+  const lppm::NFoldGaussianMechanism& mechanism = mechanism_for(state);
+  for (const attack::ProfileEntry& top : state.manager.top_locations()) {
+    const std::size_t entries_before = state.table.size();
+    state.table.candidates_for(engine_, mechanism, top.location);
+    if (state.table.size() > entries_before) {
+      accountant_.record(user_id, {mechanism.params().epsilon,
+                                   mechanism.params().delta});
+      ++telemetry_.tables_generated;
+    }
+  }
+}
+
+const lppm::NFoldGaussianMechanism& EdgeDevice::mechanism_for(
+    const UserState& state) const {
+  return state.custom_mechanism ? *state.custom_mechanism : top_mechanism_;
+}
+
+void EdgeDevice::set_user_privacy(std::uint64_t user_id,
+                                  lppm::BoundedGeoIndParams params) {
+  params.validate();
+  state_for(user_id).custom_mechanism.emplace(params);
+}
+
+const lppm::BoundedGeoIndParams& EdgeDevice::user_privacy(
+    std::uint64_t user_id) {
+  return mechanism_for(state_for(user_id)).params();
+}
+
+TableSnapshot EdgeDevice::snapshot_tables() const {
+  TableSnapshot snapshot;
+  for (const auto& [user_id, state] : users_) {
+    if (state.table.size() == 0) continue;
+    ObfuscationTable copy(config_.table_match_radius_m);
+    for (const ObfuscationTable::Entry& entry : state.table.entries()) {
+      copy.restore(entry);
+    }
+    snapshot.emplace(user_id, std::move(copy));
+  }
+  return snapshot;
+}
+
+ProfileSnapshot EdgeDevice::snapshot_profiles() const {
+  ProfileSnapshot snapshot;
+  for (const auto& [user_id, state] : users_) {
+    if (!state.manager.profile().has_value()) continue;
+    StoredProfile stored;
+    stored.profile = *state.manager.profile();
+    // Recover which profile entries form the top set (they are copies of
+    // profile entries, so match on location + frequency).
+    const auto& entries = stored.profile.entries();
+    for (const attack::ProfileEntry& top : state.manager.top_locations()) {
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].frequency == top.frequency &&
+            geo::distance(entries[i].location, top.location) < 1e-9) {
+          stored.top_indices.push_back(i);
+          break;
+        }
+      }
+    }
+    snapshot.emplace(user_id, std::move(stored));
+  }
+  return snapshot;
+}
+
+void EdgeDevice::restore_profiles(const ProfileSnapshot& snapshot) {
+  for (const auto& [user_id, stored] : snapshot) {
+    UserState& state = state_for(user_id);
+    std::vector<attack::ProfileEntry> top;
+    top.reserve(stored.top_indices.size());
+    for (const std::size_t index : stored.top_indices) {
+      util::require(index < stored.profile.size(),
+                    "restored top index out of range");
+      top.push_back(stored.profile.entries()[index]);
+    }
+    state.manager.restore(stored.profile, std::move(top));
+  }
+}
+
+void EdgeDevice::restore_tables(TableSnapshot snapshot) {
+  for (auto& [user_id, table] : snapshot) {
+    UserState& state = state_for(user_id);
+    util::require(state.table.size() == 0,
+                  "cannot restore tables over a user with live entries");
+    state.table = std::move(table);
+  }
+}
+
+const std::vector<attack::ProfileEntry>& EdgeDevice::top_locations(
+    std::uint64_t user_id) {
+  return state_for(user_id).manager.top_locations();
+}
+
+RiskAssessment EdgeDevice::assess_user_risk(std::uint64_t user_id,
+                                            const RiskConfig& config) {
+  const UserState& state = state_for(user_id);
+  static const attack::LocationProfile kEmptyProfile;
+  const attack::LocationProfile& profile =
+      state.manager.profile() ? *state.manager.profile() : kEmptyProfile;
+  return assess_risk(profile, state.manager.total_check_ins(),
+                     accountant_.spend_for(user_id), config);
+}
+
+}  // namespace privlocad::core

@@ -1,0 +1,175 @@
+// The trusted edge device (paper Section V-A).
+//
+// Serves nearby mobile users as a privacy firewall between them and the
+// LBA ecosystem. For every LBA request the device:
+//   1. records the raw check-in into the user's location manager (which
+//      periodically rebuilds the profile and top-location set);
+//   2. decides whether the present location is one of the user's top
+//      locations (within a match radius);
+//   3. for a top location -- looks up / generates the PERMANENT candidate
+//      set in the obfuscation table (n-fold Gaussian) and samples one
+//      candidate with the posterior output-selection rule;
+//   4. for a nomadic location -- applies one-time planar-Laplace geo-IND
+//      (safe there: nomadic locations are rarely repeated, so composition
+//      over them is not the threat);
+//   5. after the ad network responds, filters the returned ads down to
+//      those relevant to the user's TRUE location (inside the AOI),
+//      saving client bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "adnet/ad_network.hpp"
+#include "core/location_management.hpp"
+#include "core/obfuscation_table.hpp"
+#include "core/profile_store.hpp"
+#include "core/risk.hpp"
+#include "core/table_store.hpp"
+#include "core/telemetry.hpp"
+#include "lppm/accountant.hpp"
+#include "lppm/gaussian.hpp"
+#include "lppm/planar_laplace.hpp"
+#include "rng/engine.hpp"
+#include "trace/check_in.hpp"
+
+namespace privlocad::core {
+
+struct EdgeConfig {
+  /// Permanent protection for top locations (the n-fold Gaussian).
+  lppm::BoundedGeoIndParams top_params{};
+
+  /// One-time geo-IND for nomadic locations (planar Laplace l/r).
+  lppm::GeoIndParams nomadic_params{std::log(4.0), 200.0};
+
+  /// Profile management (window length, eta, clustering threshold).
+  LocationManagementConfig management{};
+
+  /// A check-in within this distance of a known top location is treated
+  /// as a visit to it.
+  double top_match_radius_m = 100.0;
+
+  /// Obfuscation-table entry matching radius (top-centroid drift bound).
+  double table_match_radius_m = 100.0;
+
+  /// Targeting radius R defining the AOI used for edge-side ad filtering.
+  double targeting_radius_m = 5000.0;
+};
+
+/// How a reported location was produced; exposed for tests and metrics.
+enum class ReportKind { kTopLocation, kNomadic };
+
+struct ReportedLocation {
+  geo::Point location;
+  ReportKind kind;
+};
+
+class EdgeDevice {
+ public:
+  EdgeDevice(EdgeConfig config, std::uint64_t seed);
+
+  /// Steps 1-4 above: returns the obfuscated location to attach to the
+  /// outgoing ad request.
+  ReportedLocation report_location(std::uint64_t user_id,
+                                   geo::Point true_location,
+                                   trace::Timestamp time);
+
+  /// Step 5: keeps only the ads whose business lies inside the AOI of the
+  /// user's true location. Non-const: updates the filter telemetry.
+  std::vector<adnet::Ad> filter_ads(const std::vector<adnet::Ad>& ads,
+                                    geo::Point true_location);
+
+  /// Bulk import of a user's history (e.g. on first registration), then a
+  /// forced profile rebuild. Used by benches to reach steady state fast.
+  void import_history(std::uint64_t user_id, const trace::UserTrace& trace);
+
+  /// Personalized privacy (cf. the related work's per-user privacy
+  /// preferences): future top-location obfuscations for `user_id` use a
+  /// mechanism calibrated to `params` instead of the device default.
+  /// Candidate sets that are ALREADY frozen keep their original noise --
+  /// permanence wins; regenerating at a new level would leak a second
+  /// independent draw of the same location.
+  void set_user_privacy(std::uint64_t user_id,
+                        lppm::BoundedGeoIndParams params);
+
+  /// The parameters governing `user_id`'s future top-location releases.
+  const lppm::BoundedGeoIndParams& user_privacy(std::uint64_t user_id);
+
+  /// Pre-generates the permanent candidate sets for every current top
+  /// location of `user_id` (Table II measures exactly this step).
+  void prepare_obfuscation(std::uint64_t user_id);
+
+  const std::vector<attack::ProfileEntry>& top_locations(
+      std::uint64_t user_id);
+
+  /// Copies every user's obfuscation table for persistence. Restarting a
+  /// device WITHOUT restoring this state would regenerate fresh noise for
+  /// known top locations -- a privacy leak; pair with restore_tables().
+  TableSnapshot snapshot_tables() const;
+
+  /// Copies every user's profile + top-location set for persistence; a
+  /// restarted device that restores these resumes top-location service
+  /// immediately instead of serving nomadically for a whole window.
+  ProfileSnapshot snapshot_profiles() const;
+
+  /// Restores persisted profiles (startup flow). Throws if any restored
+  /// user already has a live profile.
+  void restore_profiles(const ProfileSnapshot& snapshot);
+
+  /// Restores previously saved tables (startup flow). Throws
+  /// util::InvalidArgument if any restored user already has table entries
+  /// in this device.
+  void restore_tables(TableSnapshot snapshot);
+
+  /// Per-user privacy ledger: one charge per nomadic (one-time) release,
+  /// one charge per permanent candidate-set generation. Replayed candidates
+  /// are post-processing and are never charged.
+  const lppm::PrivacyAccountant& accountant() const { return accountant_; }
+
+  /// Operational counters since construction.
+  const EdgeTelemetry& telemetry() const { return telemetry_; }
+
+  /// Risk assessment for `user_id` from their current profile, lifetime
+  /// check-in count, and privacy spend (paper Section I: the edge
+  /// "assesses the risk of location privacy breaches").
+  RiskAssessment assess_user_risk(std::uint64_t user_id,
+                                  const RiskConfig& config = {});
+
+  std::size_t user_count() const { return users_.size(); }
+  const EdgeConfig& config() const { return config_; }
+  const lppm::NFoldGaussianMechanism& top_mechanism() const {
+    return top_mechanism_;
+  }
+
+ private:
+  struct UserState {
+    LocationManager manager;
+    ObfuscationTable table;
+    /// Personalized mechanism; the device default applies when absent.
+    std::optional<lppm::NFoldGaussianMechanism> custom_mechanism;
+    UserState(const LocationManagementConfig& mgmt, double match_radius)
+        : manager(mgmt), table(match_radius) {}
+  };
+
+  /// The mechanism governing `state`'s top-location releases.
+  const lppm::NFoldGaussianMechanism& mechanism_for(
+      const UserState& state) const;
+
+  UserState& state_for(std::uint64_t user_id);
+
+  /// Nearest current top location within top_match_radius_m, or nullptr.
+  const attack::ProfileEntry* matching_top(const UserState& state,
+                                           geo::Point location) const;
+
+  EdgeConfig config_;
+  lppm::NFoldGaussianMechanism top_mechanism_;
+  lppm::PlanarLaplaceMechanism nomadic_mechanism_;
+  rng::Engine engine_;
+  lppm::PrivacyAccountant accountant_;
+  EdgeTelemetry telemetry_;
+  std::unordered_map<std::uint64_t, UserState> users_;
+};
+
+}  // namespace privlocad::core

@@ -1,0 +1,32 @@
+#include "core/eta_frequent.hpp"
+
+#include <cmath>
+
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+
+std::vector<attack::ProfileEntry> eta_frequent_set(
+    const attack::LocationProfile& profile, std::uint64_t eta) {
+  util::require(eta > 0, "eta must be > 0");
+  std::vector<attack::ProfileEntry> set;
+  std::uint64_t accumulated = 0;
+  for (const attack::ProfileEntry& entry : profile.entries()) {
+    accumulated += entry.frequency;
+    set.push_back(entry);
+    if (accumulated >= eta) break;
+  }
+  return set;
+}
+
+std::vector<attack::ProfileEntry> eta_frequent_set_fraction(
+    const attack::LocationProfile& profile, double fraction) {
+  util::require(fraction > 0.0 && fraction <= 1.0,
+                "eta fraction must be in (0, 1]");
+  util::require(!profile.empty(), "eta-frequent set of empty profile");
+  const auto eta = static_cast<std::uint64_t>(std::ceil(
+      fraction * static_cast<double>(profile.total_frequency())));
+  return eta_frequent_set(profile, std::max<std::uint64_t>(eta, 1));
+}
+
+}  // namespace privlocad::core

@@ -1,0 +1,29 @@
+// Eta-frequent location set (paper Definition 6, Algorithm 2).
+//
+// Given a location profile ordered by frequency, the eta-frequent set is
+// the minimal prefix of top locations whose accumulated frequency reaches
+// eta. It is what the location-management module hands to the obfuscation
+// module at the end of every time window: the locations worth permanent
+// protection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/profile.hpp"
+
+namespace privlocad::core {
+
+/// Algorithm 2: the minimal frequency-ordered prefix with total frequency
+/// >= eta (an absolute check-in count). If the whole profile sums below
+/// eta, the entire profile is returned (every location is "top").
+std::vector<attack::ProfileEntry> eta_frequent_set(
+    const attack::LocationProfile& profile, std::uint64_t eta);
+
+/// Convenience: eta as a fraction of the profile's total check-ins,
+/// e.g. 0.8 protects the locations covering 80% of activity.
+/// `fraction` must be in (0, 1].
+std::vector<attack::ProfileEntry> eta_frequent_set_fraction(
+    const attack::LocationProfile& profile, double fraction);
+
+}  // namespace privlocad::core

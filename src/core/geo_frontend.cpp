@@ -1,0 +1,55 @@
+#include "core/geo_frontend.hpp"
+
+#include "util/strings.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+
+GeoFrontend::GeoFrontend(EdgePrivLocAd& system,
+                         geo::LocalProjection projection,
+                         geo::GeoBox service_area)
+    : system_(system), projection_(projection), service_area_(service_area) {}
+
+GeoServedAds GeoFrontend::on_lba_request(std::uint64_t user_id,
+                                         geo::LatLon where,
+                                         trace::Timestamp time) {
+  util::require(service_area_.contains(where),
+                "location (" + util::format_double(where.lat_deg, 4) + ", " +
+                    util::format_double(where.lon_deg, 4) +
+                    ") is outside this edge's service area");
+
+  const ServedAds served =
+      system_.on_lba_request(user_id, projection_.to_local(where), time);
+
+  GeoServedAds geo_served;
+  geo_served.reported_location = projection_.to_geo(served.reported.location);
+  geo_served.report_kind = served.reported.kind;
+  geo_served.delivered.reserve(served.delivered.size());
+  for (const adnet::Ad& ad : served.delivered) {
+    geo_served.delivered.push_back(
+        {ad.advertiser_id, projection_.to_geo(ad.business_location),
+         ad.category});
+  }
+  return geo_served;
+}
+
+void GeoFrontend::import_history(
+    std::uint64_t user_id,
+    const std::vector<std::pair<geo::LatLon, trace::Timestamp>>& visits) {
+  trace::UserTrace history;
+  history.user_id = user_id;
+  history.check_ins.reserve(visits.size());
+  for (const auto& [where, time] : visits) {
+    util::require(service_area_.contains(where),
+                  "history visit outside this edge's service area");
+    history.check_ins.push_back({projection_.to_local(where), time});
+  }
+  system_.edge().import_history(user_id, history);
+}
+
+GeoFrontend shanghai_frontend(EdgePrivLocAd& system) {
+  return GeoFrontend(system, geo::shanghai_projection(),
+                     geo::shanghai_geo_box());
+}
+
+}  // namespace privlocad::core

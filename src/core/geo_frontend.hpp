@@ -1,0 +1,63 @@
+// Geographic front-end: the WGS-84-facing API of Edge-PrivLocAd.
+//
+// Everything inside the library runs on a local metric plane (meters),
+// where the paper's privacy parameters live. Real clients speak latitude/
+// longitude. This wrapper owns the projection and converts at the
+// boundary, so integrators never touch geo::Point directly. It also
+// validates that incoming coordinates fall inside the configured service
+// area -- an edge device for Shanghai should reject a check-in from Paris
+// instead of silently projecting it 9,000 km onto the plane.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system.hpp"
+#include "geo/bounding_box.hpp"
+#include "geo/projection.hpp"
+
+namespace privlocad::core {
+
+/// One ad as the client sees it: geographic coordinates.
+struct GeoAd {
+  std::uint64_t advertiser_id = 0;
+  geo::LatLon business_location;
+  std::string category;
+};
+
+struct GeoServedAds {
+  geo::LatLon reported_location;
+  ReportKind report_kind = ReportKind::kNomadic;
+  std::vector<GeoAd> delivered;
+};
+
+class GeoFrontend {
+ public:
+  /// Wraps `system` (not owned; must outlive the frontend) with the given
+  /// projection and geographic service area.
+  GeoFrontend(EdgePrivLocAd& system, geo::LocalProjection projection,
+              geo::GeoBox service_area);
+
+  /// Full LBA round trip in geographic coordinates. Throws
+  /// util::InvalidArgument when `where` is outside the service area.
+  GeoServedAds on_lba_request(std::uint64_t user_id, geo::LatLon where,
+                              trace::Timestamp time);
+
+  /// Bulk geographic history import (registration flow).
+  void import_history(std::uint64_t user_id,
+                      const std::vector<std::pair<geo::LatLon,
+                                                  trace::Timestamp>>& visits);
+
+  const geo::LocalProjection& projection() const { return projection_; }
+  const geo::GeoBox& service_area() const { return service_area_; }
+
+ private:
+  EdgePrivLocAd& system_;
+  geo::LocalProjection projection_;
+  geo::GeoBox service_area_;
+};
+
+/// Frontend pre-configured for the paper's Shanghai study area.
+GeoFrontend shanghai_frontend(EdgePrivLocAd& system);
+
+}  // namespace privlocad::core

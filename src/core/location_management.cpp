@@ -1,0 +1,60 @@
+#include "core/location_management.hpp"
+
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+
+LocationManager::LocationManager(LocationManagementConfig config)
+    : config_(config) {
+  util::require(config.window_seconds > 0, "window_seconds must be > 0");
+  util::require_positive(config.profiling_threshold_m,
+                         "profiling threshold");
+  util::require(config.eta_fraction > 0.0 && config.eta_fraction <= 1.0,
+                "eta_fraction must be in (0, 1]");
+}
+
+bool LocationManager::record(geo::Point position, trace::Timestamp time) {
+  bool rebuilt = false;
+  if (!window_start_.has_value()) {
+    window_start_ = time;
+  } else if (time - *window_start_ >= config_.window_seconds &&
+             window_points_.size() >= config_.min_window_check_ins) {
+    rebuild_now();
+    window_start_ = time;
+    rebuilt = true;
+  }
+  window_points_.push_back(position);
+  ++total_recorded_;
+  return rebuilt;
+}
+
+void LocationManager::restore(attack::LocationProfile profile,
+                              std::vector<attack::ProfileEntry> top) {
+  if (profile_.has_value()) {
+    throw util::PreconditionViolation(
+        "cannot restore a profile over live management state");
+  }
+  profile_ = std::move(profile);
+  top_locations_ = std::move(top);
+}
+
+void LocationManager::rebuild_now() {
+  // The window restarts at the next recorded check-in; without this reset a
+  // bulk import followed by live traffic would immediately re-trigger a
+  // rebuild from a nearly-empty window and wipe the top-location set.
+  window_start_.reset();
+  if (window_points_.empty()) return;
+  profile_ =
+      attack::build_profile(window_points_, config_.profiling_threshold_m);
+
+  std::vector<attack::ProfileEntry> top =
+      eta_frequent_set_fraction(*profile_, config_.eta_fraction);
+  // Filter sparse one-off entries the eta prefix may have dragged in.
+  std::erase_if(top, [&](const attack::ProfileEntry& e) {
+    return e.frequency < config_.min_top_frequency;
+  });
+  top_locations_ = std::move(top);
+  window_points_.clear();
+}
+
+}  // namespace privlocad::core

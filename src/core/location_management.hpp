@@ -1,0 +1,91 @@
+// Location management module (paper Section V-B).
+//
+// Runs on the trusted edge device. Passively collects a user's raw
+// check-ins as LBA requests arrive, and at the end of each configurable
+// time window rebuilds the user's location profile (connectivity
+// clustering, 50 m threshold) and recomputes the eta-frequent top-location
+// set. Profiles are rebuilt periodically because users occasionally change
+// their top locations (move home, switch jobs).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "attack/profile.hpp"
+#include "core/eta_frequent.hpp"
+#include "trace/check_in.hpp"
+
+namespace privlocad::core {
+
+struct LocationManagementConfig {
+  /// Profile rebuild period. The paper's prototype uses three months.
+  trace::Timestamp window_seconds = 90 * trace::kSecondsPerDay;
+
+  /// Connectivity threshold for profiling (meters).
+  double profiling_threshold_m = attack::kDefaultProfilingThresholdM;
+
+  /// Fraction of activity the eta-frequent set must cover.
+  double eta_fraction = 0.8;
+
+  /// Ignore locations visited fewer than this many times even when the
+  /// eta prefix would include them (guards against one-off spikes in
+  /// sparse windows).
+  std::uint64_t min_top_frequency = 2;
+
+  /// A window boundary only triggers a rebuild once this many check-ins
+  /// accumulated; sparser windows keep accumulating (and the previous
+  /// top-location set keeps serving). Without this guard a single
+  /// check-in straddling a boundary would replace a rich profile with a
+  /// near-empty one and silently drop every top location.
+  std::size_t min_window_check_ins = 10;
+};
+
+/// Per-user location manager.
+class LocationManager {
+ public:
+  explicit LocationManager(LocationManagementConfig config);
+
+  /// Records one raw check-in. If the check-in's time crosses the current
+  /// window boundary, the profile and top-location set are rebuilt from
+  /// the completed window first. Returns true when a rebuild happened.
+  bool record(geo::Point position, trace::Timestamp time);
+
+  /// Forces a rebuild from everything recorded in the current window
+  /// (e.g. at system startup after a bulk history import).
+  void rebuild_now();
+
+  /// Restores persisted management state (startup flow): the profile and
+  /// the top-location set become current as if a rebuild had produced
+  /// them. Throws PreconditionViolation if a profile already exists.
+  void restore(attack::LocationProfile profile,
+               std::vector<attack::ProfileEntry> top_locations);
+
+  /// Current top locations (empty before the first rebuild).
+  const std::vector<attack::ProfileEntry>& top_locations() const {
+    return top_locations_;
+  }
+
+  /// The most recent full profile, if any rebuild has happened yet.
+  const std::optional<attack::LocationProfile>& profile() const {
+    return profile_;
+  }
+
+  /// Check-ins recorded since the last rebuild.
+  std::size_t pending_check_ins() const { return window_points_.size(); }
+
+  /// Total check-ins ever recorded (longitudinal exposure counter).
+  std::uint64_t total_check_ins() const { return total_recorded_; }
+
+  const LocationManagementConfig& config() const { return config_; }
+
+ private:
+  LocationManagementConfig config_;
+  std::vector<geo::Point> window_points_;
+  std::optional<trace::Timestamp> window_start_;
+  std::optional<attack::LocationProfile> profile_;
+  std::vector<attack::ProfileEntry> top_locations_;
+  std::uint64_t total_recorded_ = 0;
+};
+
+}  // namespace privlocad::core

@@ -1,0 +1,52 @@
+#include "core/obfuscation_table.hpp"
+
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+
+ObfuscationTable::ObfuscationTable(double match_radius_m)
+    : match_radius_(match_radius_m) {
+  util::require_positive(match_radius_m, "obfuscation table match radius");
+}
+
+const ObfuscationTable::Entry* ObfuscationTable::find(
+    geo::Point top_location) const {
+  const Entry* best = nullptr;
+  double best_distance = match_radius_;
+  for (const Entry& entry : entries_) {
+    const double d = geo::distance(entry.top_location, top_location);
+    if (d <= best_distance) {
+      best = &entry;
+      best_distance = d;
+    }
+  }
+  return best;
+}
+
+const std::vector<geo::Point>& ObfuscationTable::candidates_for(
+    rng::Engine& engine, const lppm::Mechanism& mechanism,
+    geo::Point top_location) {
+  if (const Entry* existing = find(top_location)) {
+    return existing->candidates;
+  }
+  entries_.push_back({top_location, mechanism.obfuscate(engine, top_location)});
+  return entries_.back().candidates;
+}
+
+void ObfuscationTable::restore(Entry entry) {
+  util::require(!entry.candidates.empty(),
+                "restored entry must have candidates");
+  util::require(find(entry.top_location) == nullptr,
+                "restored entry collides with an existing table entry");
+  entries_.push_back(std::move(entry));
+}
+
+std::optional<std::vector<geo::Point>> ObfuscationTable::lookup(
+    geo::Point top_location) const {
+  if (const Entry* existing = find(top_location)) {
+    return existing->candidates;
+  }
+  return std::nullopt;
+}
+
+}  // namespace privlocad::core

@@ -1,0 +1,64 @@
+// Obfuscation table T (paper Section V-C).
+//
+// Maps every top location to its PERMANENT set of obfuscated candidates.
+// Permanence is the defence against the longitudinal attacker: once a top
+// location has been obfuscated, every later request for it replays draws
+// from the same frozen candidate set, so additional observations leak
+// nothing new (the attacker only ever sees the same n points).
+//
+// Top locations are re-derived each time window from noisy check-ins, so
+// their centroids drift by a few meters between windows. Lookups therefore
+// match by proximity (match_radius_m), not exact equality; a drifting
+// centroid within the radius reuses the existing entry.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/point.hpp"
+#include "lppm/mechanism.hpp"
+#include "rng/engine.hpp"
+
+namespace privlocad::core {
+
+class ObfuscationTable {
+ public:
+  /// `match_radius_m`: two top-location estimates within this distance are
+  /// treated as the same real-world place.
+  explicit ObfuscationTable(double match_radius_m = 100.0);
+
+  /// Returns the candidate set for `top_location`, generating and
+  /// permanently recording it via `mechanism` on first sight.
+  const std::vector<geo::Point>& candidates_for(
+      rng::Engine& engine, const lppm::Mechanism& mechanism,
+      geo::Point top_location);
+
+  /// Lookup without generation; nullopt when no entry matches.
+  std::optional<std::vector<geo::Point>> lookup(geo::Point top_location) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  struct Entry {
+    geo::Point top_location;
+    std::vector<geo::Point> candidates;
+  };
+
+  /// All recorded entries, in insertion order (persistence support).
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Restores an entry verbatim (persistence support). Rejects an entry
+  /// whose top location would collide with an existing one inside the
+  /// match radius -- restoring over live state is a logic error, not a
+  /// merge.
+  void restore(Entry entry);
+
+  double match_radius() const { return match_radius_; }
+
+ private:
+  const Entry* find(geo::Point top_location) const;
+
+  double match_radius_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace privlocad::core

@@ -1,0 +1,54 @@
+#include "core/output_selection.hpp"
+
+#include <cmath>
+
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+
+std::vector<double> selection_probabilities(
+    const std::vector<geo::Point>& candidates, double sigma) {
+  util::require(!candidates.empty(), "selection over empty candidate set");
+  util::require_positive(sigma, "selection sigma");
+
+  const geo::Point mean = geo::centroid(candidates);
+  // The common 1/(2 pi sigma^2) factor cancels in the normalization; work
+  // with the exponent only, shifted by the max for numerical stability.
+  std::vector<double> log_density(candidates.size());
+  double max_log = -1e300;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    log_density[i] = -geo::distance_squared(candidates[i], mean) /
+                     (2.0 * sigma * sigma);
+    max_log = std::max(max_log, log_density[i]);
+  }
+
+  std::vector<double> probs(candidates.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    probs[i] = std::exp(log_density[i] - max_log);
+    total += probs[i];
+  }
+  for (double& p : probs) p /= total;
+  return probs;
+}
+
+std::size_t select_candidate(rng::Engine& engine,
+                             const std::vector<geo::Point>& candidates,
+                             double sigma) {
+  const std::vector<double> probs =
+      selection_probabilities(candidates, sigma);
+  double u = engine.uniform();
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    u -= probs[i];
+    if (u <= 0.0) return i;
+  }
+  return probs.size() - 1;
+}
+
+std::size_t select_uniform(rng::Engine& engine,
+                           const std::vector<geo::Point>& candidates) {
+  util::require(!candidates.empty(), "selection over empty candidate set");
+  return engine.uniform_index(candidates.size());
+}
+
+}  // namespace privlocad::core

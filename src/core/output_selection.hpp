@@ -1,0 +1,39 @@
+// Output selection module (paper Section V-D, Algorithm 4).
+//
+// Given the frozen candidate set {q_1, ..., q_n} of a top location, pick
+// the candidate to actually report for an LBA request. Uniform choice
+// would waste utility: candidates that landed far from the real location
+// fetch irrelevant ads. Instead, the module weights each candidate by the
+// posterior density of the real location at that candidate (Eq. 17-18):
+// the posterior given the candidates is a Gaussian centred at their
+// sample mean with the mechanism's sigma, so
+//   Pr[select q_i] = f(q_i) / sum_k f(q_k),
+//   f(x, y) = exp(-((x - xbar)^2 + (y - ybar)^2) / (2 sigma^2)) / (2 pi sigma^2).
+// Selection is pure post-processing of already-released points: it reads
+// only the candidates, never the true location, so it costs no privacy.
+#pragma once
+
+#include <vector>
+
+#include "geo/point.hpp"
+#include "rng/engine.hpp"
+
+namespace privlocad::core {
+
+/// Eq. 18 selection distribution over `candidates` with mechanism sigma.
+/// Requires a non-empty candidate set and sigma > 0. Probabilities sum
+/// to 1 exactly (normalized in long-double accumulation).
+std::vector<double> selection_probabilities(
+    const std::vector<geo::Point>& candidates, double sigma);
+
+/// Algorithm 4: samples one candidate index from the posterior weights.
+std::size_t select_candidate(rng::Engine& engine,
+                             const std::vector<geo::Point>& candidates,
+                             double sigma);
+
+/// Uniform baseline for the ablation bench: each candidate with
+/// probability 1/n.
+std::size_t select_uniform(rng::Engine& engine,
+                           const std::vector<geo::Point>& candidates);
+
+}  // namespace privlocad::core

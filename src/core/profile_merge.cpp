@@ -1,0 +1,58 @@
+#include "core/profile_merge.hpp"
+
+#include <algorithm>
+
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+
+attack::LocationProfile merge_profiles(
+    const std::vector<attack::LocationProfile>& slices, double threshold_m) {
+  util::require_positive(threshold_m, "merge threshold");
+
+  struct Accumulator {
+    geo::Point weighted_sum{};   // sum of location * frequency
+    std::uint64_t frequency = 0;
+
+    geo::Point centroid() const {
+      return weighted_sum / static_cast<double>(frequency);
+    }
+  };
+
+  std::vector<Accumulator> merged;
+  for (const attack::LocationProfile& slice : slices) {
+    for (const attack::ProfileEntry& entry : slice.entries()) {
+      // Find an existing accumulator whose current centroid is close
+      // enough; greedy first-match keeps the merge deterministic and
+      // O(entries^2), fine for per-user profile sizes (tens of entries).
+      Accumulator* host = nullptr;
+      for (Accumulator& acc : merged) {
+        if (geo::distance(acc.centroid(), entry.location) <= threshold_m) {
+          host = &acc;
+          break;
+        }
+      }
+      if (host == nullptr) {
+        merged.push_back({});
+        host = &merged.back();
+      }
+      host->weighted_sum =
+          host->weighted_sum +
+          entry.location * static_cast<double>(entry.frequency);
+      host->frequency += entry.frequency;
+    }
+  }
+
+  std::vector<attack::ProfileEntry> entries;
+  entries.reserve(merged.size());
+  for (const Accumulator& acc : merged) {
+    entries.push_back({acc.centroid(), acc.frequency});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const attack::ProfileEntry& a, const attack::ProfileEntry& b) {
+              return a.frequency > b.frequency;
+            });
+  return attack::LocationProfile(std::move(entries));
+}
+
+}  // namespace privlocad::core

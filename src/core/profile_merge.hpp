@@ -1,0 +1,29 @@
+// Multi-edge profile merging (paper Section V-B, last paragraph).
+//
+// A mobile user talks to whichever edge device is nearby, so each edge
+// only records a LOCAL slice of the user's location profile. Before the
+// obfuscation step the slices must be merged into one global profile. The
+// paper notes the merge can run under secure multi-party computation;
+// the cryptographic transport is orthogonal (and stated as such in the
+// paper), so this module implements the merge logic itself: entries from
+// different slices that refer to the same real-world location (within the
+// profiling threshold) are coalesced with frequency-weighted centroids and
+// summed frequencies.
+#pragma once
+
+#include <vector>
+
+#include "attack/profile.hpp"
+
+namespace privlocad::core {
+
+/// Merges profile slices into one profile. Entries within `threshold_m`
+/// of each other are treated as the same location: their frequencies add
+/// and their coordinate becomes the frequency-weighted centroid. The
+/// result is ordered heaviest-first like any profile. Merging an empty
+/// list yields an empty profile.
+attack::LocationProfile merge_profiles(
+    const std::vector<attack::LocationProfile>& slices,
+    double threshold_m = attack::kDefaultProfilingThresholdM);
+
+}  // namespace privlocad::core

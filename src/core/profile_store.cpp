@@ -1,0 +1,89 @@
+#include "core/profile_store.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+namespace {
+
+const std::vector<std::string> kHeader{"user_id", "entry_index", "x", "y",
+                                       "frequency", "is_top"};
+
+}  // namespace
+
+void save_profiles(std::ostream& out, const ProfileSnapshot& profiles) {
+  util::CsvWriter writer(out, kHeader);
+  for (const auto& [user_id, stored] : profiles) {
+    const auto& entries = stored.profile.entries();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const bool is_top =
+          std::find(stored.top_indices.begin(), stored.top_indices.end(),
+                    i) != stored.top_indices.end();
+      writer.write_row({std::to_string(user_id), std::to_string(i),
+                        util::format_double(entries[i].location.x, 6),
+                        util::format_double(entries[i].location.y, 6),
+                        std::to_string(entries[i].frequency),
+                        is_top ? "1" : "0"});
+    }
+  }
+}
+
+ProfileSnapshot load_profiles(std::istream& in) {
+  const util::CsvTable csv = util::read_csv(in);
+  if (!csv.header.empty()) {
+    util::require(csv.header == kHeader,
+                  "profile store file has an unexpected header");
+  }
+
+  struct Pending {
+    std::vector<attack::ProfileEntry> entries;
+    std::vector<std::size_t> top_indices;
+  };
+  std::map<std::uint64_t, Pending> grouped;
+
+  for (const auto& row : csv.rows) {
+    const auto user = static_cast<std::uint64_t>(util::parse_int(row[0]));
+    const auto index = static_cast<std::uint64_t>(util::parse_int(row[1]));
+    Pending& pending = grouped[user];
+    util::require(index == pending.entries.size(),
+                  "profile entries are out of order");
+    const auto freq = util::parse_int(row[4]);
+    util::require(freq > 0, "profile frequency must be positive");
+    pending.entries.push_back(
+        {{util::parse_double(row[2]), util::parse_double(row[3])},
+         static_cast<std::uint64_t>(freq)});
+    const auto is_top = util::parse_int(row[5]);
+    util::require(is_top == 0 || is_top == 1, "is_top must be 0 or 1");
+    if (is_top == 1) pending.top_indices.push_back(pending.entries.size() - 1);
+  }
+
+  ProfileSnapshot profiles;
+  for (auto& [user, pending] : grouped) {
+    // LocationProfile enforces heaviest-first ordering itself.
+    StoredProfile stored;
+    stored.profile = attack::LocationProfile(std::move(pending.entries));
+    stored.top_indices = std::move(pending.top_indices);
+    profiles.emplace(user, std::move(stored));
+  }
+  return profiles;
+}
+
+void save_profiles_file(const std::string& path,
+                        const ProfileSnapshot& profiles) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save_profiles(out, profiles);
+}
+
+ProfileSnapshot load_profiles_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return load_profiles(in);
+}
+
+}  // namespace privlocad::core

@@ -1,0 +1,46 @@
+// Durable storage for per-user location profiles.
+//
+// Completes the edge-restart story: table_store preserves the PRIVACY
+// state (permanent candidates); this module preserves the MANAGEMENT
+// state (profiles and top-location sets), so a restarted device resumes
+// serving top-location requests immediately instead of reporting every
+// user nomadically until a full window of fresh check-ins accumulates.
+// Unlike tables, losing profiles is only a utility regression, never a
+// privacy one -- but a regression users would feel for up to a window.
+//
+// Format, one row per profile entry:
+//   user_id,entry_index,x,y,frequency,is_top
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "attack/profile.hpp"
+
+namespace privlocad::core {
+
+/// One user's persisted management state.
+struct StoredProfile {
+  attack::LocationProfile profile;
+  /// Indices into profile.entries() that form the top-location set.
+  std::vector<std::size_t> top_indices;
+};
+
+using ProfileSnapshot = std::map<std::uint64_t, StoredProfile>;
+
+/// Writes every user's profile to `out`.
+void save_profiles(std::ostream& out, const ProfileSnapshot& profiles);
+
+/// Reads profiles back. Throws util::InvalidArgument on malformed rows,
+/// out-of-order entries, or top indices past the profile size.
+ProfileSnapshot load_profiles(std::istream& in);
+
+/// File-path convenience wrappers; throw std::runtime_error on IO failure.
+void save_profiles_file(const std::string& path,
+                        const ProfileSnapshot& profiles);
+ProfileSnapshot load_profiles_file(const std::string& path);
+
+}  // namespace privlocad::core

@@ -1,0 +1,96 @@
+#include "core/risk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lppm/privacy_params.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+
+std::string to_string(RiskLevel level) {
+  switch (level) {
+    case RiskLevel::kLow:
+      return "low";
+    case RiskLevel::kMedium:
+      return "medium";
+    case RiskLevel::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+RiskAssessment assess_risk(const attack::LocationProfile& profile,
+                           std::uint64_t observed_check_ins,
+                           const lppm::PrivacySpend& spend,
+                           const RiskConfig& config) {
+  util::require_positive(config.entropy_floor, "entropy floor");
+  util::require_positive(config.exposure_saturation, "exposure saturation");
+  util::require_positive(config.budget_saturation_eps, "budget saturation");
+  util::require(config.medium_threshold < config.high_threshold,
+                "risk thresholds must be ordered");
+
+  RiskAssessment assessment;
+
+  // Concentration: entropy at/below the floor scores 1 (all activity at a
+  // few places); entropy twice the floor scores 0.
+  if (!profile.empty()) {
+    const double h = profile.entropy();
+    assessment.entropy_signal =
+        std::clamp(2.0 - h / config.entropy_floor, 0.0, 1.0);
+  }
+
+  // Longitudinal exposure: the attack error shrinks like 1/sqrt(N), so
+  // the signal grows like sqrt(N / saturation), capped at 1.
+  assessment.exposure_signal = std::clamp(
+      std::sqrt(static_cast<double>(observed_check_ins) /
+                config.exposure_saturation),
+      0.0, 1.0);
+
+  // Budget: basic-composition spend relative to the saturation point.
+  assessment.budget_signal = std::clamp(
+      spend.basic_epsilon / config.budget_saturation_eps, 0.0, 1.0);
+
+  // Concentration and exposure multiply -- a concentrated profile is only
+  // dangerous once observed often, and vice versa -- while burned budget
+  // adds independently.
+  assessment.score = std::clamp(
+      0.7 * assessment.entropy_signal * assessment.exposure_signal +
+          0.3 * assessment.budget_signal,
+      0.0, 1.0);
+
+  if (assessment.score >= config.high_threshold) {
+    assessment.level = RiskLevel::kHigh;
+    assessment.recommendation =
+        "move top locations to permanent obfuscation and tighten epsilon";
+  } else if (assessment.score >= config.medium_threshold) {
+    assessment.level = RiskLevel::kMedium;
+    assessment.recommendation =
+        "enable permanent obfuscation for the top-1 location";
+  } else {
+    assessment.level = RiskLevel::kLow;
+    assessment.recommendation = "default protection is adequate";
+  }
+  return assessment;
+}
+
+lppm::BoundedGeoIndParams recommended_params(
+    const RiskAssessment& assessment,
+    const lppm::BoundedGeoIndParams& current) {
+  current.validate();
+  lppm::BoundedGeoIndParams next = current;
+  switch (assessment.level) {
+    case RiskLevel::kLow:
+      break;
+    case RiskLevel::kMedium:
+      next.epsilon = current.epsilon / 2.0;
+      break;
+    case RiskLevel::kHigh:
+      next.epsilon = current.epsilon / 2.0;
+      next.n = current.n * 2;
+      break;
+  }
+  return next;
+}
+
+}  // namespace privlocad::core

@@ -1,0 +1,74 @@
+// Location-privacy risk assessment (paper Section I: "We use edge devices
+// to assess the risk of location privacy breaches, create user dynamic
+// location statistics, and adopt the appropriate LPPM").
+//
+// The longitudinal threat to a user grows with (a) how concentrated their
+// mobility is -- low location entropy means a few high-value targets --
+// (b) how often they report -- more observations shrink the attacker's
+// error as ~1/sqrt(N) -- and (c) how much privacy budget their one-time
+// releases have already burned. This module folds those three signals
+// into an interpretable score plus a recommended action, and is the
+// "adopt the appropriate LPPM" switch: high-risk users should be moved to
+// permanent obfuscation and/or stricter parameters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "attack/profile.hpp"
+#include "lppm/accountant.hpp"
+#include "lppm/privacy_params.hpp"
+
+namespace privlocad::core {
+
+enum class RiskLevel { kLow, kMedium, kHigh };
+
+/// Human-readable label of a risk level.
+std::string to_string(RiskLevel level);
+
+struct RiskAssessment {
+  RiskLevel level = RiskLevel::kLow;
+  double score = 0.0;              ///< 0 (safe) .. 1 (maximal risk)
+  double entropy_signal = 0.0;     ///< concentration contribution
+  double exposure_signal = 0.0;    ///< observation-count contribution
+  double budget_signal = 0.0;      ///< spent-privacy contribution
+  /// Action the edge should take, e.g. "move top locations to permanent
+  /// obfuscation" -- free text for logs/operator dashboards.
+  std::string recommendation;
+};
+
+struct RiskConfig {
+  /// Entropy (nats) at or below which a profile counts as fully
+  /// concentrated. 2.0 matches the paper's Fig.-3 threshold.
+  double entropy_floor = 2.0;
+
+  /// Check-in count at which longitudinal exposure saturates the signal.
+  /// ~1k matches the paper's 2-year per-user average.
+  double exposure_saturation = 1000.0;
+
+  /// Basic-composition epsilon at which the budget signal saturates.
+  double budget_saturation_eps = 10.0;
+
+  /// Score thresholds for the qualitative levels.
+  double medium_threshold = 0.35;
+  double high_threshold = 0.65;
+};
+
+/// Assesses one user from their profile, observed check-in count, and
+/// accumulated privacy spend. Any profile may be empty (new user).
+RiskAssessment assess_risk(const attack::LocationProfile& profile,
+                           std::uint64_t observed_check_ins,
+                           const lppm::PrivacySpend& spend,
+                           const RiskConfig& config = {});
+
+/// The "adopt the appropriate LPPM" policy (paper Section I): derives the
+/// parameters a user's FUTURE top-location tables should use from their
+/// risk level. kLow keeps `current`; kMedium halves epsilon (more noise);
+/// kHigh halves epsilon AND doubles n (more noise, but more candidates to
+/// preserve utilization). Changes only apply to tables not yet frozen --
+/// see EdgeDevice::set_user_privacy.
+lppm::BoundedGeoIndParams recommended_params(
+    const RiskAssessment& assessment,
+    const lppm::BoundedGeoIndParams& current);
+
+}  // namespace privlocad::core

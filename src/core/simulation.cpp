@@ -1,0 +1,95 @@
+#include "core/simulation.hpp"
+
+#include "adnet/advertiser.hpp"
+#include "attack/deobfuscation.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+
+SimulationResult run_simulation(const SimulationConfig& config) {
+  util::require(config.user_count > 0, "simulation needs users");
+  util::require(config.history_fraction >= 0.0 &&
+                    config.history_fraction < 1.0,
+                "history_fraction must be in [0, 1)");
+  util::require(config.attack_ranks >= 1, "attack_ranks must be >= 1");
+  util::require(!config.attack_thresholds_m.empty(),
+                "attack thresholds must not be empty");
+
+  // --- world setup ----------------------------------------------------
+  rng::Engine engine(config.seed);
+  EdgePrivLocAd system(
+      config.edge,
+      adnet::generate_campaigns(engine, adnet::table1_presets()[3],
+                                config.advertiser_count,
+                                config.population.area_half_extent_m),
+      config.seed ^ 0xED6EULL);
+
+  const rng::Engine population_parent(config.seed ^ 0x9090ULL);
+  const std::vector<trace::SyntheticUser> users = trace::generate_population(
+      population_parent, config.population, config.user_count);
+
+  const auto window = static_cast<double>(config.population.window_end -
+                                          config.population.window_start);
+  const trace::Timestamp split =
+      config.population.window_start +
+      static_cast<trace::Timestamp>(window * config.history_fraction);
+
+  // --- live traffic -----------------------------------------------------
+  SimulationResult result;
+  result.attack_rates = attack::SuccessRateAccumulator(
+      config.attack_ranks, config.attack_thresholds_m);
+  std::size_t matched_total = 0, delivered_total = 0;
+
+  for (const trace::SyntheticUser& user : users) {
+    system.edge().import_history(
+        user.trace.user_id,
+        trace::slice_by_time(user.trace, config.population.window_start,
+                             split));
+    for (const trace::CheckIn& c : user.trace.check_ins) {
+      if (c.time < split) continue;
+      const ServedAds served =
+          system.on_lba_request(user.trace.user_id, c.position, c.time);
+      ++result.live_requests;
+      matched_total += served.matched_count;
+      delivered_total += served.delivered.size();
+    }
+  }
+
+  // --- the adversary reads the bid log ---------------------------------
+  attack::DeobfuscationConfig attack_config;
+  attack_config.trim_radius_m =
+      system.edge().top_mechanism().tail_radius(0.05);
+  attack_config.connectivity_threshold_m =
+      attack_config.trim_radius_m / 4.0;
+  attack_config.top_n = config.attack_ranks;
+
+  for (const trace::SyntheticUser& user : users) {
+    const std::vector<geo::Point> observed =
+        system.network().bid_log().positions_for(user.trace.user_id);
+    if (observed.empty()) {
+      result.attack_rates.add(attack::UserAttackOutcome{
+          std::vector<std::optional<double>>(config.attack_ranks)});
+      continue;
+    }
+    const auto inferred =
+        attack::deobfuscate_top_locations(observed, attack_config);
+    result.attack_rates.add(
+        attack::evaluate_attack(inferred, user.truth, config.attack_ranks));
+  }
+
+  // --- roll up ----------------------------------------------------------
+  result.telemetry = system.edge().telemetry();
+  result.users = users.size();
+  if (result.live_requests > 0) {
+    result.ads_matched_per_request =
+        static_cast<double>(matched_total) /
+        static_cast<double>(result.live_requests);
+    result.ads_delivered_per_request =
+        static_cast<double>(delivered_total) /
+        static_cast<double>(result.live_requests);
+  }
+  result.top_report_ratio = result.telemetry.top_report_ratio();
+  return result;
+}
+
+}  // namespace privlocad::core

@@ -1,0 +1,23 @@
+#include "core/system.hpp"
+
+namespace privlocad::core {
+
+EdgePrivLocAd::EdgePrivLocAd(EdgeConfig config,
+                             std::vector<adnet::Advertiser> advertisers,
+                             std::uint64_t seed)
+    : edge_(config, seed), network_(std::move(advertisers)) {}
+
+ServedAds EdgePrivLocAd::on_lba_request(std::uint64_t user_id,
+                                        geo::Point true_location,
+                                        trace::Timestamp time) {
+  ServedAds result;
+  result.reported = edge_.report_location(user_id, true_location, time);
+
+  const std::vector<adnet::Ad> matched = network_.handle_request(
+      {user_id, result.reported.location, time, /*category=*/{}});
+  result.matched_count = matched.size();
+  result.delivered = edge_.filter_ads(matched, true_location);
+  return result;
+}
+
+}  // namespace privlocad::core

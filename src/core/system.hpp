@@ -1,0 +1,45 @@
+// Edge-PrivLocAd system façade: the full request flow of paper Fig. 5.
+//
+//   user true location --> edge device (manage, obfuscate, select)
+//     --> ad network (match & log) --> edge device (filter) --> user
+//
+// This is the integration surface the examples and end-to-end tests use;
+// it also exposes the ad network's bid log so the attack benches can play
+// the longitudinal adversary against a *running* system rather than
+// against mechanism outputs in isolation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adnet/ad_network.hpp"
+#include "core/edge_device.hpp"
+
+namespace privlocad::core {
+
+/// Outcome of one LBA round trip.
+struct ServedAds {
+  ReportedLocation reported;        ///< what left the trusted environment
+  std::size_t matched_count = 0;    ///< ads the network matched (pre-filter)
+  std::vector<adnet::Ad> delivered; ///< ads after edge-side AOI filtering
+};
+
+class EdgePrivLocAd {
+ public:
+  EdgePrivLocAd(EdgeConfig config, std::vector<adnet::Advertiser> advertisers,
+                std::uint64_t seed);
+
+  /// Full round trip for one user request.
+  ServedAds on_lba_request(std::uint64_t user_id, geo::Point true_location,
+                           trace::Timestamp time);
+
+  EdgeDevice& edge() { return edge_; }
+  const EdgeDevice& edge() const { return edge_; }
+  const adnet::AdNetwork& network() const { return network_; }
+
+ private:
+  EdgeDevice edge_;
+  adnet::AdNetwork network_;
+};
+
+}  // namespace privlocad::core

@@ -1,0 +1,99 @@
+#include "core/table_store.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+namespace {
+
+const std::vector<std::string> kHeader{
+    "user_id", "entry_index", "top_x", "top_y",
+    "cand_index", "cand_x", "cand_y"};
+
+}  // namespace
+
+void save_tables(std::ostream& out, const TableSnapshot& tables) {
+  util::CsvWriter writer(out, kHeader);
+  for (const auto& [user_id, table] : tables) {
+    const auto& entries = table.entries();
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+      for (std::size_t c = 0; c < entries[e].candidates.size(); ++c) {
+        writer.write_row({std::to_string(user_id), std::to_string(e),
+                          util::format_double(entries[e].top_location.x, 6),
+                          util::format_double(entries[e].top_location.y, 6),
+                          std::to_string(c),
+                          util::format_double(entries[e].candidates[c].x, 6),
+                          util::format_double(entries[e].candidates[c].y, 6)});
+      }
+    }
+  }
+}
+
+TableSnapshot load_tables(std::istream& in, double match_radius_m) {
+  const util::CsvTable csv = util::read_csv(in);
+  if (!csv.header.empty()) {
+    util::require(csv.header == kHeader,
+                  "obfuscation table file has an unexpected header");
+  }
+
+  // Group rows into (user, entry) -> candidate list, validating that
+  // candidate indices arrive contiguously per entry.
+  struct PendingEntry {
+    geo::Point top;
+    std::vector<geo::Point> candidates;
+  };
+  std::map<std::uint64_t, std::map<std::uint64_t, PendingEntry>> grouped;
+
+  for (const auto& row : csv.rows) {
+    const auto user = static_cast<std::uint64_t>(util::parse_int(row[0]));
+    const auto entry = static_cast<std::uint64_t>(util::parse_int(row[1]));
+    const geo::Point top{util::parse_double(row[2]),
+                         util::parse_double(row[3])};
+    const auto cand = static_cast<std::uint64_t>(util::parse_int(row[4]));
+    const geo::Point candidate{util::parse_double(row[5]),
+                               util::parse_double(row[6])};
+
+    PendingEntry& pending = grouped[user][entry];
+    if (pending.candidates.empty()) {
+      pending.top = top;
+    } else {
+      util::require(pending.top == top,
+                    "obfuscation table entry has inconsistent top location");
+    }
+    util::require(cand == pending.candidates.size(),
+                  "obfuscation table candidates are out of order");
+    pending.candidates.push_back(candidate);
+  }
+
+  TableSnapshot tables;
+  for (auto& [user, entries] : grouped) {
+    ObfuscationTable table(match_radius_m);
+    std::uint64_t expected_index = 0;
+    for (auto& [index, pending] : entries) {
+      util::require(index == expected_index++,
+                    "obfuscation table entries are out of order");
+      table.restore({pending.top, std::move(pending.candidates)});
+    }
+    tables.emplace(user, std::move(table));
+  }
+  return tables;
+}
+
+void save_tables_file(const std::string& path, const TableSnapshot& tables) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save_tables(out, tables);
+}
+
+TableSnapshot load_tables_file(const std::string& path,
+                               double match_radius_m) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return load_tables(in, match_radius_m);
+}
+
+}  // namespace privlocad::core

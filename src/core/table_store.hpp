@@ -1,0 +1,41 @@
+// Durable storage for obfuscation tables.
+//
+// Permanence is the defence: if an edge device restarted and REGENERATED a
+// user's candidates, the longitudinal attacker would observe a second
+// independent noise draw of the same top location -- exactly the
+// composition leak the system exists to prevent. Tables must therefore
+// survive restarts. This module serializes per-user obfuscation tables to
+// a CSV file and restores them, refusing structurally corrupt input (a
+// corrupt table must fail loudly at startup, never silently regenerate).
+//
+// Format, one row per candidate:
+//   user_id,entry_index,top_x,top_y,cand_index,cand_x,cand_y
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "core/obfuscation_table.hpp"
+
+namespace privlocad::core {
+
+/// The per-user tables of one edge device, keyed by user id. std::map so
+/// serialization order is deterministic.
+using TableSnapshot = std::map<std::uint64_t, ObfuscationTable>;
+
+/// Writes every user's table entries to `out`.
+void save_tables(std::ostream& out, const TableSnapshot& tables);
+
+/// Reads tables back; every restored table gets `match_radius_m`.
+/// Throws util::InvalidArgument on malformed rows, non-contiguous
+/// candidate indices, or entries whose top locations collide.
+TableSnapshot load_tables(std::istream& in, double match_radius_m);
+
+/// File-path convenience wrappers; throw std::runtime_error on IO failure.
+void save_tables_file(const std::string& path, const TableSnapshot& tables);
+TableSnapshot load_tables_file(const std::string& path,
+                               double match_radius_m);
+
+}  // namespace privlocad::core

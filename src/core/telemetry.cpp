@@ -1,0 +1,43 @@
+#include "core/telemetry.hpp"
+
+#include "util/strings.hpp"
+
+namespace privlocad::core {
+
+double EdgeTelemetry::top_report_ratio() const {
+  return requests == 0 ? 0.0
+                       : static_cast<double>(top_reports) /
+                             static_cast<double>(requests);
+}
+
+double EdgeTelemetry::filter_drop_ratio() const {
+  return ads_seen == 0 ? 0.0
+                       : 1.0 - static_cast<double>(ads_delivered) /
+                                   static_cast<double>(ads_seen);
+}
+
+std::string EdgeTelemetry::to_string() const {
+  std::string out;
+  out += "requests          : " + std::to_string(requests) + "\n";
+  out += "  top-location    : " + std::to_string(top_reports) + " (" +
+         util::format_double(top_report_ratio() * 100.0, 1) + "%)\n";
+  out += "  nomadic         : " + std::to_string(nomadic_reports) + "\n";
+  out += "profile rebuilds  : " + std::to_string(profile_rebuilds) + "\n";
+  out += "tables generated  : " + std::to_string(tables_generated) + "\n";
+  out += "ads seen/delivered: " + std::to_string(ads_seen) + "/" +
+         std::to_string(ads_delivered) + " (filter drops " +
+         util::format_double(filter_drop_ratio() * 100.0, 1) + "%)\n";
+  return out;
+}
+
+void EdgeTelemetry::merge(const EdgeTelemetry& other) {
+  requests += other.requests;
+  top_reports += other.top_reports;
+  nomadic_reports += other.nomadic_reports;
+  profile_rebuilds += other.profile_rebuilds;
+  tables_generated += other.tables_generated;
+  ads_seen += other.ads_seen;
+  ads_delivered += other.ads_delivered;
+}
+
+}  // namespace privlocad::core

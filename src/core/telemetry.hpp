@@ -1,0 +1,40 @@
+// Edge-device telemetry: the operational counters a deployment watches.
+//
+// The paper's scalability story (Tables II/III) is about edge devices
+// serving tens of thousands of users; an operable implementation needs to
+// see what those devices are doing: how many requests took the permanent
+// top-location path vs. the nomadic path, how often profiles rebuilt, how
+// much ad traffic the relevance filter absorbed. All counters are plain
+// tallies (no sampling) and cheap enough to keep always-on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace privlocad::core {
+
+struct EdgeTelemetry {
+  std::size_t requests = 0;            ///< report_location calls
+  std::size_t top_reports = 0;         ///< served from the frozen table
+  std::size_t nomadic_reports = 0;     ///< served via one-time geo-IND
+  std::size_t profile_rebuilds = 0;    ///< window-triggered rebuilds
+  std::size_t tables_generated = 0;    ///< permanent candidate sets created
+  std::size_t ads_seen = 0;            ///< ads entering the relevance filter
+  std::size_t ads_delivered = 0;       ///< ads surviving the filter
+
+  /// Fraction of requests answered from permanent candidates.
+  double top_report_ratio() const;
+
+  /// Fraction of matched ads dropped by the edge-side AOI filter --
+  /// the bandwidth the edge saves the client.
+  double filter_drop_ratio() const;
+
+  /// Multi-line human-readable report for logs/dashboards.
+  std::string to_string() const;
+
+  /// Aggregates another device's counters (cluster-level rollup).
+  void merge(const EdgeTelemetry& other);
+};
+
+}  // namespace privlocad::core

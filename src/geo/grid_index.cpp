@@ -1,0 +1,40 @@
+#include "geo/grid_index.hpp"
+
+#include <cmath>
+
+#include "util/validation.hpp"
+
+namespace privlocad::geo {
+
+GridIndex::GridIndex(std::vector<Point> points, double cell_size_m)
+    : points_(std::move(points)), cell_size_(cell_size_m) {
+  util::require_positive(cell_size_m, "grid cell size");
+  cells_.reserve(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    cells_[key_for(points_[i])].push_back(i);
+  }
+}
+
+GridIndex::CellKey GridIndex::key_for(Point p) const {
+  return pack(static_cast<std::int32_t>(std::floor(p.x / cell_size_)),
+              static_cast<std::int32_t>(std::floor(p.y / cell_size_)));
+}
+
+GridIndex::CellKey GridIndex::pack(std::int32_t cx, std::int32_t cy) {
+  // Bias to unsigned so negative cells pack without sign-extension clashes.
+  const auto ux = static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(cx));
+  const auto uy = static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(cy));
+  return (ux << 32) | uy;
+}
+
+std::vector<std::size_t> GridIndex::within(Point query,
+                                           double radius_m) const {
+  std::vector<std::size_t> result;
+  for_each_within(query, radius_m,
+                  [&result](std::size_t idx) { result.push_back(idx); });
+  return result;
+}
+
+}  // namespace privlocad::geo

@@ -1,0 +1,15 @@
+#include "geo/point.hpp"
+
+namespace privlocad::geo {
+
+double distance(Point a, Point b) { return std::hypot(a.x - b.x, a.y - b.y); }
+
+double distance_squared(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double norm(Point p) { return std::hypot(p.x, p.y); }
+
+}  // namespace privlocad::geo

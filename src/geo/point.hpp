@@ -1,0 +1,60 @@
+// Planar point in a local metric coordinate system.
+//
+// All privacy mechanisms, attacks, and utility metrics in this library
+// operate on points whose coordinates are METERS in a local tangent plane
+// (see geo/projection.hpp for the lat/lon <-> meters mapping). Using meters
+// everywhere keeps the privacy parameters (r, sigma, thresholds) in the
+// same unit the paper states them in.
+#pragma once
+
+#include <cmath>
+
+namespace privlocad::geo {
+
+/// A 2-D point/vector in meters. Plain value type with no invariant
+/// (Core Guidelines C.2): kept as a struct with public members.
+struct Point {
+  double x = 0.0;  ///< meters east of the local origin
+  double y = 0.0;  ///< meters north of the local origin
+
+  friend constexpr Point operator+(Point a, Point b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point operator-(Point a, Point b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Point operator*(Point p, double s) {
+    return {p.x * s, p.y * s};
+  }
+  friend constexpr Point operator*(double s, Point p) { return p * s; }
+  friend constexpr Point operator/(Point p, double s) {
+    return {p.x / s, p.y / s};
+  }
+  friend constexpr bool operator==(Point a, Point b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance in meters.
+double distance(Point a, Point b);
+
+/// Squared Euclidean distance; cheaper when only comparisons are needed.
+double distance_squared(Point a, Point b);
+
+/// Euclidean norm of the vector `p`.
+double norm(Point p);
+
+/// Arithmetic mean of a range of points. The range must be non-empty;
+/// callers are expected to guard (the attack/clustering code always does).
+template <typename Range>
+Point centroid(const Range& points) {
+  Point sum{};
+  std::size_t count = 0;
+  for (const Point& p : points) {
+    sum = sum + p;
+    ++count;
+  }
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace privlocad::geo

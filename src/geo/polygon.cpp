@@ -1,0 +1,77 @@
+#include "geo/polygon.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/validation.hpp"
+
+namespace privlocad::geo {
+namespace {
+
+BoundingBox bounds_of(const std::vector<Point>& vertices) {
+  BoundingBox box(vertices.front(), vertices.front());
+  for (const Point& v : vertices) box = box.expanded_to(v);
+  return box;
+}
+
+}  // namespace
+
+Polygon::Polygon(std::vector<Point> vertices)
+    : vertices_(std::move(vertices)),
+      bounds_(vertices_.empty() ? BoundingBox({0, 0}, {0, 0})
+                                : bounds_of(vertices_)) {
+  util::require(vertices_.size() >= 3, "polygon needs at least 3 vertices");
+}
+
+bool Polygon::contains(Point p) const {
+  if (!bounds_.contains(p)) return false;
+  // Even-odd rule: count edge crossings of the ray towards +x.
+  bool inside = false;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[j];
+    const bool straddles = (a.y > p.y) != (b.y > p.y);
+    if (straddles &&
+        p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x) {
+      inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::area() const {
+  double twice_area = 0.0;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    twice_area += (vertices_[j].x + vertices_[i].x) *
+                  (vertices_[j].y - vertices_[i].y);
+  }
+  return std::abs(twice_area) / 2.0;
+}
+
+Polygon Polygon::rectangle(Point min_corner, Point max_corner) {
+  util::require(min_corner.x < max_corner.x && min_corner.y < max_corner.y,
+                "rectangle corners are inverted or degenerate");
+  return Polygon({min_corner,
+                  {max_corner.x, min_corner.y},
+                  max_corner,
+                  {min_corner.x, max_corner.y}});
+}
+
+Polygon Polygon::regular(Point center, double radius, std::size_t sides) {
+  util::require_positive(radius, "polygon radius");
+  util::require(sides >= 3, "regular polygon needs at least 3 sides");
+  std::vector<Point> vertices;
+  vertices.reserve(sides);
+  for (std::size_t i = 0; i < sides; ++i) {
+    const double angle = 2.0 * std::numbers::pi * static_cast<double>(i) /
+                         static_cast<double>(sides);
+    vertices.push_back(
+        {center.x + radius * std::cos(angle),
+         center.y + radius * std::sin(angle)});
+  }
+  return Polygon(std::move(vertices));
+}
+
+}  // namespace privlocad::geo

@@ -1,0 +1,43 @@
+// Simple polygons for areas targeting (paper Section II-A, the second
+// geo-targeting category: advertisers target cities or administrative
+// districts, i.e. polygonal regions rather than circles).
+#pragma once
+
+#include <vector>
+
+#include "geo/bounding_box.hpp"
+#include "geo/point.hpp"
+
+namespace privlocad::geo {
+
+/// A simple (non-self-intersecting) polygon given by its vertices in
+/// order (either winding). At least 3 vertices required.
+class Polygon {
+ public:
+  explicit Polygon(std::vector<Point> vertices);
+
+  /// Even-odd (ray casting) containment; boundary points may go either
+  /// way, as usual for floating-point polygons.
+  bool contains(Point p) const;
+
+  /// Absolute area via the shoelace formula, square meters.
+  double area() const;
+
+  /// Axis-aligned bounds (used to prune containment tests).
+  const BoundingBox& bounds() const { return bounds_; }
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+
+  /// Axis-aligned rectangle polygon helper.
+  static Polygon rectangle(Point min_corner, Point max_corner);
+
+  /// Regular n-gon approximating a circle (used by tests to cross-check
+  /// area/containment against the exact circle).
+  static Polygon regular(Point center, double radius, std::size_t sides);
+
+ private:
+  std::vector<Point> vertices_;
+  BoundingBox bounds_;
+};
+
+}  // namespace privlocad::geo

@@ -1,0 +1,62 @@
+// Discretized + truncated planar Laplace (Andres et al. 2013, Section 5
+// "practical considerations").
+//
+// Real deployments cannot report arbitrary-precision coordinates: outputs
+// are snapped to a finite grid (GPS APIs quantize) and clamped to a valid
+// region (a city's bounding box). Both steps change the mechanism:
+//  * discretization to a grid of spacing s costs additional privacy; the
+//    original paper shows the discretized mechanism satisfies
+//    (eps' = eps + delta_discr)-geo-IND where the correction depends on
+//    s and the truncation radius (we expose the paper's first-order
+//    correction via `effective_epsilon`).
+//  * truncation (clamping to a box) is post-processing via a deterministic
+//    map and costs nothing.
+// The continuous PlanarLaplaceMechanism remains the reference; this
+// variant is what an integrator should actually ship.
+#pragma once
+
+#include "geo/bounding_box.hpp"
+#include "lppm/mechanism.hpp"
+#include "lppm/privacy_params.hpp"
+
+namespace privlocad::lppm {
+
+class DiscretePlanarLaplaceMechanism final : public Mechanism {
+ public:
+  /// `grid_spacing_m` is the output quantum s (> 0); `region` is the
+  /// truncation box the outputs are clamped into.
+  DiscretePlanarLaplaceMechanism(GeoIndParams params, double grid_spacing_m,
+                                 geo::BoundingBox region);
+
+  std::vector<geo::Point> obfuscate(rng::Engine& engine,
+                                    geo::Point real_location) const override;
+
+  /// Single-point release: continuous planar Laplace, snapped to the
+  /// grid, clamped to the region.
+  geo::Point obfuscate_one(rng::Engine& engine, geo::Point real) const;
+
+  std::size_t output_count() const override { return 1; }
+  std::string name() const override;
+  double tail_radius(double alpha) const override;
+
+  /// The nominal epsilon = l / r the noise was calibrated for.
+  double nominal_epsilon() const { return epsilon_; }
+
+  /// First-order corrected epsilon after discretization (Andres et al.,
+  /// Thm. 5.4 flavour): eps' = eps + s * eps * (1 + o(1)) / r_max-ish;
+  /// we use the conservative bound eps' = eps * (1 + s / step_scale)
+  /// with step_scale the grid spacing's worst-case density ratio over one
+  /// cell: eps' = eps + eps * s. Exposed so integrators can budget for it.
+  double effective_epsilon() const;
+
+  double grid_spacing() const { return grid_spacing_; }
+  const geo::BoundingBox& region() const { return region_; }
+
+ private:
+  GeoIndParams params_;
+  double epsilon_;
+  double grid_spacing_;
+  geo::BoundingBox region_;
+};
+
+}  // namespace privlocad::lppm

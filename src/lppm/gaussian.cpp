@@ -1,0 +1,41 @@
+#include "lppm/gaussian.hpp"
+
+#include <cmath>
+
+#include "rng/samplers.hpp"
+#include "util/strings.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::lppm {
+
+NFoldGaussianMechanism::NFoldGaussianMechanism(BoundedGeoIndParams params)
+    : params_(params), sigma_(n_fold_sigma(params)) {}
+
+std::vector<geo::Point> NFoldGaussianMechanism::obfuscate(
+    rng::Engine& engine, geo::Point real_location) const {
+  std::vector<geo::Point> outputs;
+  outputs.reserve(params_.n);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    outputs.push_back(real_location + rng::gaussian_noise(engine, sigma_));
+  }
+  return outputs;
+}
+
+std::string NFoldGaussianMechanism::name() const {
+  return std::to_string(params_.n) +
+         "-fold-gaussian(eps=" + util::format_double(params_.epsilon, 2) +
+         ",r=" + util::format_double(params_.radius_m, 0) +
+         "m,delta=" + util::format_double(params_.delta, 3) + ")";
+}
+
+double NFoldGaussianMechanism::posterior_sigma() const {
+  return sigma_ / std::sqrt(static_cast<double>(params_.n));
+}
+
+double NFoldGaussianMechanism::tail_radius(double alpha) const {
+  util::require_unit_open(alpha, "tail probability alpha");
+  // Rayleigh tail: Pr[R > r] = exp(-r^2 / (2 sigma^2)) = alpha.
+  return sigma_ * std::sqrt(-2.0 * std::log(alpha));
+}
+
+}  // namespace privlocad::lppm

@@ -1,0 +1,39 @@
+// Abstract LPPM interface.
+//
+// Every location privacy-preserving mechanism in this library maps one real
+// location to a set of obfuscated locations (size 1 for the one-time
+// mechanisms, n for the permanent multi-output mechanisms). The caller
+// supplies the engine so trials stay deterministic and so one mechanism
+// object can be shared across users/threads without hidden state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/point.hpp"
+#include "rng/engine.hpp"
+
+namespace privlocad::lppm {
+
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  /// Generates the mechanism's obfuscated output set for `real_location`.
+  /// The returned vector's size equals output_count().
+  virtual std::vector<geo::Point> obfuscate(rng::Engine& engine,
+                                            geo::Point real_location) const = 0;
+
+  /// Number of locations one obfuscate() call releases.
+  virtual std::size_t output_count() const = 0;
+
+  /// Human-readable identifier used in bench output.
+  virtual std::string name() const = 0;
+
+  /// Radius r_alpha with Pr[dist(noise) > r_alpha] <= alpha (paper Eq. 4).
+  /// Used by the de-obfuscation attack to size its trimming radius, and by
+  /// the utility module for worst-case displacement bounds.
+  virtual double tail_radius(double alpha) const = 0;
+};
+
+}  // namespace privlocad::lppm

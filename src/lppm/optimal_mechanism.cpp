@@ -1,0 +1,214 @@
+#include "lppm/optimal_mechanism.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::lppm {
+namespace {
+
+/// Octile spanner dilation of the 8-neighbor grid: the worst-case ratio of
+/// the shortest king-move path length to the Euclidean distance.
+const double kOctileDilation = 1.0 / std::cos(std::numbers::pi / 8.0);
+
+}  // namespace
+
+OptimalGeoIndMechanism::OptimalGeoIndMechanism(OptimalMechanismConfig config)
+    : config_(std::move(config)) {
+  util::require(config_.per_side >= 2, "grid needs at least 2x2 cells");
+  util::require_positive(config_.cell_spacing_m, "cell spacing");
+  util::require_positive(config_.epsilon, "epsilon");
+
+  const std::size_t side = config_.per_side;
+  const std::size_t k = side * side;
+
+  if (config_.prior.empty()) {
+    config_.prior.assign(k, 1.0 / static_cast<double>(k));
+  }
+  util::require(config_.prior.size() == k,
+                "prior size must equal the cell count");
+  double prior_sum = 0.0;
+  for (const double p : config_.prior) {
+    util::require(p >= 0.0, "prior must be non-negative");
+    prior_sum += p;
+  }
+  util::require(prior_sum > 0.0, "prior must have positive mass");
+  for (double& p : config_.prior) p /= prior_sum;
+
+  // Cell centers on a centered grid.
+  centers_.reserve(k);
+  const double offset =
+      (static_cast<double>(side) - 1.0) / 2.0 * config_.cell_spacing_m;
+  for (std::size_t row = 0; row < side; ++row) {
+    for (std::size_t col = 0; col < side; ++col) {
+      centers_.push_back(
+          {static_cast<double>(col) * config_.cell_spacing_m - offset,
+           static_cast<double>(row) * config_.cell_spacing_m - offset});
+    }
+  }
+
+  // ---------------- build the LP ----------------------------------------
+  const std::size_t vars = k * k;  // X_ij, index i * k + j
+  opt::LpProblem problem;
+  problem.objective.assign(vars, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      problem.objective[i * k + j] =
+          config_.prior[i] * geo::distance(centers_[i], centers_[j]);
+    }
+  }
+
+  // Row-stochastic equalities.
+  problem.eq_lhs = opt::Matrix(k, vars);
+  problem.eq_rhs.assign(k, 1.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      problem.eq_lhs.at(i, i * k + j) = 1.0;
+    }
+  }
+
+  // geo-IND constraints on directed 8-neighbor edges, budget deflated by
+  // the spanner dilation so chaining yields the full-epsilon guarantee.
+  const double edge_epsilon = config_.epsilon / kOctileDilation;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t row = 0; row < side; ++row) {
+    for (std::size_t col = 0; col < side; ++col) {
+      const std::size_t i = row * side + col;
+      for (int dr = -1; dr <= 1; ++dr) {
+        for (int dc = -1; dc <= 1; ++dc) {
+          if (dr == 0 && dc == 0) continue;
+          const int nr = static_cast<int>(row) + dr;
+          const int nc = static_cast<int>(col) + dc;
+          if (nr < 0 || nc < 0 || nr >= static_cast<int>(side) ||
+              nc >= static_cast<int>(side)) {
+            continue;
+          }
+          edges.emplace_back(i, static_cast<std::size_t>(nr) * side +
+                                    static_cast<std::size_t>(nc));
+        }
+      }
+    }
+  }
+
+  problem.ub_lhs = opt::Matrix(edges.size() * k, vars);
+  problem.ub_rhs.assign(edges.size() * k, 0.0);
+  std::size_t row_index = 0;
+  for (const auto& [i, i_prime] : edges) {
+    const double bound =
+        std::exp(edge_epsilon * geo::distance(centers_[i], centers_[i_prime]));
+    for (std::size_t j = 0; j < k; ++j, ++row_index) {
+      problem.ub_lhs.at(row_index, i * k + j) = 1.0;
+      problem.ub_lhs.at(row_index, i_prime * k + j) = -bound;
+    }
+  }
+
+  // The geo-IND rows are all rhs-0, so the LP is extremely degenerate;
+  // a graded perturbation keeps the simplex moving (see SimplexOptions).
+  // The induced slack per constraint is <= 1e-8 * rows ~ 1e-5, absorbed by
+  // the row renormalization below and by the spanner's dilation margin.
+  opt::SimplexOptions lp_options;
+  lp_options.degeneracy_perturbation = 1e-8;
+  lp_options.max_iterations = 200000;
+  const opt::LpSolution solution = opt::solve(problem, lp_options);
+  if (solution.status != opt::LpStatus::kOptimal) {
+    throw std::runtime_error(
+        "optimal mechanism LP did not reach optimality");
+  }
+
+  channel_.assign(k, std::vector<double>(k, 0.0));
+  for (std::size_t i = 0; i < k; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      channel_[i][j] = std::max(0.0, solution.x[i * k + j]);
+      row_sum += channel_[i][j];
+    }
+    for (double& p : channel_[i]) p /= row_sum;  // numeric cleanup
+  }
+  quality_loss_ = solution.objective;
+}
+
+std::size_t OptimalGeoIndMechanism::nearest_cell(geo::Point p) const {
+  std::size_t best = 0;
+  double best_d = geo::distance_squared(p, centers_[0]);
+  for (std::size_t i = 1; i < centers_.size(); ++i) {
+    const double d = geo::distance_squared(p, centers_[i]);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<geo::Point> OptimalGeoIndMechanism::obfuscate(
+    rng::Engine& engine, geo::Point real_location) const {
+  const std::vector<double>& row = channel_[nearest_cell(real_location)];
+  double u = engine.uniform();
+  std::size_t j = row.size() - 1;
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    u -= row[c];
+    if (u <= 0.0) {
+      j = c;
+      break;
+    }
+  }
+  return {centers_[j]};
+}
+
+std::string OptimalGeoIndMechanism::name() const {
+  return "optimal-geo-ind(k=" + std::to_string(centers_.size()) +
+         ",eps=" + util::format_double(config_.epsilon, 5) + "/m)";
+}
+
+double OptimalGeoIndMechanism::tail_radius(double alpha) const {
+  util::require_unit_open(alpha, "tail probability alpha");
+  // From the central cell, find the smallest radius covering 1 - alpha of
+  // the output mass.
+  const std::size_t center = nearest_cell({0.0, 0.0});
+  const std::vector<double>& row = channel_[center];
+  std::vector<std::pair<double, double>> by_distance;  // (distance, prob)
+  by_distance.reserve(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    by_distance.emplace_back(
+        geo::distance(centers_[center], centers_[j]), row[j]);
+  }
+  std::sort(by_distance.begin(), by_distance.end());
+  double mass = 0.0;
+  for (const auto& [d, p] : by_distance) {
+    mass += p;
+    if (mass >= 1.0 - alpha) return d;
+  }
+  return by_distance.back().first;
+}
+
+const std::vector<double>& OptimalGeoIndMechanism::channel_row(
+    std::size_t i) const {
+  util::require(i < channel_.size(), "channel row out of range");
+  return channel_[i];
+}
+
+geo::Point OptimalGeoIndMechanism::cell_center(std::size_t i) const {
+  util::require(i < centers_.size(), "cell index out of range");
+  return centers_[i];
+}
+
+double OptimalGeoIndMechanism::max_constraint_violation() const {
+  double worst = -1e300;
+  for (std::size_t i = 0; i < channel_.size(); ++i) {
+    for (std::size_t i2 = 0; i2 < channel_.size(); ++i2) {
+      if (i == i2) continue;
+      const double bound = std::exp(
+          config_.epsilon * geo::distance(centers_[i], centers_[i2]));
+      for (std::size_t j = 0; j < channel_.size(); ++j) {
+        worst = std::max(worst, channel_[i][j] - bound * channel_[i2][j]);
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace privlocad::lppm

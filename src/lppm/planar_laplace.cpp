@@ -1,0 +1,36 @@
+#include "lppm/planar_laplace.hpp"
+
+#include "rng/samplers.hpp"
+#include "util/strings.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::lppm {
+
+PlanarLaplaceMechanism::PlanarLaplaceMechanism(GeoIndParams params)
+    : params_(params), epsilon_(params.epsilon()) {
+  util::require_positive(params.level, "geo-IND level l");
+  util::require_positive(params.radius_m, "geo-IND radius r");
+}
+
+std::vector<geo::Point> PlanarLaplaceMechanism::obfuscate(
+    rng::Engine& engine, geo::Point real_location) const {
+  return {obfuscate_one(engine, real_location)};
+}
+
+geo::Point PlanarLaplaceMechanism::obfuscate_one(rng::Engine& engine,
+                                                 geo::Point real) const {
+  return real + rng::planar_laplace_noise(engine, epsilon_);
+}
+
+std::string PlanarLaplaceMechanism::name() const {
+  return "planar-laplace(l=" + util::format_double(params_.level, 3) +
+         ",r=" + util::format_double(params_.radius_m, 0) + "m)";
+}
+
+double PlanarLaplaceMechanism::tail_radius(double alpha) const {
+  util::require_unit_open(alpha, "tail probability alpha");
+  // Pr[R > r_alpha] = alpha  <=>  C(r_alpha) = 1 - alpha.
+  return rng::planar_laplace_radius_quantile(1.0 - alpha, epsilon_);
+}
+
+}  // namespace privlocad::lppm

@@ -1,0 +1,37 @@
+// Planar Laplace mechanism (Andres et al., CCS 2013) — the "one-time
+// geo-IND" mechanism the paper's longitudinal attack defeats.
+//
+// Releases ONE obfuscated location per call by adding polar-Laplace noise
+// with density proportional to exp(-eps * |noise|); each individual release
+// satisfies eps-geo-IND (Definition 1). Independent releases of the same
+// true location compose, which is exactly the weakness Section III exploits.
+#pragma once
+
+#include "lppm/mechanism.hpp"
+#include "lppm/privacy_params.hpp"
+
+namespace privlocad::lppm {
+
+class PlanarLaplaceMechanism final : public Mechanism {
+ public:
+  /// Constructs from a (level, radius) requirement; epsilon = l / r.
+  explicit PlanarLaplaceMechanism(GeoIndParams params);
+
+  std::vector<geo::Point> obfuscate(rng::Engine& engine,
+                                    geo::Point real_location) const override;
+
+  /// Convenience single-point release.
+  geo::Point obfuscate_one(rng::Engine& engine, geo::Point real) const;
+
+  std::size_t output_count() const override { return 1; }
+  std::string name() const override;
+  double tail_radius(double alpha) const override;
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  GeoIndParams params_;
+  double epsilon_;
+};
+
+}  // namespace privlocad::lppm

@@ -1,0 +1,37 @@
+#include "lppm/privacy_params.hpp"
+
+#include <cmath>
+
+#include "util/validation.hpp"
+
+namespace privlocad::lppm {
+
+void BoundedGeoIndParams::validate() const {
+  util::require_positive(radius_m, "geo-IND radius r");
+  util::require_positive(epsilon, "geo-IND epsilon");
+  util::require_unit_open(delta, "geo-IND delta");
+  util::require(n >= 1, "geo-IND output count n must be >= 1");
+}
+
+double one_fold_sigma(double radius_m, double epsilon, double delta) {
+  util::require_positive(radius_m, "geo-IND radius r");
+  util::require_positive(epsilon, "geo-IND epsilon");
+  util::require_unit_open(delta, "geo-IND delta");
+  // Lemma 1: sigma = (r / eps) * sqrt(ln(1 / delta^2) + eps).
+  return radius_m / epsilon * std::sqrt(std::log(1.0 / (delta * delta)) +
+                                        epsilon);
+}
+
+double n_fold_sigma(const BoundedGeoIndParams& p) {
+  p.validate();
+  return std::sqrt(static_cast<double>(p.n)) *
+         one_fold_sigma(p.radius_m, p.epsilon, p.delta);
+}
+
+double composition_sigma(const BoundedGeoIndParams& p) {
+  p.validate();
+  const double n = static_cast<double>(p.n);
+  return one_fold_sigma(p.radius_m, p.epsilon / n, p.delta / n);
+}
+
+}  // namespace privlocad::lppm

@@ -1,0 +1,60 @@
+// Privacy parameters and noise calibration.
+//
+// Two geo-indistinguishability notions coexist in the paper:
+//
+//  * epsilon-geo-IND (Definition 1, Andres et al.): the per-report notion
+//    the planar Laplace mechanism satisfies. Users express it as a pair
+//    (l, r) -- privacy level l within radius r -- with epsilon = l / r.
+//
+//  * (r, epsilon, delta, n)-geo-IND (Definition 3): the bounded, n-output
+//    notion Edge-PrivLocAd's n-fold Gaussian mechanism satisfies. For all
+//    r-neighbouring locations p0, p1 and output sets Q of size n:
+//      Pr[LPPM(p0) = Q] <= e^eps * Pr[LPPM(p1) = Q] + delta.
+//
+// Calibration (paper Lemma 1 and Theorem 2):
+//   1-fold: sigma = (r / eps) * sqrt(ln(1/delta^2) + eps)
+//   n-fold: sigma = sqrt(n) * (r / eps) * sqrt(ln(1/delta^2) + eps)
+// The n-fold scaling follows from the sufficient-statistic argument: the
+// sample mean of the n outputs is N(p, sigma^2/n) and must itself satisfy
+// the 1-fold bound.
+#pragma once
+
+#include <cstddef>
+
+namespace privlocad::lppm {
+
+/// Per-report geo-IND requirement (l, r), epsilon = l / r in 1/meters.
+struct GeoIndParams {
+  double level;      ///< privacy level l (dimensionless, e.g. ln 4)
+  double radius_m;   ///< protection radius r in meters
+
+  /// epsilon = l / r, the Definition-1 privacy parameter in 1/m.
+  double epsilon() const { return level / radius_m; }
+};
+
+/// Bounded multi-output requirement of Definition 3.
+struct BoundedGeoIndParams {
+  double radius_m = 500.0;  ///< r: neighbouring distance in meters
+  double epsilon = 1.0;     ///< eps: privacy budget (dimensionless)
+  double delta = 0.01;      ///< delta: failure probability
+  std::size_t n = 10;       ///< number of simultaneous outputs
+
+  /// Throws InvalidArgument unless all fields are in-domain
+  /// (r > 0, eps > 0, 0 < delta < 1, n >= 1).
+  void validate() const;
+};
+
+/// Lemma 1 calibration: the sigma making a single Gaussian release
+/// (r, eps, delta, 1)-geo-IND.
+double one_fold_sigma(double radius_m, double epsilon, double delta);
+
+/// Theorem 2 calibration: the per-output sigma making an n-output Gaussian
+/// release (r, eps, delta, n)-geo-IND. Equals sqrt(n) * one_fold_sigma.
+double n_fold_sigma(const BoundedGeoIndParams& params);
+
+/// Sigma under the plain-composition baseline: each of the n outputs is
+/// calibrated individually to (r, eps/n, delta/n, 1)-geo-IND, which the
+/// basic composition theorem then lifts to (r, eps, delta, n) in total.
+double composition_sigma(const BoundedGeoIndParams& params);
+
+}  // namespace privlocad::lppm

@@ -1,0 +1,78 @@
+// Dense two-phase simplex solver.
+//
+// Solves   minimize    c^T x
+//          subject to  A_eq  x  = b_eq
+//                      A_ub  x <= b_ub
+//                      x >= 0
+//
+// Built for the optimal geo-IND mechanism (Bordenabe et al., CCS 2014):
+// the mechanism is the solution of an LP whose variables are the entries
+// of a stochastic matrix, with per-row simplex constraints (equalities)
+// and geo-IND density-ratio constraints (inequalities). Problem sizes are
+// small (hundreds of variables, thousands of constraints), so a dense
+// tableau with Bland's anti-cycling rule is simple and fast enough.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace privlocad::opt {
+
+/// Row-major dense matrix, sized rows x cols at construction.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpProblem {
+  std::vector<double> objective;  ///< c, one entry per variable
+
+  Matrix eq_lhs;                  ///< A_eq (may have 0 rows)
+  std::vector<double> eq_rhs;     ///< b_eq
+
+  Matrix ub_lhs;                  ///< A_ub (may have 0 rows)
+  std::vector<double> ub_rhs;     ///< b_ub
+
+  /// Validates dimensional consistency; throws InvalidArgument.
+  void validate() const;
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  std::vector<double> x;      ///< primal solution (valid when optimal)
+  double objective = 0.0;     ///< c^T x (valid when optimal)
+};
+
+struct SimplexOptions {
+  std::size_t max_iterations = 50000;
+  double tolerance = 1e-9;
+
+  /// Anti-degeneracy rhs perturbation: inequality row r gets
+  /// `perturbation * (r + 1)` added to its rhs. Massively degenerate
+  /// problems (e.g. the geo-IND LP, whose ratio constraints all have
+  /// rhs 0) stall the simplex at ties; a graded perturbation makes every
+  /// vertex unique so Dantzig pricing runs freely. The returned solution
+  /// is off by O(perturbation * rows); callers that need exact feasibility
+  /// should post-process (the optimal mechanism renormalizes its rows).
+  /// Zero disables.
+  double degeneracy_perturbation = 0.0;
+};
+
+/// Solves the LP with the two-phase method.
+LpSolution solve(const LpProblem& problem, const SimplexOptions& options = {});
+
+}  // namespace privlocad::opt

@@ -1,0 +1,72 @@
+#include "rng/engine.hpp"
+
+#include "util/validation.hpp"
+
+namespace privlocad::rng {
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Engine::Engine(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+Engine::result_type Engine::operator()() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Engine Engine::split(std::uint64_t stream_id) const {
+  // Mix the parent seed with the stream id through two SplitMix64 rounds so
+  // adjacent stream ids land far apart in seed space.
+  std::uint64_t sm = seed_ ^ (stream_id * 0xD2B74407B1CE6E93ULL);
+  const std::uint64_t child_seed = splitmix64(sm) ^ splitmix64(sm);
+  return Engine(child_seed);
+}
+
+double Engine::uniform() {
+  // Top 53 bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Engine::uniform_positive() {
+  // (0, 1]: flip the half-open side so log(u) is always finite.
+  return 1.0 - uniform();
+}
+
+double Engine::uniform_in(double lo, double hi) {
+  util::require(lo < hi, "uniform_in requires lo < hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Engine::uniform_index(std::uint64_t n) {
+  util::require(n > 0, "uniform_index requires n > 0");
+  // Rejection sampling on the top bits to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return draw % n;
+}
+
+}  // namespace privlocad::rng

@@ -1,0 +1,55 @@
+// Inverse-CDF samplers for every distribution the paper's mechanisms use.
+//
+// All planar samplers follow the paper's polar-coordinates recipe
+// (Section V-C, Eq. 12-16): draw an angle theta ~ U[0, 2*pi), draw a radius
+// by inverting the radial CDF, and emit (r cos theta, r sin theta). Keeping
+// the transforms explicit (rather than delegating to <random>) makes every
+// sampled stream bit-reproducible across platforms and lets tests validate
+// the exact formulas from the paper.
+#pragma once
+
+#include "geo/point.hpp"
+#include "rng/engine.hpp"
+
+namespace privlocad::rng {
+
+/// Standard normal variate via inverse-CDF (Acklam's rational
+/// approximation, |error| < 1.15e-9, refined by one Halley step).
+double standard_normal(Engine& engine);
+
+/// N(mean, sigma^2) variate; requires sigma >= 0.
+double normal(Engine& engine, double mean, double sigma);
+
+/// Inverse of the standard normal CDF (probit). Domain (0, 1).
+double normal_quantile(double p);
+
+/// Polar 2-D Gaussian noise vector with per-axis standard deviation
+/// `sigma` — exactly the paper's Algorithm 3 sampler: theta uniform,
+/// radius from the Rayleigh inverse CDF r = sigma * sqrt(-2 ln(1 - s)).
+/// The result has i.i.d. N(0, sigma^2) marginals on x and y.
+geo::Point gaussian_noise(Engine& engine, double sigma);
+
+/// Radial inverse CDF of the 2-D Gaussian (Rayleigh quantile):
+/// F_R^{-1}(s) = sigma * sqrt(-2 ln(1 - s)), s in [0, 1).
+double rayleigh_quantile(double s, double sigma);
+
+/// Planar Laplace noise with privacy parameter `epsilon` (1/m), as in
+/// Andres et al. 2013: density proportional to exp(-epsilon * |noise|).
+/// Radius sampled by inverting C(r) = 1 - (1 + eps r) e^{-eps r} via the
+/// Lambert W function, branch -1.
+geo::Point planar_laplace_noise(Engine& engine, double epsilon);
+
+/// Radial inverse CDF of the planar Laplace distribution:
+/// C^{-1}(p) = -(1/eps) * (W_{-1}((p - 1)/e) + 1), p in [0, 1).
+double planar_laplace_radius_quantile(double p, double epsilon);
+
+/// Radial CDF of the planar Laplace distribution (used by the attack to
+/// compute the trimming radius r_alpha): C(r) = 1 - (1 + eps r) e^{-eps r}.
+double planar_laplace_radius_cdf(double r, double epsilon);
+
+/// Uniform point in the disk of radius `radius` centered at the origin
+/// (area-uniform: radius sampled as R * sqrt(u)). Used by the paper's
+/// naive post-processing baseline.
+geo::Point uniform_in_disk(Engine& engine, double radius);
+
+}  // namespace privlocad::rng

@@ -1,0 +1,41 @@
+#include "stats/entropy.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/validation.hpp"
+
+namespace privlocad::stats {
+
+double location_entropy(const std::vector<std::uint64_t>& frequencies) {
+  util::require(!frequencies.empty(), "entropy of empty frequency vector");
+  const std::uint64_t sum =
+      std::accumulate(frequencies.begin(), frequencies.end(),
+                      std::uint64_t{0});
+  util::require(sum > 0, "entropy of all-zero frequency vector");
+
+  const double total = static_cast<double>(sum);
+  double entropy = 0.0;
+  for (const std::uint64_t f : frequencies) {
+    if (f == 0) continue;
+    const double p = static_cast<double>(f) / total;
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+double entropy_of_distribution(const std::vector<double>& probabilities) {
+  util::require(!probabilities.empty(), "entropy of empty distribution");
+  double total = 0.0;
+  double entropy = 0.0;
+  for (const double p : probabilities) {
+    util::require(p >= 0.0, "probabilities must be non-negative");
+    total += p;
+    if (p > 0.0) entropy -= p * std::log(p);
+  }
+  util::require(std::abs(total - 1.0) < 1e-6,
+                "probabilities must sum to 1");
+  return entropy;
+}
+
+}  // namespace privlocad::stats

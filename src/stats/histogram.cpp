@@ -1,0 +1,58 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  util::require(lo < hi, "histogram range must have lo < hi");
+  util::require(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  ++counts_[std::min(bin, counts_.size() - 1)];
+}
+
+std::uint64_t Histogram::count_in_bin(std::size_t bin) const {
+  util::require(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lower_edge(std::size_t bin) const {
+  util::require(bin < counts_.size(), "histogram bin out of range");
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::fraction_in_bin(std::size_t bin) const {
+  util::require(total_ > 0, "fraction of empty histogram");
+  return static_cast<double>(count_in_bin(bin)) /
+         static_cast<double>(total_);
+}
+
+std::string Histogram::to_string(int value_digits) const {
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    out += util::format_double(bin_lower_edge(b), value_digits);
+    out += ": ";
+    out += util::format_double(total_ > 0 ? fraction_in_bin(b) : 0.0, 4);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace privlocad::stats

@@ -1,0 +1,44 @@
+// Fixed-width histogram used by the bench harness to print the utilization
+// rate distributions of paper Fig. 7 as text series.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace privlocad::stats {
+
+/// Histogram over [lo, hi) with `bins` equal-width buckets plus underflow
+/// and overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t count_in_bin(std::size_t bin) const;
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Left edge of bin `bin`.
+  double bin_lower_edge(std::size_t bin) const;
+
+  /// Fraction of all observations (including under/overflow) in bin `bin`.
+  double fraction_in_bin(std::size_t bin) const;
+
+  /// Renders "edge: fraction" lines, one per bin; used by the benches.
+  std::string to_string(int value_digits = 3) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace privlocad::stats

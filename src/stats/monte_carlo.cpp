@@ -1,0 +1,28 @@
+#include "stats/monte_carlo.hpp"
+
+#include <cmath>
+
+#include "util/validation.hpp"
+
+namespace privlocad::stats {
+
+double MonteCarloResult::standard_error() const {
+  return summary.stddev() /
+         std::sqrt(static_cast<double>(summary.count()));
+}
+
+MonteCarloResult run_monte_carlo(
+    const MonteCarloOptions& options,
+    const std::function<double(std::uint64_t)>& trial) {
+  util::require(options.trials > 0, "Monte Carlo needs at least one trial");
+  MonteCarloResult result;
+  if (options.keep_samples) result.samples.reserve(options.trials);
+  for (std::uint64_t t = 0; t < options.trials; ++t) {
+    const double value = trial(t);
+    result.summary.add(value);
+    if (options.keep_samples) result.samples.push_back(value);
+  }
+  return result;
+}
+
+}  // namespace privlocad::stats

@@ -1,0 +1,40 @@
+// Monte-Carlo estimation harness.
+//
+// The paper's utility numbers (Figs. 7-9) are Monte-Carlo estimates over
+// 100,000 trials per parameter combination. This harness centralizes the
+// trial loop so every bench gets the same seeding discipline (one split
+// sub-stream per trial), plus standard-error reporting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/running_stats.hpp"
+
+namespace privlocad::stats {
+
+/// Result of a Monte-Carlo run: the summary plus (optionally) the raw
+/// trial values when quantiles are required.
+struct MonteCarloResult {
+  RunningStats summary;
+  std::vector<double> samples;  // empty unless keep_samples was set
+
+  /// Standard error of the mean; requires >= 2 trials.
+  double standard_error() const;
+};
+
+struct MonteCarloOptions {
+  std::uint64_t trials = 100000;  ///< the paper's default trial count
+  std::uint64_t seed = 42;
+  bool keep_samples = false;  ///< store raw values (needed for quantiles)
+};
+
+/// Runs `trial(stream_id)` for stream_id = 0..trials-1 and aggregates the
+/// returned values. The callable receives the trial index so it can split
+/// a deterministic sub-stream from a parent rng::Engine.
+MonteCarloResult run_monte_carlo(
+    const MonteCarloOptions& options,
+    const std::function<double(std::uint64_t)>& trial);
+
+}  // namespace privlocad::stats

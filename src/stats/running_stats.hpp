@@ -1,0 +1,44 @@
+// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+//
+// Used wherever the benches aggregate 100k Monte-Carlo trials without
+// storing them: numerically stable regardless of trial count or magnitude.
+#pragma once
+
+#include <cstddef>
+
+namespace privlocad::stats {
+
+class RunningStats {
+ public:
+  /// Folds one observation into the summary.
+  void add(double value);
+
+  /// Merges another accumulator (parallel reduction), Chan et al. update.
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+
+  /// Mean of observations; requires count() > 0.
+  double mean() const;
+
+  /// Unbiased sample variance; requires count() > 1.
+  double variance() const;
+
+  /// Square root of variance(); requires count() > 1.
+  double stddev() const;
+
+  /// Smallest observation; requires count() > 0.
+  double min() const;
+
+  /// Largest observation; requires count() > 0.
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace privlocad::stats

@@ -1,0 +1,22 @@
+#include "trace/check_in.hpp"
+
+namespace privlocad::trace {
+
+UserTrace slice_by_time(const UserTrace& trace, Timestamp begin,
+                        Timestamp end) {
+  UserTrace out;
+  out.user_id = trace.user_id;
+  for (const CheckIn& c : trace.check_ins) {
+    if (c.time >= begin && c.time < end) out.check_ins.push_back(c);
+  }
+  return out;
+}
+
+std::vector<geo::Point> positions(const UserTrace& trace) {
+  std::vector<geo::Point> out;
+  out.reserve(trace.check_ins.size());
+  for (const CheckIn& c : trace.check_ins) out.push_back(c.position);
+  return out;
+}
+
+}  // namespace privlocad::trace

@@ -1,0 +1,58 @@
+// Check-in and trace value types.
+//
+// The paper calls one raw spatiotemporal data point a "check-in"; a user's
+// trace is the time-ordered sequence of check-ins the ad network observes
+// over the study window (2 years in the paper's dataset).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.hpp"
+
+namespace privlocad::trace {
+
+/// Seconds since the Unix epoch; plain integer to keep traces serializable.
+using Timestamp = std::int64_t;
+
+/// Study window matching the paper's dataset: 2019-06-01 to 2021-05-31 UTC.
+inline constexpr Timestamp kStudyStart = 1559347200;  // 2019-06-01T00:00:00Z
+inline constexpr Timestamp kStudyEnd = 1622419200;    // 2021-05-31T00:00:00Z
+inline constexpr Timestamp kSecondsPerDay = 86400;
+
+/// One raw spatiotemporal observation.
+struct CheckIn {
+  geo::Point position;  ///< local metric coordinates (meters)
+  Timestamp time = 0;
+};
+
+/// A user's full observed trace, time-ordered.
+struct UserTrace {
+  std::uint64_t user_id = 0;
+  std::vector<CheckIn> check_ins;
+};
+
+/// Ground truth attached to synthetic users so the attack benches can
+/// score inferred locations against reality.
+struct GroundTruth {
+  /// Top locations ordered by visit weight, heaviest first.
+  std::vector<geo::Point> top_locations;
+  /// Matching visit weights (sum <= 1; the remainder is nomadic mass).
+  std::vector<double> weights;
+};
+
+/// A synthetic user: the observable trace plus the hidden truth.
+struct SyntheticUser {
+  UserTrace trace;
+  GroundTruth truth;
+};
+
+/// Returns the subset of `trace` with time in [begin, end).
+UserTrace slice_by_time(const UserTrace& trace, Timestamp begin,
+                        Timestamp end);
+
+/// Extracts just the positions of a trace (attack algorithms are purely
+/// spatial).
+std::vector<geo::Point> positions(const UserTrace& trace);
+
+}  // namespace privlocad::trace

@@ -1,0 +1,75 @@
+#include "trace/trace_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace privlocad::trace {
+
+void write_traces(std::ostream& out, const std::vector<UserTrace>& traces) {
+  util::CsvWriter writer(out, {"user_id", "x_m", "y_m", "timestamp"});
+  for (const UserTrace& trace : traces) {
+    for (const CheckIn& c : trace.check_ins) {
+      writer.write_row({std::to_string(trace.user_id),
+                        util::format_double(c.position.x, 3),
+                        util::format_double(c.position.y, 3),
+                        std::to_string(c.time)});
+    }
+  }
+}
+
+std::vector<UserTrace> read_traces(std::istream& in) {
+  const util::CsvTable table = util::read_csv(in);
+  const std::size_t id_col = table.column("user_id");
+  const std::size_t x_col = table.column("x_m");
+  const std::size_t y_col = table.column("y_m");
+  const std::size_t t_col = table.column("timestamp");
+
+  std::map<std::uint64_t, UserTrace> by_user;
+  for (const auto& row : table.rows) {
+    const auto id = static_cast<std::uint64_t>(util::parse_int(row[id_col]));
+    UserTrace& trace = by_user[id];
+    trace.user_id = id;
+    trace.check_ins.push_back(
+        {{util::parse_double(row[x_col]), util::parse_double(row[y_col])},
+         util::parse_int(row[t_col])});
+  }
+
+  std::vector<UserTrace> traces;
+  traces.reserve(by_user.size());
+  for (auto& [id, trace] : by_user) traces.push_back(std::move(trace));
+  return traces;
+}
+
+void write_traces_geo(std::ostream& out, const std::vector<UserTrace>& traces,
+                      const geo::LocalProjection& projection) {
+  util::CsvWriter writer(out, {"user_id", "lat_deg", "lon_deg", "timestamp"});
+  for (const UserTrace& trace : traces) {
+    for (const CheckIn& c : trace.check_ins) {
+      const geo::LatLon geo_pos = projection.to_geo(c.position);
+      writer.write_row({std::to_string(trace.user_id),
+                        util::format_double(geo_pos.lat_deg, 7),
+                        util::format_double(geo_pos.lon_deg, 7),
+                        std::to_string(c.time)});
+    }
+  }
+}
+
+void write_traces_file(const std::string& path,
+                       const std::vector<UserTrace>& traces) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_traces(out, traces);
+}
+
+std::vector<UserTrace> read_traces_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_traces(in);
+}
+
+}  // namespace privlocad::trace

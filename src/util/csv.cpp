@@ -1,0 +1,64 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/strings.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::util {
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw InvalidArgument("CSV has no column named '" + name + "'");
+}
+
+CsvTable read_csv(std::istream& in) {
+  CsvTable table;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (trim(line).empty()) continue;
+    auto fields = split(line, ',');
+    if (table.header.empty()) {
+      table.header = std::move(fields);
+      continue;
+    }
+    if (fields.size() != table.header.size()) {
+      throw InvalidArgument("CSV line " + std::to_string(line_number) +
+                            " has " + std::to_string(fields.size()) +
+                            " fields, expected " +
+                            std::to_string(table.header.size()));
+    }
+    table.rows.push_back(std::move(fields));
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+  return read_csv(in);
+}
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), width_(header.size()) {
+  require(width_ > 0, "CSV header must not be empty");
+  out_ << join(header, ",") << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  if (fields.size() != width_) {
+    throw InvalidArgument("CSV row width " + std::to_string(fields.size()) +
+                          " does not match header width " +
+                          std::to_string(width_));
+  }
+  out_ << join(fields, ",") << '\n';
+}
+
+}  // namespace privlocad::util

@@ -1,0 +1,46 @@
+// Minimal CSV reader/writer used by the trace module and the bench harness.
+//
+// This is intentionally a subset of RFC 4180: fields are split on commas,
+// no quoting (traces contain only numbers and identifiers). The reader
+// validates column counts per row and reports the offending line number.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace privlocad::util {
+
+/// One parsed CSV table: a header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column, throwing InvalidArgument if absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Parses CSV from a stream. First line is the header. Blank lines are
+/// skipped. Throws InvalidArgument on ragged rows (with the line number).
+CsvTable read_csv(std::istream& in);
+
+/// Convenience overload reading from a file path; throws
+/// std::runtime_error if the file cannot be opened.
+CsvTable read_csv_file(const std::string& path);
+
+/// Streaming CSV writer. Writes the header on construction.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Writes one row; throws InvalidArgument if the width differs from the
+  /// header's.
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+  std::size_t width_;
+};
+
+}  // namespace privlocad::util

@@ -1,0 +1,30 @@
+// Tiny leveled logger for the edge prototype and the bench harness.
+//
+// A full logging framework would be overkill for a research prototype; the
+// system only needs (a) a global severity threshold, (b) timestamps relative
+// to process start so bench output is reproducible, and (c) thread-safe
+// emission because the edge device serves users from a thread pool.
+#pragma once
+
+#include <string>
+
+namespace privlocad::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+
+/// Current global minimum level.
+LogLevel log_level();
+
+/// Emits `message` at `level` to stderr if it passes the threshold.
+/// Safe to call concurrently from multiple threads.
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+}  // namespace privlocad::util

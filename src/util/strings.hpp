@@ -1,0 +1,32 @@
+// Small string utilities shared across modules (CSV parsing, report
+// formatting). Kept deliberately minimal: nothing here allocates beyond what
+// the returned values require.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace privlocad::util {
+
+/// Splits `text` on `delimiter`, keeping empty fields. "a,,b" -> {a, "", b}.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Parses a double, throwing InvalidArgument on malformed or trailing input.
+double parse_double(std::string_view text);
+
+/// Parses a non-negative integer, throwing InvalidArgument on malformed
+/// input or overflow.
+long long parse_int(std::string_view text);
+
+/// Joins `parts` with `separator`. join({"a","b"}, ", ") -> "a, b".
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Formats `value` with `digits` places after the decimal point.
+std::string format_double(double value, int digits);
+
+}  // namespace privlocad::util

@@ -1,0 +1,39 @@
+#include "util/validation.hpp"
+
+#include <cmath>
+
+namespace privlocad::util {
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidArgument(message);
+}
+
+void require_positive(double value, const std::string& name) {
+  if (!std::isfinite(value) || value <= 0.0) {
+    throw InvalidArgument(name + " must be finite and > 0, got " +
+                          std::to_string(value));
+  }
+}
+
+void require_non_negative(double value, const std::string& name) {
+  if (!std::isfinite(value) || value < 0.0) {
+    throw InvalidArgument(name + " must be finite and >= 0, got " +
+                          std::to_string(value));
+  }
+}
+
+void require_unit_open(double value, const std::string& name) {
+  if (!std::isfinite(value) || value <= 0.0 || value >= 1.0) {
+    throw InvalidArgument(name + " must lie in (0, 1), got " +
+                          std::to_string(value));
+  }
+}
+
+void require_finite(double value, const std::string& name) {
+  if (!std::isfinite(value)) {
+    throw InvalidArgument(name + " must be finite, got " +
+                          std::to_string(value));
+  }
+}
+
+}  // namespace privlocad::util

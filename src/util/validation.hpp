@@ -1,0 +1,44 @@
+// Argument-validation helpers used at every public API boundary.
+//
+// The library follows the C++ Core Guidelines error-handling advice
+// (I.5/I.6, E.2): programming errors at the boundary of the public API are
+// reported by throwing exceptions derived from std::logic_error /
+// std::runtime_error, so that misuse cannot silently produce meaningless
+// privacy parameters (a wrong sigma is a privacy bug, not a nuisance).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace privlocad::util {
+
+/// Thrown when a caller passes an argument outside its documented domain.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an operation is attempted on an object in the wrong state
+/// (e.g. querying a profile before any check-in was recorded).
+class PreconditionViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Throws InvalidArgument with `message` unless `condition` holds.
+void require(bool condition, const std::string& message);
+
+/// Throws InvalidArgument unless `value` is finite and strictly positive.
+/// `name` identifies the offending parameter in the exception message.
+void require_positive(double value, const std::string& name);
+
+/// Throws InvalidArgument unless `value` is finite and non-negative.
+void require_non_negative(double value, const std::string& name);
+
+/// Throws InvalidArgument unless `value` lies in the open interval (0, 1).
+void require_unit_open(double value, const std::string& name);
+
+/// Throws InvalidArgument unless `value` is finite (not NaN/inf).
+void require_finite(double value, const std::string& name);
+
+}  // namespace privlocad::util

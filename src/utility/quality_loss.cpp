@@ -1,0 +1,34 @@
+#include "utility/quality_loss.hpp"
+
+#include "stats/quantiles.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::utility {
+
+QualityLossReport evaluate_quality_loss(rng::Engine& engine,
+                                        const lppm::Mechanism& mechanism,
+                                        geo::Point true_location,
+                                        std::size_t trials) {
+  util::require(trials > 0, "quality loss needs trials");
+
+  std::vector<double> displacements;
+  displacements.reserve(trials * mechanism.output_count());
+  stats::RunningStats summary;
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (const geo::Point& q : mechanism.obfuscate(engine, true_location)) {
+      const double d = geo::distance(q, true_location);
+      displacements.push_back(d);
+      summary.add(d);
+    }
+  }
+
+  QualityLossReport report;
+  report.outputs = displacements.size();
+  report.mean_m = summary.mean();
+  report.worst_m = summary.max();
+  report.median_m = stats::quantile(displacements, 0.5);
+  report.p95_m = stats::quantile(std::move(displacements), 0.95);
+  return report;
+}
+
+}  // namespace privlocad::utility

@@ -1,0 +1,33 @@
+// Generic quality-loss evaluation for any Mechanism.
+//
+// Quality loss is the classical LPPM utility metric (Bordenabe et al.,
+// Chatzikokolakis et al.): the expected distance between the true location
+// and a released output. The LBA-specific metrics (utilization rate,
+// efficacy) live in utility/metrics.hpp; this evaluator complements them
+// with the mechanism-agnostic view used when comparing against the
+// related work, plus tail statistics deployments care about.
+#pragma once
+
+#include "lppm/mechanism.hpp"
+#include "rng/engine.hpp"
+#include "stats/running_stats.hpp"
+
+namespace privlocad::utility {
+
+struct QualityLossReport {
+  double mean_m = 0.0;    ///< E[d(true, output)]
+  double median_m = 0.0;  ///< 50th percentile of the displacement
+  double p95_m = 0.0;     ///< 95th percentile
+  double worst_m = 0.0;   ///< max observed displacement
+  std::size_t outputs = 0;
+};
+
+/// Monte-Carlo quality loss of `mechanism` at `true_location`: runs
+/// `trials` obfuscations and aggregates the displacement of EVERY output
+/// point (multi-output mechanisms contribute n points per trial).
+QualityLossReport evaluate_quality_loss(rng::Engine& engine,
+                                        const lppm::Mechanism& mechanism,
+                                        geo::Point true_location,
+                                        std::size_t trials = 2000);
+
+}  // namespace privlocad::utility

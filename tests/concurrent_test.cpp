@@ -1,0 +1,197 @@
+// Tests for telemetry, the grid-attack baseline, and the thread-safe
+// ConcurrentEdge wrapper (hammered from real threads).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "attack/grid_attack.hpp"
+#include "core/concurrent_edge.hpp"
+#include "core/telemetry.hpp"
+#include "lppm/planar_laplace.hpp"
+#include "rng/engine.hpp"
+#include "rng/samplers.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad {
+namespace {
+
+core::EdgeConfig fast_config() {
+  core::EdgeConfig c;
+  c.top_params.radius_m = 500.0;
+  c.top_params.epsilon = 1.0;
+  c.top_params.delta = 0.01;
+  c.top_params.n = 10;
+  c.management.window_seconds = 1000;
+  return c;
+}
+
+// ---------------------------------------------------------------- telemetry
+
+TEST(Telemetry, RatiosAndMerge) {
+  core::EdgeTelemetry a;
+  a.requests = 10;
+  a.top_reports = 7;
+  a.nomadic_reports = 3;
+  a.ads_seen = 100;
+  a.ads_delivered = 25;
+  EXPECT_DOUBLE_EQ(a.top_report_ratio(), 0.7);
+  EXPECT_DOUBLE_EQ(a.filter_drop_ratio(), 0.75);
+
+  core::EdgeTelemetry b;
+  b.requests = 10;
+  b.top_reports = 1;
+  b.ads_seen = 100;
+  b.ads_delivered = 75;
+  a.merge(b);
+  EXPECT_EQ(a.requests, 20u);
+  EXPECT_DOUBLE_EQ(a.top_report_ratio(), 0.4);
+  EXPECT_DOUBLE_EQ(a.filter_drop_ratio(), 0.5);
+}
+
+TEST(Telemetry, EmptyCountersAreSafe) {
+  const core::EdgeTelemetry fresh;
+  EXPECT_DOUBLE_EQ(fresh.top_report_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(fresh.filter_drop_ratio(), 0.0);
+  EXPECT_FALSE(fresh.to_string().empty());
+}
+
+TEST(Telemetry, EdgeDeviceCountsReportsAndFilters) {
+  core::EdgeDevice device(fast_config(), 42);
+  const geo::Point home{0, 0};
+  trace::UserTrace history;
+  history.user_id = 1;
+  for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
+  device.import_history(1, history);
+
+  device.report_location(1, home, 2000);            // top
+  device.report_location(1, {30000, 30000}, 2001);  // nomadic
+  device.filter_ads({{1, {1000, 0}, "a", 1.0}, {2, {20000, 0}, "b", 1.0}},
+                    home);
+
+  const core::EdgeTelemetry& t = device.telemetry();
+  EXPECT_EQ(t.requests, 2u);
+  EXPECT_EQ(t.top_reports, 1u);
+  EXPECT_EQ(t.nomadic_reports, 1u);
+  EXPECT_EQ(t.tables_generated, 1u);
+  EXPECT_EQ(t.ads_seen, 2u);
+  EXPECT_EQ(t.ads_delivered, 1u);
+}
+
+// -------------------------------------------------------------- grid attack
+
+TEST(GridAttack, RecoversSingleClusterUnderLaplaceNoise) {
+  const lppm::PlanarLaplaceMechanism mech({std::log(4.0), 200.0});
+  rng::Engine e(1);
+  const geo::Point home{5000.0, -3000.0};
+  std::vector<geo::Point> observed;
+  for (int i = 0; i < 500; ++i) observed.push_back(mech.obfuscate_one(e, home));
+
+  attack::GridAttackConfig config;
+  config.cell_size_m = 300.0;
+  const auto inferred = attack::grid_attack(observed, config);
+  ASSERT_EQ(inferred.size(), 1u);
+  EXPECT_LT(geo::distance(inferred[0].location, home), 150.0);
+  EXPECT_GT(inferred[0].support, 100u);
+}
+
+TEST(GridAttack, TopTwoSeparatedClusters) {
+  rng::Engine e(2);
+  std::vector<geo::Point> observed;
+  for (int i = 0; i < 300; ++i) {
+    observed.push_back(geo::Point{0, 0} + rng::planar_laplace_noise(e, 0.01));
+  }
+  for (int i = 0; i < 150; ++i) {
+    observed.push_back(geo::Point{9000, 0} +
+                       rng::planar_laplace_noise(e, 0.01));
+  }
+  attack::GridAttackConfig config;
+  config.cell_size_m = 300.0;
+  config.top_n = 2;
+  const auto inferred = attack::grid_attack(observed, config);
+  ASSERT_EQ(inferred.size(), 2u);
+  EXPECT_LT(geo::distance(inferred[0].location, {0, 0}), 200.0);
+  EXPECT_LT(geo::distance(inferred[1].location, {9000, 0}), 200.0);
+}
+
+TEST(GridAttack, EmptyAndDegenerateInputs) {
+  attack::GridAttackConfig config;
+  EXPECT_TRUE(attack::grid_attack({}, config).empty());
+  config.top_n = 3;
+  const auto inferred = attack::grid_attack({{0, 0}}, config);
+  EXPECT_EQ(inferred.size(), 1u);  // runs out of points gracefully
+  config.cell_size_m = 0.0;
+  EXPECT_THROW(attack::grid_attack({{0, 0}}, config), util::InvalidArgument);
+}
+
+TEST(GridAttack, NegativeCoordinatesBinCorrectly) {
+  std::vector<geo::Point> observed;
+  for (int i = 0; i < 50; ++i) observed.push_back({-5000.0, -5000.0});
+  attack::GridAttackConfig config;
+  config.cell_size_m = 100.0;
+  const auto inferred = attack::grid_attack(observed, config);
+  ASSERT_EQ(inferred.size(), 1u);
+  EXPECT_NEAR(inferred[0].location.x, -5000.0, 1e-9);
+}
+
+// ---------------------------------------------------------- concurrent edge
+
+TEST(ConcurrentEdge, SingleThreadBehavesLikeEdgeDevice) {
+  core::ConcurrentEdge edge(fast_config(), 4, 42);
+  const geo::Point home{0, 0};
+  trace::UserTrace history;
+  history.user_id = 1;
+  for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
+  edge.import_history(1, history);
+
+  const core::ReportedLocation r = edge.report_location(1, home, 2000);
+  EXPECT_EQ(r.kind, core::ReportKind::kTopLocation);
+  EXPECT_EQ(edge.user_count(), 1u);
+  EXPECT_EQ(edge.telemetry().requests, 1u);
+}
+
+TEST(ConcurrentEdge, UsersStickToOneShard) {
+  core::ConcurrentEdge edge(fast_config(), 4, 42);
+  // Two requests from the same user must hit the same per-user state:
+  // the second one is counted for the same user, not a duplicate user.
+  edge.report_location(7, {0, 0}, 0);
+  edge.report_location(7, {10, 0}, 1);
+  EXPECT_EQ(edge.user_count(), 1u);
+  EXPECT_EQ(edge.telemetry().requests, 2u);
+}
+
+TEST(ConcurrentEdge, ParallelHammeringKeepsCountsExact) {
+  core::ConcurrentEdge edge(fast_config(), 8, 42);
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 500;
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&edge, t] {
+      rng::Engine e(1000 + t);
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const std::uint64_t user = t * 100 + (i % 50);
+        edge.report_location(user,
+                             {e.uniform_in(-40000, 40000),
+                              e.uniform_in(-40000, 40000)},
+                             i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const core::EdgeTelemetry total = edge.telemetry();
+  EXPECT_EQ(total.requests,
+            static_cast<std::size_t>(kThreads * kRequestsPerThread));
+  EXPECT_EQ(total.top_reports + total.nomadic_reports, total.requests);
+  EXPECT_EQ(edge.user_count(), static_cast<std::size_t>(kThreads * 50));
+}
+
+TEST(ConcurrentEdge, RejectsZeroShards) {
+  EXPECT_THROW(core::ConcurrentEdge(fast_config(), 0, 1),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace privlocad

@@ -1,0 +1,559 @@
+// Tests for the core Edge-PrivLocAd modules: eta-frequent sets, location
+// management, the permanent obfuscation table, posterior output selection,
+// and the edge device's reporting logic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/edge_device.hpp"
+#include "core/eta_frequent.hpp"
+#include "core/location_management.hpp"
+#include "core/obfuscation_table.hpp"
+#include "core/output_selection.hpp"
+#include "lppm/gaussian.hpp"
+#include "rng/engine.hpp"
+#include "rng/samplers.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+namespace {
+
+attack::LocationProfile make_profile(
+    std::vector<std::pair<geo::Point, std::uint64_t>> raw) {
+  std::vector<attack::ProfileEntry> entries;
+  for (const auto& [p, f] : raw) entries.push_back({p, f});
+  return attack::LocationProfile(std::move(entries));
+}
+
+lppm::BoundedGeoIndParams paper_params(std::size_t n = 10) {
+  lppm::BoundedGeoIndParams p;
+  p.radius_m = 500.0;
+  p.epsilon = 1.0;
+  p.delta = 0.01;
+  p.n = n;
+  return p;
+}
+
+// ------------------------------------------------------------ eta-frequent
+
+TEST(EtaFrequent, MinimalPrefixReachingEta) {
+  const auto profile = make_profile({{{0, 0}, 50}, {{1, 1}, 30}, {{2, 2}, 20}});
+  EXPECT_EQ(eta_frequent_set(profile, 50).size(), 1u);
+  EXPECT_EQ(eta_frequent_set(profile, 51).size(), 2u);
+  EXPECT_EQ(eta_frequent_set(profile, 80).size(), 2u);
+  EXPECT_EQ(eta_frequent_set(profile, 81).size(), 3u);
+}
+
+TEST(EtaFrequent, EtaBeyondTotalReturnsWholeProfile) {
+  const auto profile = make_profile({{{0, 0}, 5}, {{1, 1}, 3}});
+  EXPECT_EQ(eta_frequent_set(profile, 100).size(), 2u);
+}
+
+TEST(EtaFrequent, FractionVariantMatchesAbsolute) {
+  const auto profile = make_profile({{{0, 0}, 70}, {{1, 1}, 30}});
+  EXPECT_EQ(eta_frequent_set_fraction(profile, 0.7).size(), 1u);
+  EXPECT_EQ(eta_frequent_set_fraction(profile, 0.71).size(), 2u);
+  EXPECT_EQ(eta_frequent_set_fraction(profile, 1.0).size(), 2u);
+}
+
+TEST(EtaFrequent, MinimalityProperty) {
+  // Removing the last element of the eta set must drop below eta.
+  const auto profile =
+      make_profile({{{0, 0}, 40}, {{1, 1}, 35}, {{2, 2}, 15}, {{3, 3}, 10}});
+  for (const std::uint64_t eta : {1u, 40u, 41u, 75u, 76u, 90u, 100u}) {
+    const auto set = eta_frequent_set(profile, eta);
+    std::uint64_t sum = 0;
+    for (const auto& e : set) sum += e.frequency;
+    EXPECT_GE(sum, std::min<std::uint64_t>(eta, 100u));
+    if (set.size() > 1) {
+      EXPECT_LT(sum - set.back().frequency, eta);
+    }
+  }
+}
+
+TEST(EtaFrequent, DomainErrors) {
+  const auto profile = make_profile({{{0, 0}, 10}});
+  EXPECT_THROW(eta_frequent_set(profile, 0), util::InvalidArgument);
+  EXPECT_THROW(eta_frequent_set_fraction(profile, 0.0),
+               util::InvalidArgument);
+  EXPECT_THROW(eta_frequent_set_fraction(profile, 1.5),
+               util::InvalidArgument);
+  const attack::LocationProfile empty;
+  EXPECT_THROW(eta_frequent_set_fraction(empty, 0.5), util::InvalidArgument);
+}
+
+// ------------------------------------------------------ location management
+
+LocationManagementConfig fast_window() {
+  LocationManagementConfig c;
+  c.window_seconds = 1000;
+  c.min_top_frequency = 2;
+  return c;
+}
+
+TEST(LocationManager, NoTopLocationsBeforeFirstRebuild) {
+  LocationManager mgr(fast_window());
+  mgr.record({0, 0}, 0);
+  EXPECT_TRUE(mgr.top_locations().empty());
+  EXPECT_FALSE(mgr.profile().has_value());
+  EXPECT_EQ(mgr.pending_check_ins(), 1u);
+}
+
+TEST(LocationManager, WindowCrossingTriggersRebuild) {
+  LocationManager mgr(fast_window());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(mgr.record({0.0 + i * 0.1, 0.0}, i));
+  }
+  // Crossing the 1000-second boundary rebuilds from the completed window.
+  EXPECT_TRUE(mgr.record({5000, 5000}, 2000));
+  ASSERT_FALSE(mgr.top_locations().empty());
+  EXPECT_NEAR(mgr.top_locations()[0].location.x, 0.45, 0.01);
+  EXPECT_EQ(mgr.pending_check_ins(), 1u);  // the triggering check-in
+}
+
+TEST(LocationManager, RebuildNowFlushesPending) {
+  LocationManager mgr(fast_window());
+  for (int i = 0; i < 5; ++i) mgr.record({0, 0}, i);
+  mgr.rebuild_now();
+  ASSERT_EQ(mgr.top_locations().size(), 1u);
+  EXPECT_EQ(mgr.top_locations()[0].frequency, 5u);
+  EXPECT_EQ(mgr.pending_check_ins(), 0u);
+}
+
+TEST(LocationManager, MinTopFrequencyFiltersOneOffs) {
+  LocationManagementConfig c = fast_window();
+  c.eta_fraction = 1.0;  // would otherwise include everything
+  c.min_top_frequency = 3;
+  LocationManager mgr(c);
+  for (int i = 0; i < 5; ++i) mgr.record({0, 0}, i);
+  mgr.record({9000, 9000}, 6);  // single one-off
+  mgr.rebuild_now();
+  ASSERT_EQ(mgr.top_locations().size(), 1u);
+  EXPECT_EQ(mgr.top_locations()[0].frequency, 5u);
+}
+
+TEST(LocationManager, EtaFractionControlsSetSize) {
+  LocationManagementConfig c = fast_window();
+  c.eta_fraction = 0.6;
+  c.min_top_frequency = 1;
+  LocationManager mgr(c);
+  for (int i = 0; i < 60; ++i) mgr.record({0, 0}, i);
+  for (int i = 0; i < 40; ++i) mgr.record({8000, 0}, 100 + i);
+  mgr.rebuild_now();
+  EXPECT_EQ(mgr.top_locations().size(), 1u);  // top-1 covers 60% >= eta
+}
+
+TEST(LocationManager, SparseWindowDoesNotWipeTopLocations) {
+  LocationManagementConfig c = fast_window();
+  c.min_window_check_ins = 10;
+  LocationManager mgr(c);
+  for (int i = 0; i < 20; ++i) mgr.record({0, 0}, i);
+  mgr.rebuild_now();
+  ASSERT_EQ(mgr.top_locations().size(), 1u);
+
+  // One straggler check-in crosses the next window boundary: with the
+  // guard it must NOT trigger a rebuild that erases the top set.
+  EXPECT_FALSE(mgr.record({0, 0}, 5000));
+  EXPECT_EQ(mgr.top_locations().size(), 1u);
+  // Once enough check-ins accumulate past the boundary, the rebuild runs.
+  bool rebuilt = false;
+  for (int i = 1; i < 15; ++i) {
+    rebuilt = mgr.record({0, 0}, 5000 + 2000 + i) || rebuilt;
+  }
+  EXPECT_TRUE(rebuilt);
+  EXPECT_EQ(mgr.top_locations().size(), 1u);
+}
+
+TEST(LocationManager, InvalidConfigRejected) {
+  LocationManagementConfig c = fast_window();
+  c.window_seconds = 0;
+  EXPECT_THROW(LocationManager{c}, util::InvalidArgument);
+  c = fast_window();
+  c.eta_fraction = 0.0;
+  EXPECT_THROW(LocationManager{c}, util::InvalidArgument);
+}
+
+// -------------------------------------------------------- obfuscation table
+
+TEST(ObfuscationTable, GeneratesOnceAndReplays) {
+  ObfuscationTable table(100.0);
+  const lppm::NFoldGaussianMechanism mech(paper_params(5));
+  rng::Engine e(1);
+
+  const auto& first = table.candidates_for(e, mech, {0, 0});
+  ASSERT_EQ(first.size(), 5u);
+  const std::vector<geo::Point> snapshot = first;
+
+  // Same location -> identical (permanent) candidates, no regeneration.
+  const auto& again = table.candidates_for(e, mech, {0, 0});
+  ASSERT_EQ(again.size(), snapshot.size());
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    EXPECT_EQ(again[i], snapshot[i]);
+  }
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(ObfuscationTable, NearbyDriftReusesEntry) {
+  ObfuscationTable table(100.0);
+  const lppm::NFoldGaussianMechanism mech(paper_params(3));
+  rng::Engine e(2);
+  const auto& original = table.candidates_for(e, mech, {0, 0});
+  const std::vector<geo::Point> snapshot = original;
+  // A centroid drifted 50 m (inside the match radius) hits the same entry.
+  const auto& drifted = table.candidates_for(e, mech, {50, 0});
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(drifted[0], snapshot[0]);
+}
+
+TEST(ObfuscationTable, FarLocationCreatesNewEntry) {
+  ObfuscationTable table(100.0);
+  const lppm::NFoldGaussianMechanism mech(paper_params(3));
+  rng::Engine e(3);
+  table.candidates_for(e, mech, {0, 0});
+  table.candidates_for(e, mech, {5000, 0});
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(ObfuscationTable, LookupWithoutGeneration) {
+  ObfuscationTable table(100.0);
+  const lppm::NFoldGaussianMechanism mech(paper_params(3));
+  rng::Engine e(4);
+  EXPECT_FALSE(table.lookup({0, 0}).has_value());
+  table.candidates_for(e, mech, {0, 0});
+  EXPECT_TRUE(table.lookup({0, 0}).has_value());
+  EXPECT_TRUE(table.lookup({99, 0}).has_value());
+  EXPECT_FALSE(table.lookup({500, 0}).has_value());
+  EXPECT_THROW(ObfuscationTable(0.0), util::InvalidArgument);
+}
+
+// --------------------------------------------------------- output selection
+
+TEST(OutputSelection, ProbabilitiesSumToOneAndFavorCentralCandidates) {
+  const std::vector<geo::Point> candidates{
+      {0, 0}, {100, 0}, {5000, 0}, {-80, 30}};
+  const auto probs = selection_probabilities(candidates, 1000.0);
+  ASSERT_EQ(probs.size(), 4u);
+  double sum = 0.0;
+  for (const double p : probs) {
+    EXPECT_GT(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // The candidate nearest the centroid gets the largest weight; the
+  // 5 km outlier the smallest.
+  const geo::Point mean = geo::centroid(candidates);
+  std::size_t nearest = 0, farthest = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (geo::distance(candidates[i], mean) <
+        geo::distance(candidates[nearest], mean)) {
+      nearest = i;
+    }
+    if (geo::distance(candidates[i], mean) >
+        geo::distance(candidates[farthest], mean)) {
+      farthest = i;
+    }
+  }
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_LE(probs[i], probs[nearest] + 1e-15);
+    EXPECT_GE(probs[i], probs[farthest] - 1e-15);
+  }
+}
+
+TEST(OutputSelection, SingleCandidateIsCertain) {
+  const auto probs = selection_probabilities({{7, 7}}, 500.0);
+  ASSERT_EQ(probs.size(), 1u);
+  EXPECT_DOUBLE_EQ(probs[0], 1.0);
+}
+
+TEST(OutputSelection, EmpiricalSamplingMatchesProbabilities) {
+  const std::vector<geo::Point> candidates{{0, 0}, {2000, 0}, {-300, 400}};
+  const double sigma = 800.0;
+  const auto probs = selection_probabilities(candidates, sigma);
+
+  rng::Engine e(5);
+  std::map<std::size_t, int> counts;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[select_candidate(e, candidates, sigma)];
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kN, probs[i], 0.01);
+  }
+}
+
+TEST(OutputSelection, NumericallyStableForTinySigma) {
+  // Distances >> sigma underflow exp(); the log-shift must keep this sane.
+  const std::vector<geo::Point> candidates{{0, 0}, {1e7, 0}};
+  const auto probs = selection_probabilities(candidates, 1.0);
+  EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-12);
+  EXPECT_FALSE(std::isnan(probs[0]));
+}
+
+TEST(OutputSelection, UniformBaselineIsUniform) {
+  rng::Engine e(6);
+  const std::vector<geo::Point> candidates{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  std::map<std::size_t, int> counts;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[select_uniform(e, candidates)];
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kN, 0.25, 0.02);
+  }
+}
+
+TEST(OutputSelection, DomainErrors) {
+  rng::Engine e(7);
+  EXPECT_THROW(selection_probabilities({}, 1.0), util::InvalidArgument);
+  EXPECT_THROW(selection_probabilities({{0, 0}}, 0.0),
+               util::InvalidArgument);
+  EXPECT_THROW(select_uniform(e, {}), util::InvalidArgument);
+}
+
+// -------------------------------------------------------------- edge device
+
+EdgeConfig fast_edge_config() {
+  EdgeConfig c;
+  c.top_params = paper_params(10);
+  c.management.window_seconds = 1000;
+  c.management.min_top_frequency = 2;
+  return c;
+}
+
+TEST(EdgeDevice, NomadicBeforeProfileExists) {
+  EdgeDevice edge(fast_edge_config(), 42);
+  const ReportedLocation r = edge.report_location(1, {0, 0}, 0);
+  EXPECT_EQ(r.kind, ReportKind::kNomadic);
+}
+
+TEST(EdgeDevice, TopLocationReportsReplayFrozenCandidates) {
+  EdgeDevice edge(fast_edge_config(), 42);
+  const geo::Point home{100.0, 200.0};
+  trace::UserTrace history;
+  history.user_id = 1;
+  for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
+  edge.import_history(1, history);
+  ASSERT_FALSE(edge.top_locations(1).empty());
+
+  // All top-location reports must come from the same frozen candidate set.
+  std::set<std::pair<double, double>> reported;
+  for (int i = 0; i < 200; ++i) {
+    const ReportedLocation r = edge.report_location(1, home, 2000 + i);
+    ASSERT_EQ(r.kind, ReportKind::kTopLocation);
+    reported.insert({r.location.x, r.location.y});
+  }
+  EXPECT_LE(reported.size(), 10u);  // at most n distinct points, ever
+}
+
+TEST(EdgeDevice, FarCheckInIsNomadic) {
+  EdgeDevice edge(fast_edge_config(), 42);
+  const geo::Point home{0.0, 0.0};
+  trace::UserTrace history;
+  history.user_id = 1;
+  for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
+  edge.import_history(1, history);
+
+  const ReportedLocation r =
+      edge.report_location(1, {30000.0, 30000.0}, 5000);
+  EXPECT_EQ(r.kind, ReportKind::kNomadic);
+}
+
+TEST(EdgeDevice, FilterAdsKeepsOnlyAoi) {
+  EdgeDevice edge(fast_edge_config(), 42);
+  std::vector<adnet::Ad> ads{
+      {1, {1000, 0}, "a", 1.0},          // inside 5 km AOI
+      {2, {20000, 0}, "b", 1.0},         // outside
+      {3, {0, 4999}, "c", 1.0},          // inside
+  };
+  const auto kept = edge.filter_ads(ads, {0, 0});
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].advertiser_id, 1u);
+  EXPECT_EQ(kept[1].advertiser_id, 3u);
+}
+
+TEST(EdgeDevice, UsersAreIsolated) {
+  EdgeDevice edge(fast_edge_config(), 42);
+  const geo::Point home{0.0, 0.0};
+  trace::UserTrace history;
+  history.user_id = 1;
+  for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
+  edge.import_history(1, history);
+
+  // User 2 has no profile: same location reports nomadically.
+  const ReportedLocation r = edge.report_location(2, home, 0);
+  EXPECT_EQ(r.kind, ReportKind::kNomadic);
+  EXPECT_EQ(edge.user_count(), 2u);
+}
+
+TEST(EdgeDevice, SnapshotRestoreSurvivesRestart) {
+  const geo::Point home{100.0, 200.0};
+  trace::UserTrace history;
+  history.user_id = 1;
+  for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
+
+  // Device A freezes a candidate set, then "crashes".
+  EdgeDevice device_a(fast_edge_config(), 42);
+  device_a.import_history(1, history);
+  const ReportedLocation before = device_a.report_location(1, home, 2000);
+  ASSERT_EQ(before.kind, ReportKind::kTopLocation);
+  const TableSnapshot snapshot = device_a.snapshot_tables();
+  ASSERT_EQ(snapshot.size(), 1u);
+
+  // Device B restarts with a different engine seed but restored tables:
+  // it must replay the SAME frozen candidates, never fresh noise.
+  EdgeDevice device_b(fast_edge_config(), 777);
+  device_b.restore_tables(snapshot);
+  device_b.import_history(1, history);
+  std::set<std::pair<double, double>> replayed;
+  for (int i = 0; i < 100; ++i) {
+    const ReportedLocation r = device_b.report_location(1, home, 3000 + i);
+    ASSERT_EQ(r.kind, ReportKind::kTopLocation);
+    replayed.insert({r.location.x, r.location.y});
+  }
+  const auto& saved = snapshot.at(1).entries().front().candidates;
+  for (const auto& [x, y] : replayed) {
+    const bool from_saved_set = std::any_of(
+        saved.begin(), saved.end(), [&](geo::Point p) {
+          return geo::distance(p, {x, y}) < 1e-9;
+        });
+    EXPECT_TRUE(from_saved_set);
+  }
+}
+
+TEST(EdgeDevice, RestoreOverLiveEntriesRejected) {
+  const geo::Point home{0.0, 0.0};
+  trace::UserTrace history;
+  history.user_id = 1;
+  for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
+
+  EdgeDevice device(fast_edge_config(), 42);
+  device.import_history(1, history);
+  device.prepare_obfuscation(1);
+  const TableSnapshot snapshot = device.snapshot_tables();
+  EXPECT_THROW(device.restore_tables(snapshot), util::InvalidArgument);
+}
+
+TEST(EdgeDevice, AccountantChargesOncePerTopLocation) {
+  const geo::Point home{0.0, 0.0};
+  trace::UserTrace history;
+  history.user_id = 1;
+  for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
+
+  EdgeDevice device(fast_edge_config(), 42);
+  device.import_history(1, history);
+  for (int i = 0; i < 100; ++i) {
+    const ReportedLocation r = device.report_location(1, home, 2000 + i);
+    ASSERT_EQ(r.kind, ReportKind::kTopLocation);
+  }
+  // One permanent charge at (eps=1, delta=0.01), not 100 of them.
+  const lppm::PrivacySpend spend = device.accountant().spend_for(1);
+  EXPECT_EQ(spend.releases, 1u);
+  EXPECT_DOUBLE_EQ(spend.basic_epsilon, 1.0);
+  EXPECT_DOUBLE_EQ(spend.basic_delta, 0.01);
+}
+
+TEST(EdgeDevice, AccountantChargesEveryNomadicRelease) {
+  EdgeDevice device(fast_edge_config(), 42);
+  for (int i = 0; i < 10; ++i) {
+    device.report_location(2, {i * 20000.0, 0.0}, i);
+  }
+  const lppm::PrivacySpend spend = device.accountant().spend_for(2);
+  EXPECT_EQ(spend.releases, 10u);
+  EXPECT_NEAR(spend.basic_epsilon, 10.0 * std::log(4.0), 1e-9);
+}
+
+TEST(EdgeDevice, PersonalizedPrivacyGovernsNewTables) {
+  const geo::Point home{0.0, 0.0};
+  trace::UserTrace history;
+  history.user_id = 1;
+  for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
+
+  EdgeDevice device(fast_edge_config(), 42);
+  // Stricter personal setting before any table exists.
+  lppm::BoundedGeoIndParams strict = paper_params(10);
+  strict.epsilon = 0.5;
+  device.set_user_privacy(1, strict);
+  EXPECT_DOUBLE_EQ(device.user_privacy(1).epsilon, 0.5);
+
+  device.import_history(1, history);
+  device.report_location(1, home, 2000);
+  // The accountant charged at the PERSONAL epsilon, not the device's.
+  const lppm::PrivacySpend spend = device.accountant().spend_for(1);
+  EXPECT_DOUBLE_EQ(spend.basic_epsilon, 0.5);
+}
+
+TEST(EdgeDevice, PersonalizedPrivacyDefaultsToDeviceConfig) {
+  EdgeDevice device(fast_edge_config(), 42);
+  EXPECT_DOUBLE_EQ(device.user_privacy(9).epsilon,
+                   fast_edge_config().top_params.epsilon);
+}
+
+TEST(EdgeDevice, PersonalizedPrivacyValidatesParams) {
+  EdgeDevice device(fast_edge_config(), 42);
+  lppm::BoundedGeoIndParams bad = paper_params(10);
+  bad.epsilon = -1.0;
+  EXPECT_THROW(device.set_user_privacy(1, bad), util::InvalidArgument);
+}
+
+TEST(EdgeDevice, FrozenTablesSurvivePrivacyChanges) {
+  const geo::Point home{0.0, 0.0};
+  trace::UserTrace history;
+  history.user_id = 1;
+  for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
+
+  EdgeDevice device(fast_edge_config(), 42);
+  device.import_history(1, history);
+  const ReportedLocation before = device.report_location(1, home, 2000);
+  ASSERT_EQ(before.kind, ReportKind::kTopLocation);
+
+  // Changing the personal level must NOT regenerate the frozen set.
+  lppm::BoundedGeoIndParams loose = paper_params(10);
+  loose.epsilon = 1.5;
+  device.set_user_privacy(1, loose);
+  std::set<std::pair<double, double>> reported;
+  reported.insert({before.location.x, before.location.y});
+  for (int i = 0; i < 100; ++i) {
+    const ReportedLocation r = device.report_location(1, home, 3000 + i);
+    reported.insert({r.location.x, r.location.y});
+  }
+  EXPECT_LE(reported.size(), 10u);  // still the original n candidates
+  // And no second privacy charge was recorded.
+  EXPECT_EQ(device.accountant().spend_for(1).releases, 1u);
+}
+
+TEST(EdgeDevice, RiskAssessmentTracksUserBehaviour) {
+  EdgeDevice device(fast_edge_config(), 42);
+  // Unknown user: low risk.
+  EXPECT_EQ(device.assess_user_risk(99).level, RiskLevel::kLow);
+
+  // A concentrated heavy user becomes high risk.
+  const geo::Point home{0.0, 0.0};
+  trace::UserTrace history;
+  history.user_id = 1;
+  for (int i = 0; i < 1500; ++i) history.check_ins.push_back({home, i});
+  device.import_history(1, history);
+  const RiskAssessment risky = device.assess_user_risk(1);
+  EXPECT_EQ(risky.level, RiskLevel::kHigh);
+  EXPECT_GT(risky.entropy_signal, 0.9);
+  EXPECT_FALSE(risky.recommendation.empty());
+}
+
+TEST(EdgeDevice, PrepareObfuscationFillsTable) {
+  EdgeDevice edge(fast_edge_config(), 42);
+  trace::UserTrace history;
+  history.user_id = 9;
+  for (int i = 0; i < 30; ++i) history.check_ins.push_back({{0, 0}, i});
+  for (int i = 0; i < 20; ++i) {
+    history.check_ins.push_back({{8000, 0}, 100 + i});
+  }
+  edge.import_history(9, history);
+  edge.prepare_obfuscation(9);
+  // After preparation, reporting from a top location must not change the
+  // candidate set (it was already frozen).
+  const ReportedLocation r1 = edge.report_location(9, {0, 0}, 1000);
+  EXPECT_EQ(r1.kind, ReportKind::kTopLocation);
+}
+
+}  // namespace
+}  // namespace privlocad::core

@@ -1,0 +1,107 @@
+// Tests for the discretized + truncated planar Laplace mechanism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lppm/discrete_laplace.hpp"
+#include "lppm/planar_laplace.hpp"
+#include "rng/engine.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::lppm {
+namespace {
+
+geo::BoundingBox city_box() {
+  return geo::BoundingBox({-40000, -40000}, {40000, 40000});
+}
+
+DiscretePlanarLaplaceMechanism make_mech(double spacing = 50.0) {
+  return DiscretePlanarLaplaceMechanism({std::log(4.0), 200.0}, spacing,
+                                        city_box());
+}
+
+TEST(DiscreteLaplace, OutputsSnapToGrid) {
+  const auto mech = make_mech(50.0);
+  rng::Engine e(1);
+  for (int i = 0; i < 200; ++i) {
+    const geo::Point q = mech.obfuscate_one(e, {123.0, -456.0});
+    EXPECT_NEAR(std::remainder(q.x, 50.0), 0.0, 1e-9);
+    EXPECT_NEAR(std::remainder(q.y, 50.0), 0.0, 1e-9);
+  }
+}
+
+TEST(DiscreteLaplace, OutputsStayInsideRegion) {
+  const auto mech = make_mech(50.0);
+  rng::Engine e(2);
+  // A real location at the region's corner: noise would frequently leave
+  // the box; truncation must clamp every output back inside.
+  for (int i = 0; i < 500; ++i) {
+    const geo::Point q = mech.obfuscate_one(e, {39990.0, 39990.0});
+    EXPECT_TRUE(city_box().contains(q));
+  }
+}
+
+TEST(DiscreteLaplace, CenteredLikeTheContinuousMechanism) {
+  const auto mech = make_mech(25.0);
+  rng::Engine e(3);
+  geo::Point sum{};
+  constexpr int kN = 30000;
+  for (int i = 0; i < kN; ++i) {
+    sum = sum + mech.obfuscate_one(e, {1000.0, 2000.0});
+  }
+  EXPECT_NEAR(sum.x / kN, 1000.0, 10.0);
+  EXPECT_NEAR(sum.y / kN, 2000.0, 10.0);
+}
+
+TEST(DiscreteLaplace, TailRadiusAccountsForSnapDisplacement) {
+  const auto discrete = make_mech(100.0);
+  const PlanarLaplaceMechanism continuous({std::log(4.0), 200.0});
+  EXPECT_GT(discrete.tail_radius(0.05), continuous.tail_radius(0.05));
+  EXPECT_NEAR(discrete.tail_radius(0.05) - continuous.tail_radius(0.05),
+              100.0 * std::sqrt(2.0) / 2.0, 1e-9);
+}
+
+TEST(DiscreteLaplace, EffectiveEpsilonExceedsNominal) {
+  const auto mech = make_mech(50.0);
+  EXPECT_GT(mech.effective_epsilon(), mech.nominal_epsilon());
+  // Finer grids cost less privacy.
+  const auto finer = make_mech(10.0);
+  EXPECT_LT(finer.effective_epsilon() - finer.nominal_epsilon(),
+            mech.effective_epsilon() - mech.nominal_epsilon());
+}
+
+TEST(DiscreteLaplace, EmpiricalTailHolds) {
+  const auto mech = make_mech(50.0);
+  rng::Engine e(4);
+  const double r05 = mech.tail_radius(0.05);
+  int beyond = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    if (geo::distance(mech.obfuscate_one(e, {0, 0}), {0, 0}) > r05) {
+      ++beyond;
+    }
+  }
+  // The snap-inflated bound is conservative; empirical tail <= 5%.
+  EXPECT_LE(static_cast<double>(beyond) / kN, 0.05);
+}
+
+TEST(DiscreteLaplace, NameAndContract) {
+  const auto mech = make_mech(50.0);
+  EXPECT_NE(mech.name().find("discrete"), std::string::npos);
+  EXPECT_EQ(mech.output_count(), 1u);
+  rng::Engine e(5);
+  EXPECT_EQ(mech.obfuscate(e, {0, 0}).size(), 1u);
+}
+
+TEST(DiscreteLaplace, DomainErrors) {
+  EXPECT_THROW(DiscretePlanarLaplaceMechanism({std::log(4.0), 200.0}, 0.0,
+                                              city_box()),
+               util::InvalidArgument);
+  // Spacing coarser than the protection radius is meaningless.
+  EXPECT_THROW(DiscretePlanarLaplaceMechanism({std::log(4.0), 200.0}, 300.0,
+                                              city_box()),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace privlocad::lppm

@@ -1,0 +1,129 @@
+// Tests for the Weiszfeld geometric median and its integration into the
+// attack as the Laplace-MLE estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/deobfuscation.hpp"
+#include "attack/estimators.hpp"
+#include "lppm/planar_laplace.hpp"
+#include "rng/engine.hpp"
+#include "rng/samplers.hpp"
+#include "stats/running_stats.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::attack {
+namespace {
+
+TEST(GeometricMedian, TrivialCases) {
+  EXPECT_EQ(geometric_median({{3, 4}}), (geo::Point{3, 4}));
+  const geo::Point mid = geometric_median({{0, 0}, {10, 0}});
+  EXPECT_DOUBLE_EQ(mid.x, 5.0);
+  EXPECT_DOUBLE_EQ(mid.y, 0.0);
+  EXPECT_THROW(geometric_median({}), util::InvalidArgument);
+}
+
+TEST(GeometricMedian, EquilateralTriangleCenterIsFermatPoint) {
+  // For an equilateral triangle the geometric median is the centroid.
+  const double h = std::sqrt(3.0) / 2.0;
+  const std::vector<geo::Point> tri{{0, 0}, {1, 0}, {0.5, h}};
+  const geo::Point median = geometric_median(tri);
+  const geo::Point centroid = geo::centroid(tri);
+  EXPECT_NEAR(geo::distance(median, centroid), 0.0, 1e-6);
+}
+
+TEST(GeometricMedian, CollinearPointsGiveMiddlePoint) {
+  // Odd count on a line: the median is the middle point exactly.
+  const std::vector<geo::Point> line{{0, 0}, {1, 0}, {2, 0}, {3, 0}, {10, 0}};
+  const geo::Point median = geometric_median(line);
+  EXPECT_NEAR(median.x, 2.0, 1e-6);
+  EXPECT_NEAR(median.y, 0.0, 1e-6);
+}
+
+TEST(GeometricMedian, RobustToGrossOutlier) {
+  // One far outlier drags the centroid strongly but the median barely.
+  std::vector<geo::Point> points;
+  rng::Engine e(1);
+  for (int i = 0; i < 50; ++i) {
+    points.push_back(geo::Point{0, 0} + rng::gaussian_noise(e, 10.0));
+  }
+  points.push_back({100000.0, 0.0});
+
+  const geo::Point centroid = geo::centroid(points);
+  const geo::Point median = geometric_median(points);
+  EXPECT_GT(centroid.x, 1500.0);   // dragged ~2 km
+  EXPECT_LT(median.x, 50.0);       // barely moved
+}
+
+TEST(GeometricMedian, HandlesIterateOnDataPoint) {
+  // Symmetric cross: the centroid (= a data point here) IS the median;
+  // the Vardi-Zhang guard must terminate cleanly.
+  const std::vector<geo::Point> cross{
+      {0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  const geo::Point median = geometric_median(cross);
+  EXPECT_NEAR(geo::distance(median, {0, 0}), 0.0, 1e-9);
+}
+
+TEST(GeometricMedian, MinimizesSumOfDistances) {
+  // Property: the returned point beats random perturbations of itself.
+  rng::Engine e(2);
+  std::vector<geo::Point> points;
+  for (int i = 0; i < 40; ++i) {
+    points.push_back(
+        {e.uniform_in(-100, 100), e.uniform_in(-100, 100)});
+  }
+  const geo::Point median = geometric_median(points);
+  auto objective = [&](geo::Point p) {
+    double sum = 0.0;
+    for (const geo::Point& q : points) sum += geo::distance(p, q);
+    return sum;
+  };
+  const double at_median = objective(median);
+  for (int trial = 0; trial < 30; ++trial) {
+    const geo::Point perturbed =
+        median + geo::Point{e.uniform_in(-5, 5), e.uniform_in(-5, 5)};
+    EXPECT_GE(objective(perturbed), at_median - 1e-6);
+  }
+}
+
+TEST(Estimators, DispatchMatchesDirectCalls) {
+  const std::vector<geo::Point> points{{0, 0}, {4, 0}, {0, 4}};
+  EXPECT_EQ(estimate_location(points, LocationEstimator::kCentroid),
+            geo::centroid(points));
+  EXPECT_NEAR(
+      geo::distance(
+          estimate_location(points, LocationEstimator::kGeometricMedian),
+          geometric_median(points)),
+      0.0, 1e-12);
+  EXPECT_THROW(estimate_location({}, LocationEstimator::kCentroid),
+               util::InvalidArgument);
+}
+
+TEST(Estimators, MedianBeatsCentroidUnderLaplaceNoise) {
+  // The MLE argument made empirical: across many users, the geometric
+  // median's recovery error under planar Laplace noise is at most the
+  // centroid's (averaged).
+  const lppm::PlanarLaplaceMechanism mech({std::log(4.0), 200.0});
+  DeobfuscationConfig centroid_cfg;
+  centroid_cfg.trim_radius_m = mech.tail_radius(0.05);
+  centroid_cfg.connectivity_threshold_m = centroid_cfg.trim_radius_m / 4.0;
+  DeobfuscationConfig median_cfg = centroid_cfg;
+  median_cfg.estimator = LocationEstimator::kGeometricMedian;
+
+  stats::RunningStats centroid_err, median_err;
+  for (int user = 0; user < 40; ++user) {
+    rng::Engine e(rng::Engine(50).split(user));
+    std::vector<geo::Point> observed;
+    for (int i = 0; i < 150; ++i) {
+      observed.push_back(mech.obfuscate_one(e, {0, 0}));
+    }
+    centroid_err.add(geo::norm(
+        deobfuscate_top_locations(observed, centroid_cfg).at(0).location));
+    median_err.add(geo::norm(
+        deobfuscate_top_locations(observed, median_cfg).at(0).location));
+  }
+  EXPECT_LE(median_err.mean(), centroid_err.mean() * 1.05);
+}
+
+}  // namespace
+}  // namespace privlocad::attack

@@ -1,0 +1,142 @@
+// Tests for the RTB exchange: DSP bidding, second-price auctions, and the
+// every-DSP-sees-every-request observation property the attack relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adnet/exchange.hpp"
+#include "attack/deobfuscation.hpp"
+#include "lppm/planar_laplace.hpp"
+#include "rng/engine.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::adnet {
+namespace {
+
+Advertiser campaign(std::uint64_t id, geo::Point where, double radius,
+                    double bid) {
+  Advertiser a;
+  a.id = id;
+  a.business_location = where;
+  a.targeting_radius_m = radius;
+  a.category = "test";
+  a.bid_cpm = bid;
+  return a;
+}
+
+AdRequest request_at(geo::Point where, std::int64_t time = 0) {
+  return {1, where, time, {}};
+}
+
+TEST(Dsp, BidsItsBestMatchingCampaign) {
+  Dsp dsp("dsp-a", {campaign(1, {0, 0}, 5000.0, 2.0),
+                    campaign(2, {0, 0}, 5000.0, 7.0),
+                    campaign(3, {40000, 0}, 100.0, 9.0)});
+  const auto bid = dsp.bid(request_at({100, 100}));
+  ASSERT_TRUE(bid.has_value());
+  EXPECT_EQ(bid->advertiser_id, 2u);  // highest covering bid; 3 is far
+}
+
+TEST(Dsp, NoMatchMeansNoBidButStillLogs) {
+  Dsp dsp("dsp-a", {campaign(1, {40000, 0}, 100.0, 2.0)});
+  EXPECT_FALSE(dsp.bid(request_at({0, 0})).has_value());
+  EXPECT_EQ(dsp.bid_log().total_requests(), 1u);  // observed anyway
+}
+
+TEST(Exchange, SecondPriceAuction) {
+  Exchange exchange(0.1);
+  exchange.add_dsp(std::make_unique<Dsp>(
+      "a", std::vector<Advertiser>{campaign(1, {0, 0}, 5000.0, 5.0)}));
+  exchange.add_dsp(std::make_unique<Dsp>(
+      "b", std::vector<Advertiser>{campaign(2, {0, 0}, 5000.0, 3.0)}));
+  exchange.add_dsp(std::make_unique<Dsp>(
+      "c", std::vector<Advertiser>{campaign(3, {40000, 0}, 100.0, 9.0)}));
+
+  const AuctionResult result = exchange.run_auction(request_at({0, 0}));
+  ASSERT_TRUE(result.filled);
+  EXPECT_EQ(result.winner.advertiser_id, 1u);   // 5.0 beats 3.0
+  EXPECT_DOUBLE_EQ(result.clearing_price, 3.0);  // pays the second price
+  EXPECT_EQ(result.bids, 2u);                    // DSP c had no coverage
+  EXPECT_DOUBLE_EQ(exchange.total_revenue_cpm(), 3.0);
+}
+
+TEST(Exchange, SingleBidderPaysReserve) {
+  Exchange exchange(0.25);
+  exchange.add_dsp(std::make_unique<Dsp>(
+      "a", std::vector<Advertiser>{campaign(1, {0, 0}, 5000.0, 5.0)}));
+  const AuctionResult result = exchange.run_auction(request_at({0, 0}));
+  ASSERT_TRUE(result.filled);
+  EXPECT_DOUBLE_EQ(result.clearing_price, 0.25);
+}
+
+TEST(Exchange, BidsBelowReserveRejected) {
+  Exchange exchange(2.0);
+  exchange.add_dsp(std::make_unique<Dsp>(
+      "a", std::vector<Advertiser>{campaign(1, {0, 0}, 5000.0, 1.0)}));
+  const AuctionResult result = exchange.run_auction(request_at({0, 0}));
+  EXPECT_FALSE(result.filled);
+  EXPECT_EQ(exchange.filled(), 0u);
+  EXPECT_EQ(exchange.auctions(), 1u);
+}
+
+TEST(Exchange, EveryDspObservesEveryRequest) {
+  // The paper's attack-surface claim in executable form: losing DSPs log
+  // the reported location too.
+  Exchange exchange(0.1);
+  exchange.add_dsp(std::make_unique<Dsp>(
+      "winner", std::vector<Advertiser>{campaign(1, {0, 0}, 5000.0, 9.0)}));
+  exchange.add_dsp(std::make_unique<Dsp>(
+      "loser", std::vector<Advertiser>{campaign(2, {0, 0}, 5000.0, 1.0)}));
+  exchange.add_dsp(std::make_unique<Dsp>(
+      "no-coverage",
+      std::vector<Advertiser>{campaign(3, {40000, 0}, 100.0, 5.0)}));
+
+  for (int i = 0; i < 25; ++i) {
+    exchange.run_auction(request_at({i * 10.0, 0.0}, i));
+  }
+  for (std::size_t d = 0; d < exchange.dsp_count(); ++d) {
+    EXPECT_EQ(exchange.dsp(d).bid_log().total_requests(), 25u)
+        << exchange.dsp(d).name();
+  }
+}
+
+TEST(Exchange, LosingDspCanRunTheLongitudinalAttack) {
+  // End-to-end through the exchange: a DSP that never wins an auction
+  // still reconstructs the victim's top location from its own bid log.
+  Exchange exchange(0.1);
+  exchange.add_dsp(std::make_unique<Dsp>(
+      "winner", std::vector<Advertiser>{campaign(1, {0, 0}, 50000.0, 9.0)}));
+  exchange.add_dsp(std::make_unique<Dsp>(
+      "observer",
+      std::vector<Advertiser>{campaign(2, {0, 0}, 50000.0, 0.01)}));
+
+  const lppm::PlanarLaplaceMechanism laplace({std::log(4.0), 200.0});
+  rng::Engine e(7);
+  const geo::Point home{1500.0, -2500.0};
+  for (int i = 0; i < 400; ++i) {
+    exchange.run_auction(
+        {7, laplace.obfuscate_one(e, home), i, {}});
+  }
+
+  const Dsp& observer = exchange.dsp(1);
+  attack::DeobfuscationConfig config;
+  config.trim_radius_m = laplace.tail_radius(0.05);
+  config.connectivity_threshold_m = config.trim_radius_m / 4.0;
+  const auto inferred = attack::deobfuscate_top_locations(
+      observer.bid_log().positions_for(7), config);
+  ASSERT_FALSE(inferred.empty());
+  EXPECT_LT(geo::distance(inferred[0].location, home), 100.0);
+}
+
+TEST(Exchange, DomainErrors) {
+  Exchange exchange(0.1);
+  EXPECT_THROW(exchange.run_auction(request_at({0, 0})),
+               util::InvalidArgument);  // no DSPs
+  EXPECT_THROW(exchange.add_dsp(nullptr), util::InvalidArgument);
+  EXPECT_THROW(Exchange(-1.0), util::InvalidArgument);
+  EXPECT_THROW(Dsp("", {}), util::InvalidArgument);
+  EXPECT_THROW(exchange.dsp(0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace privlocad::adnet

@@ -1,0 +1,271 @@
+// Unit and property tests for the geometry substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "geo/bounding_box.hpp"
+#include "geo/circle.hpp"
+#include "geo/grid_index.hpp"
+#include "geo/latlon.hpp"
+#include "geo/point.hpp"
+#include "geo/projection.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::geo {
+namespace {
+
+// ------------------------------------------------------------------ Point
+
+TEST(Point, ArithmeticOperators) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Point{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Point{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Point{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Point{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Point{0.5, 1.0}));
+}
+
+TEST(Point, DistanceMatchesPythagoras) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_squared({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(norm({-3, 4}), 5.0);
+}
+
+TEST(Point, CentroidOfSymmetricSquareIsCenter) {
+  const std::vector<Point> square{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  const Point c = centroid(square);
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 1.0);
+}
+
+// ----------------------------------------------------------------- LatLon
+
+TEST(LatLon, HaversineKnownDistance) {
+  // People's Square to Lujiazui, Shanghai: roughly 4.5 km.
+  const LatLon peoples_square{31.2304, 121.4737};
+  const LatLon lujiazui{31.2397, 121.4998};
+  const double d = haversine_distance(peoples_square, lujiazui);
+  EXPECT_GT(d, 2000.0);
+  EXPECT_LT(d, 4000.0);
+}
+
+TEST(LatLon, HaversineZeroForIdenticalPoints) {
+  const LatLon p{31.0, 121.5};
+  EXPECT_DOUBLE_EQ(haversine_distance(p, p), 0.0);
+}
+
+TEST(LatLon, HaversineIsSymmetric) {
+  const LatLon a{30.8, 121.2};
+  const LatLon b{31.3, 121.9};
+  EXPECT_DOUBLE_EQ(haversine_distance(a, b), haversine_distance(b, a));
+}
+
+TEST(LatLon, DegreeRadianRoundTrip) {
+  EXPECT_NEAR(rad_to_deg(deg_to_rad(37.5)), 37.5, 1e-12);
+  EXPECT_DOUBLE_EQ(deg_to_rad(180.0), std::numbers::pi);
+}
+
+// ------------------------------------------------------------- projection
+
+TEST(Projection, OriginMapsToZero) {
+  const LocalProjection proj(LatLon{31.0, 121.5});
+  const Point origin = proj.to_local(LatLon{31.0, 121.5});
+  EXPECT_NEAR(origin.x, 0.0, 1e-9);
+  EXPECT_NEAR(origin.y, 0.0, 1e-9);
+}
+
+TEST(Projection, RoundTripIsExact) {
+  const LocalProjection proj = shanghai_projection();
+  const LatLon geo{31.1234, 121.6789};
+  const LatLon back = proj.to_geo(proj.to_local(geo));
+  EXPECT_NEAR(back.lat_deg, geo.lat_deg, 1e-12);
+  EXPECT_NEAR(back.lon_deg, geo.lon_deg, 1e-12);
+}
+
+TEST(Projection, RejectsPolarOrigin) {
+  EXPECT_THROW(LocalProjection(LatLon{89.5, 0.0}), util::InvalidArgument);
+}
+
+// Property sweep: projected Euclidean distance must agree with haversine
+// within 0.5% over the whole Shanghai study box.
+struct ProjPair {
+  LatLon a;
+  LatLon b;
+};
+
+class ProjectionAccuracy : public ::testing::TestWithParam<ProjPair> {};
+
+TEST_P(ProjectionAccuracy, MatchesHaversineWithinHalfPercent) {
+  const LocalProjection proj = shanghai_projection();
+  const auto& [a, b] = GetParam();
+  const double euclid = distance(proj.to_local(a), proj.to_local(b));
+  const double sphere = haversine_distance(a, b);
+  ASSERT_GT(sphere, 0.0);
+  EXPECT_NEAR(euclid / sphere, 1.0, 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShanghaiBox, ProjectionAccuracy,
+    ::testing::Values(
+        ProjPair{{30.7, 121.0}, {31.4, 122.0}},   // box diagonal
+        ProjPair{{30.7, 121.0}, {30.7, 122.0}},   // southern edge
+        ProjPair{{31.4, 121.0}, {31.4, 122.0}},   // northern edge
+        ProjPair{{30.7, 121.5}, {31.4, 121.5}},   // meridian
+        ProjPair{{31.0, 121.4}, {31.0015, 121.4}},  // ~166 m, attack scale
+        ProjPair{{31.05, 121.49}, {31.05, 121.51}}));  // ~1.9 km
+
+// ----------------------------------------------------------------- Circle
+
+TEST(Circle, AreaAndContainment) {
+  const Circle c({0, 0}, 2.0);
+  EXPECT_DOUBLE_EQ(c.area(), std::numbers::pi * 4.0);
+  EXPECT_TRUE(c.contains({1.0, 1.0}));
+  EXPECT_TRUE(c.contains({2.0, 0.0}));  // boundary counts as inside
+  EXPECT_FALSE(c.contains({2.1, 0.0}));
+}
+
+TEST(Circle, NegativeRadiusRejected) {
+  EXPECT_THROW(Circle({0, 0}, -1.0), util::InvalidArgument);
+}
+
+TEST(CircleIntersection, DisjointCirclesHaveZeroArea) {
+  const Circle a({0, 0}, 1.0);
+  const Circle b({3, 0}, 1.0);
+  EXPECT_DOUBLE_EQ(intersection_area(a, b), 0.0);
+}
+
+TEST(CircleIntersection, ContainedCircleGivesSmallerArea) {
+  const Circle big({0, 0}, 5.0);
+  const Circle small({1, 0}, 1.0);
+  EXPECT_DOUBLE_EQ(intersection_area(big, small), small.area());
+  EXPECT_DOUBLE_EQ(intersection_area(small, big), small.area());
+}
+
+TEST(CircleIntersection, CoincidentCirclesGiveFullArea) {
+  const Circle a({2, 3}, 4.0);
+  EXPECT_NEAR(intersection_area(a, a), a.area(), 1e-9);
+  EXPECT_NEAR(overlap_fraction(a, a), 1.0, 1e-12);
+}
+
+TEST(CircleIntersection, HalfOffsetEqualRadiiKnownValue) {
+  // Two unit circles at distance 1: lens area = 2*pi/3 - sqrt(3)/2.
+  const Circle a({0, 0}, 1.0);
+  const Circle b({1, 0}, 1.0);
+  const double expected = 2.0 * std::numbers::pi / 3.0 - std::sqrt(3.0) / 2.0;
+  EXPECT_NEAR(intersection_area(a, b), expected, 1e-12);
+}
+
+TEST(CircleIntersection, TangentCirclesHaveZeroArea) {
+  const Circle a({0, 0}, 1.0);
+  const Circle b({2, 0}, 1.0);
+  EXPECT_DOUBLE_EQ(intersection_area(a, b), 0.0);
+}
+
+// Property sweep: the lens area must be symmetric, monotone decreasing in
+// center distance, and bounded by the smaller circle's area.
+class LensProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(LensProperty, SymmetricBoundedMonotone) {
+  const double d = GetParam();
+  const Circle a({0, 0}, 5000.0);
+  const Circle b({d, 0}, 5000.0);
+  const Circle b_next({d + 500.0, 0}, 5000.0);
+
+  const double area = intersection_area(a, b);
+  EXPECT_DOUBLE_EQ(area, intersection_area(b, a));
+  EXPECT_GE(area, 0.0);
+  EXPECT_LE(area, a.area() + 1e-9);
+  EXPECT_GE(area, intersection_area(a, b_next) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(DistanceSweep, LensProperty,
+                         ::testing::Values(0.0, 500.0, 1000.0, 2500.0, 5000.0,
+                                           7500.0, 9999.0, 10000.0, 12000.0));
+
+TEST(OverlapFraction, RequiresPositiveAoiRadius) {
+  const Circle degenerate({0, 0}, 0.0);
+  const Circle b({1, 0}, 1.0);
+  EXPECT_THROW(overlap_fraction(degenerate, b), util::InvalidArgument);
+}
+
+// ------------------------------------------------------------ BoundingBox
+
+TEST(BoundingBox, ContainsAndClamp) {
+  const BoundingBox box({0, 0}, {10, 5});
+  EXPECT_TRUE(box.contains({5, 2}));
+  EXPECT_TRUE(box.contains({0, 0}));
+  EXPECT_FALSE(box.contains({11, 2}));
+  EXPECT_EQ(box.clamp({12, -1}), (Point{10, 0}));
+  EXPECT_DOUBLE_EQ(box.width(), 10.0);
+  EXPECT_DOUBLE_EQ(box.height(), 5.0);
+}
+
+TEST(BoundingBox, RejectsInvertedCorners) {
+  EXPECT_THROW(BoundingBox({1, 0}, {0, 1}), util::InvalidArgument);
+}
+
+TEST(BoundingBox, ExpandedToCoversNewPoint) {
+  const BoundingBox box({0, 0}, {1, 1});
+  const BoundingBox bigger = box.expanded_to({5, -2});
+  EXPECT_TRUE(bigger.contains({5, -2}));
+  EXPECT_TRUE(bigger.contains({0.5, 0.5}));
+}
+
+TEST(GeoBox, ShanghaiBoxMatchesPaper) {
+  const GeoBox box = shanghai_geo_box();
+  EXPECT_TRUE(box.contains(LatLon{31.0, 121.5}));
+  EXPECT_FALSE(box.contains(LatLon{32.0, 121.5}));
+  EXPECT_FALSE(box.contains(LatLon{31.0, 120.5}));
+}
+
+// -------------------------------------------------------------- GridIndex
+
+TEST(GridIndex, FindsExactlyTheNeighborsWithinRadius) {
+  const std::vector<Point> points{{0, 0}, {10, 0}, {60, 0}, {0, 45}, {100, 100}};
+  const GridIndex index(points, 50.0);
+  const auto hits = index.within({0, 0}, 50.0);
+  // {0,0}, {10,0}, {0,45} are within 50 m; {60,0} and {100,100} are not.
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST(GridIndex, RadiusLargerThanCellStillCorrect) {
+  const std::vector<Point> points{{0, 0}, {120, 0}, {240, 0}};
+  const GridIndex index(points, 50.0);
+  EXPECT_EQ(index.within({0, 0}, 130.0).size(), 2u);
+  EXPECT_EQ(index.within({0, 0}, 250.0).size(), 3u);
+}
+
+TEST(GridIndex, NegativeCoordinatesHandled) {
+  const std::vector<Point> points{{-75, -75}, {-25, -25}, {25, 25}};
+  const GridIndex index(points, 50.0);
+  EXPECT_EQ(index.within({-50, -50}, 40.0).size(), 2u);
+}
+
+TEST(GridIndex, RejectsNonPositiveCellSize) {
+  EXPECT_THROW(GridIndex({{0, 0}}, 0.0), util::InvalidArgument);
+}
+
+// Property: brute force and grid index agree on a pseudo-random cloud.
+TEST(GridIndex, AgreesWithBruteForce) {
+  std::vector<Point> points;
+  // Deterministic low-discrepancy-ish cloud, no RNG dependency in geo tests.
+  for (int i = 0; i < 500; ++i) {
+    const double x = std::fmod(i * 127.3, 1000.0) - 500.0;
+    const double y = std::fmod(i * 311.7, 1000.0) - 500.0;
+    points.push_back({x, y});
+  }
+  const GridIndex index(points, 50.0);
+  const Point query{13.0, -42.0};
+  const double radius = 75.0;
+
+  std::size_t brute = 0;
+  for (const Point& p : points) {
+    if (distance(p, query) <= radius) ++brute;
+  }
+  EXPECT_EQ(index.within(query, radius).size(), brute);
+}
+
+}  // namespace
+}  // namespace privlocad::geo

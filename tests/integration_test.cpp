@@ -1,0 +1,177 @@
+// End-to-end integration tests: the full Fig.-5 request flow through
+// EdgePrivLocAd, and the attack-vs-defence loop played against the running
+// system's own bid log (the exact adversary model of Section III-A).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adnet/advertiser.hpp"
+#include "attack/deobfuscation.hpp"
+#include "attack/evaluation.hpp"
+#include "core/system.hpp"
+#include "lppm/planar_laplace.hpp"
+#include "rng/engine.hpp"
+#include "trace/synthetic.hpp"
+
+namespace privlocad {
+namespace {
+
+core::EdgeConfig test_edge_config() {
+  core::EdgeConfig c;
+  c.top_params.radius_m = 500.0;
+  c.top_params.epsilon = 1.0;
+  c.top_params.delta = 0.01;
+  c.top_params.n = 10;
+  c.management.window_seconds = 30 * trace::kSecondsPerDay;
+  c.management.min_top_frequency = 2;
+  c.targeting_radius_m = 5000.0;
+  return c;
+}
+
+std::vector<adnet::Advertiser> test_campaigns(std::uint64_t seed,
+                                              std::size_t count = 300) {
+  rng::Engine e(seed);
+  return adnet::generate_campaigns(e, adnet::table1_presets()[3], count,
+                                   40000.0, 10000.0);
+}
+
+TEST(Integration, FullRequestFlowDeliversFilteredAds) {
+  core::EdgePrivLocAd system(test_edge_config(), test_campaigns(1), 7);
+
+  const geo::Point user_location{500.0, -300.0};
+  const core::ServedAds served =
+      system.on_lba_request(1, user_location, trace::kStudyStart);
+
+  // The reported location left the trusted boundary and was logged.
+  EXPECT_EQ(system.network().bid_log().total_requests(), 1u);
+  // Every delivered ad is relevant to the TRUE location.
+  for (const adnet::Ad& ad : served.delivered) {
+    EXPECT_LE(geo::distance(ad.business_location, user_location), 5000.0);
+  }
+  EXPECT_LE(served.delivered.size(), served.matched_count);
+}
+
+TEST(Integration, AdNetworkNeverSeesTrueTopLocation) {
+  core::EdgePrivLocAd system(test_edge_config(), test_campaigns(2), 8);
+  const geo::Point home{1000.0, 2000.0};
+
+  // Build the profile through history import, then request repeatedly.
+  trace::UserTrace history;
+  history.user_id = 5;
+  for (int i = 0; i < 60; ++i) {
+    history.check_ins.push_back({home, trace::kStudyStart + i * 3600});
+  }
+  system.edge().import_history(5, history);
+
+  for (int i = 0; i < 50; ++i) {
+    system.on_lba_request(5, home,
+                          trace::kStudyStart + 100 * trace::kSecondsPerDay +
+                              i * 3600);
+  }
+  // None of the logged locations equals (or is near) the true home: with
+  // sigma ~ 4.9 km the chance any of 10 candidates lands within 100 m is
+  // negligible, and only those 10 candidates are ever reported.
+  for (const geo::Point& p : system.network().bid_log().positions_for(5)) {
+    EXPECT_GT(geo::distance(p, home), 100.0);
+  }
+}
+
+TEST(Integration, LongitudinalAttackDefeatsOneTimeGeoIndButNotEdgeSystem) {
+  // The paper's headline result, demonstrated end-to-end on one user.
+  const geo::Point home{-2000.0, 1500.0};
+  constexpr int kObservations = 800;
+
+  // --- World A: user reports through one-time planar Laplace only.
+  const lppm::PlanarLaplaceMechanism laplace({std::log(4.0), 200.0});
+  rng::Engine e(11);
+  std::vector<geo::Point> observed_laplace;
+  for (int i = 0; i < kObservations; ++i) {
+    observed_laplace.push_back(laplace.obfuscate_one(e, home));
+  }
+  attack::DeobfuscationConfig attack_config;
+  attack_config.trim_radius_m = laplace.tail_radius(0.05);
+  attack_config.connectivity_threshold_m = attack_config.trim_radius_m / 4.0;
+  attack_config.top_n = 1;
+  const auto inferred_a =
+      attack::deobfuscate_top_locations(observed_laplace, attack_config);
+  ASSERT_FALSE(inferred_a.empty());
+  EXPECT_LT(geo::distance(inferred_a[0].location, home), 100.0)
+      << "one-time geo-IND should be breakable";
+
+  // --- World B: the same user behind Edge-PrivLocAd.
+  core::EdgePrivLocAd system(test_edge_config(), test_campaigns(3), 12);
+  trace::UserTrace history;
+  history.user_id = 1;
+  for (int i = 0; i < 60; ++i) {
+    history.check_ins.push_back({home, trace::kStudyStart + i * 3600});
+  }
+  system.edge().import_history(1, history);
+  for (int i = 0; i < kObservations; ++i) {
+    system.on_lba_request(
+        1, home, trace::kStudyStart + 100 * trace::kSecondsPerDay + i * 600);
+  }
+
+  const auto observed_edge = system.network().bid_log().positions_for(1);
+  ASSERT_EQ(observed_edge.size(), static_cast<std::size_t>(kObservations));
+  attack::DeobfuscationConfig edge_attack = attack_config;
+  edge_attack.trim_radius_m =
+      system.edge().top_mechanism().tail_radius(0.05);
+  edge_attack.connectivity_threshold_m = edge_attack.trim_radius_m / 4.0;
+  const auto inferred_b =
+      attack::deobfuscate_top_locations(observed_edge, edge_attack);
+  ASSERT_FALSE(inferred_b.empty());
+  EXPECT_GT(geo::distance(inferred_b[0].location, home), 500.0)
+      << "permanent n-fold obfuscation must blunt the attack";
+}
+
+TEST(Integration, ProfileRebuildAcrossWindowsKeepsServingTopLocations) {
+  core::EdgePrivLocAd system(test_edge_config(), test_campaigns(4), 13);
+  const geo::Point home{0.0, 0.0};
+
+  // Live through 3 windows of organic requests (no import).
+  std::size_t top_reports = 0;
+  trace::Timestamp t = trace::kStudyStart;
+  for (int day = 0; day < 95; ++day) {
+    for (int req = 0; req < 3; ++req) {
+      const core::ServedAds served = system.on_lba_request(2, home, t);
+      if (served.reported.kind == core::ReportKind::kTopLocation) {
+        ++top_reports;
+      }
+      t += 3600;
+    }
+    t += trace::kSecondsPerDay - 3 * 3600;
+  }
+  // After the first 30-day window the home must be recognized as top and
+  // most subsequent reports come from the frozen candidates.
+  EXPECT_GT(top_reports, 150u);
+}
+
+TEST(Integration, SyntheticPopulationThroughSystemMatchesReportKinds) {
+  core::EdgeConfig config = test_edge_config();
+  core::EdgePrivLocAd system(config, test_campaigns(5), 14);
+
+  trace::SyntheticConfig synth;
+  synth.min_check_ins = 150;
+  synth.max_check_ins = 300;
+  const rng::Engine parent(15);
+  const auto users = trace::generate_population(parent, synth, 5);
+
+  for (const trace::SyntheticUser& user : users) {
+    // Import the first year as history; replay the rest live.
+    const trace::Timestamp split =
+        trace::kStudyStart + 365 * trace::kSecondsPerDay;
+    system.edge().import_history(
+        user.trace.user_id,
+        trace::slice_by_time(user.trace, trace::kStudyStart, split));
+    for (const trace::CheckIn& c : user.trace.check_ins) {
+      if (c.time >= split) {
+        system.on_lba_request(user.trace.user_id, c.position, c.time);
+      }
+    }
+  }
+  // The system served everyone without error and logged every live request.
+  EXPECT_EQ(system.network().bid_log().user_count(), users.size());
+}
+
+}  // namespace
+}  // namespace privlocad

@@ -1,0 +1,234 @@
+// Tests for the dense two-phase simplex solver and the LP-based optimal
+// geo-IND mechanism built on it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lppm/optimal_mechanism.hpp"
+#include "lppm/planar_laplace.hpp"
+#include "opt/simplex.hpp"
+#include "rng/engine.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad {
+namespace {
+
+using opt::LpProblem;
+using opt::LpStatus;
+using opt::Matrix;
+
+// ------------------------------------------------------------------ simplex
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (Dantzig's example)
+  // -> min -3x - 5y; optimum x = 2, y = 6, objective -36.
+  LpProblem p;
+  p.objective = {-3.0, -5.0};
+  p.ub_lhs = Matrix(3, 2);
+  p.ub_lhs.at(0, 0) = 1.0;
+  p.ub_lhs.at(1, 1) = 2.0;
+  p.ub_lhs.at(2, 0) = 3.0;
+  p.ub_lhs.at(2, 1) = 2.0;
+  p.ub_rhs = {4.0, 12.0, 18.0};
+
+  const auto solution = opt::solve(p);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(solution.x[1], 6.0, 1e-9);
+  EXPECT_NEAR(solution.objective, -36.0, 1e-9);
+}
+
+TEST(Simplex, HandlesEqualityConstraints) {
+  // min x + 2y s.t. x + y = 10, x <= 4 -> x = 4, y = 6, obj 16.
+  LpProblem p;
+  p.objective = {1.0, 2.0};
+  p.eq_lhs = Matrix(1, 2);
+  p.eq_lhs.at(0, 0) = 1.0;
+  p.eq_lhs.at(0, 1) = 1.0;
+  p.eq_rhs = {10.0};
+  p.ub_lhs = Matrix(1, 2);
+  p.ub_lhs.at(0, 0) = 1.0;
+  p.ub_rhs = {4.0};
+
+  const auto solution = opt::solve(p);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(solution.x[1], 6.0, 1e-9);
+  EXPECT_NEAR(solution.objective, 16.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  // x = 5 and x <= 3 cannot both hold.
+  LpProblem p;
+  p.objective = {1.0};
+  p.eq_lhs = Matrix(1, 1);
+  p.eq_lhs.at(0, 0) = 1.0;
+  p.eq_rhs = {5.0};
+  p.ub_lhs = Matrix(1, 1);
+  p.ub_lhs.at(0, 0) = 1.0;
+  p.ub_rhs = {3.0};
+  EXPECT_EQ(opt::solve(p).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // min -x with no upper bound on x.
+  LpProblem p;
+  p.objective = {-1.0};
+  EXPECT_EQ(opt::solve(p).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsEqualityNormalized) {
+  // -x - y = -10 (i.e. x + y = 10), min x + 2y, y <= 7 -> x=3? No upper on
+  // x: min picks x as large as possible... objective favors x over y:
+  // x = 10, y = 0, obj 10; y-bound irrelevant.
+  LpProblem p;
+  p.objective = {1.0, 2.0};
+  p.eq_lhs = Matrix(1, 2);
+  p.eq_lhs.at(0, 0) = -1.0;
+  p.eq_lhs.at(0, 1) = -1.0;
+  p.eq_rhs = {-10.0};
+  p.ub_lhs = Matrix(1, 2);
+  p.ub_lhs.at(0, 1) = 1.0;
+  p.ub_rhs = {7.0};
+  const auto solution = opt::solve(p);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 10.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex (classic
+  // degeneracy); Bland's rule must still terminate.
+  LpProblem p;
+  p.objective = {-1.0, -1.0};
+  p.ub_lhs = Matrix(4, 2);
+  p.ub_lhs.at(0, 0) = 1.0;
+  p.ub_lhs.at(1, 1) = 1.0;
+  p.ub_lhs.at(2, 0) = 1.0;
+  p.ub_lhs.at(2, 1) = 1.0;
+  p.ub_lhs.at(3, 0) = 2.0;
+  p.ub_lhs.at(3, 1) = 2.0;
+  p.ub_rhs = {1.0, 1.0, 1.0, 2.0};
+  const auto solution = opt::solve(p);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -1.0, 1e-9);
+}
+
+TEST(Simplex, ValidatesDimensions) {
+  LpProblem p;
+  p.objective = {1.0, 1.0};
+  p.eq_lhs = Matrix(1, 3);  // wrong column count
+  p.eq_rhs = {1.0};
+  EXPECT_THROW(opt::solve(p), util::InvalidArgument);
+  LpProblem empty;
+  EXPECT_THROW(opt::solve(empty), util::InvalidArgument);
+}
+
+// ------------------------------------------------------- optimal mechanism
+
+lppm::OptimalMechanismConfig small_grid() {
+  lppm::OptimalMechanismConfig c;
+  c.per_side = 3;
+  c.cell_spacing_m = 250.0;
+  c.epsilon = std::log(4.0) / 200.0;
+  return c;
+}
+
+TEST(OptimalMechanism, ChannelRowsAreDistributions) {
+  const lppm::OptimalGeoIndMechanism mech(small_grid());
+  for (std::size_t i = 0; i < mech.cell_count(); ++i) {
+    double sum = 0.0;
+    for (const double p : mech.channel_row(i)) {
+      EXPECT_GE(p, -1e-12);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(OptimalMechanism, SatisfiesAllPairGeoIndConstraints) {
+  // The spanner construction must yield full-epsilon geo-IND between
+  // EVERY cell pair, not just grid neighbors.
+  const lppm::OptimalGeoIndMechanism mech(small_grid());
+  EXPECT_LE(mech.max_constraint_violation(), 1e-9);
+}
+
+TEST(OptimalMechanism, BeatsLaplaceQualityLossOnTheGrid) {
+  // The whole point of the optimal mechanism: at equal epsilon its
+  // expected quality loss is at most the (discretized) Laplace loss. The
+  // continuous planar Laplace has E[|noise|] = 2 / eps.
+  const auto config = small_grid();
+  const lppm::OptimalGeoIndMechanism mech(config);
+  const double laplace_loss = 2.0 / config.epsilon;
+  EXPECT_LT(mech.expected_quality_loss(), laplace_loss);
+}
+
+TEST(OptimalMechanism, SamplesMatchChannelFrequencies) {
+  const lppm::OptimalGeoIndMechanism mech(small_grid());
+  rng::Engine e(5);
+  const geo::Point truth = mech.cell_center(4);  // grid center
+  std::vector<int> counts(mech.cell_count(), 0);
+  constexpr int kN = 60000;
+  for (int i = 0; i < kN; ++i) {
+    const geo::Point q = mech.obfuscate(e, truth)[0];
+    for (std::size_t j = 0; j < mech.cell_count(); ++j) {
+      if (geo::distance(q, mech.cell_center(j)) < 1e-9) {
+        ++counts[j];
+        break;
+      }
+    }
+  }
+  const auto& row = mech.channel_row(4);
+  for (std::size_t j = 0; j < mech.cell_count(); ++j) {
+    EXPECT_NEAR(static_cast<double>(counts[j]) / kN, row[j], 0.01);
+  }
+}
+
+TEST(OptimalMechanism, InformativePriorReducesLoss) {
+  // Concentrating the prior on one cell lets the LP specialize: loss under
+  // the point-ish prior is <= loss under the uniform prior.
+  const lppm::OptimalGeoIndMechanism uniform(small_grid());
+  auto config = small_grid();
+  config.prior.assign(9, 0.02);
+  config.prior[4] = 0.84;  // mass on the center cell
+  const lppm::OptimalGeoIndMechanism informed(config);
+  EXPECT_LE(informed.expected_quality_loss(),
+            uniform.expected_quality_loss() + 1e-9);
+}
+
+TEST(OptimalMechanism, SnapsArbitraryInputToNearestCell) {
+  const lppm::OptimalGeoIndMechanism mech(small_grid());
+  rng::Engine e(6);
+  // A point close to the corner cell behaves like the corner cell.
+  const geo::Point corner = mech.cell_center(0);
+  const auto q = mech.obfuscate(e, corner + geo::Point{10.0, -10.0});
+  ASSERT_EQ(q.size(), 1u);
+  // Output is always some cell center.
+  bool is_center = false;
+  for (std::size_t j = 0; j < mech.cell_count(); ++j) {
+    if (geo::distance(q[0], mech.cell_center(j)) < 1e-9) is_center = true;
+  }
+  EXPECT_TRUE(is_center);
+}
+
+TEST(OptimalMechanism, TailRadiusCoversMass) {
+  const lppm::OptimalGeoIndMechanism mech(small_grid());
+  const double r = mech.tail_radius(0.05);
+  EXPECT_GT(r, 0.0);
+  // The full grid diameter always covers everything.
+  EXPECT_LE(r, 250.0 * 2.0 * std::sqrt(2.0) + 1e-9);
+}
+
+TEST(OptimalMechanism, InvalidConfigsRejected) {
+  auto c = small_grid();
+  c.per_side = 1;
+  EXPECT_THROW(lppm::OptimalGeoIndMechanism{c}, util::InvalidArgument);
+  c = small_grid();
+  c.prior.assign(5, 0.2);  // wrong size
+  EXPECT_THROW(lppm::OptimalGeoIndMechanism{c}, util::InvalidArgument);
+  c = small_grid();
+  c.prior.assign(9, 0.0);  // zero mass
+  EXPECT_THROW(lppm::OptimalGeoIndMechanism{c}, util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace privlocad

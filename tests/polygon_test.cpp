@@ -1,0 +1,134 @@
+// Tests for polygons and the areas/country targeting categories.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "adnet/ad_network.hpp"
+#include "geo/polygon.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad {
+namespace {
+
+using geo::Point;
+using geo::Polygon;
+
+// ------------------------------------------------------------------ polygon
+
+TEST(Polygon, RectangleContainment) {
+  const Polygon rect = Polygon::rectangle({0, 0}, {10, 5});
+  EXPECT_TRUE(rect.contains({5, 2}));
+  EXPECT_TRUE(rect.contains({0.001, 0.001}));
+  EXPECT_FALSE(rect.contains({11, 2}));
+  EXPECT_FALSE(rect.contains({5, -1}));
+  EXPECT_FALSE(rect.contains({-0.1, 2}));
+}
+
+TEST(Polygon, RectangleArea) {
+  EXPECT_DOUBLE_EQ(Polygon::rectangle({0, 0}, {10, 5}).area(), 50.0);
+  EXPECT_DOUBLE_EQ(Polygon::rectangle({-3, -2}, {3, 2}).area(), 24.0);
+}
+
+TEST(Polygon, TriangleAreaAndContainment) {
+  const Polygon tri({{0, 0}, {10, 0}, {0, 10}});
+  EXPECT_DOUBLE_EQ(tri.area(), 50.0);
+  EXPECT_TRUE(tri.contains({2, 2}));
+  EXPECT_FALSE(tri.contains({6, 6}));  // beyond the hypotenuse
+}
+
+TEST(Polygon, WindingOrderIrrelevant) {
+  const Polygon ccw({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  const Polygon cw({{0, 0}, {0, 10}, {10, 10}, {10, 0}});
+  EXPECT_DOUBLE_EQ(ccw.area(), cw.area());
+  EXPECT_EQ(ccw.contains({5, 5}), cw.contains({5, 5}));
+}
+
+TEST(Polygon, ConcavePolygon) {
+  // A "C" shape: the notch must be outside.
+  const Polygon c_shape({{0, 0}, {10, 0}, {10, 3}, {3, 3}, {3, 7},
+                         {10, 7}, {10, 10}, {0, 10}});
+  EXPECT_TRUE(c_shape.contains({1, 5}));    // spine of the C
+  EXPECT_FALSE(c_shape.contains({7, 5}));   // inside the notch
+  EXPECT_TRUE(c_shape.contains({7, 1}));    // lower arm
+  EXPECT_TRUE(c_shape.contains({7, 9}));    // upper arm
+}
+
+TEST(Polygon, RegularPolygonApproximatesCircle) {
+  const Polygon near_circle = Polygon::regular({0, 0}, 1000.0, 128);
+  EXPECT_NEAR(near_circle.area(), std::numbers::pi * 1e6, 1e6 * 0.01);
+  EXPECT_TRUE(near_circle.contains({500, 500}));
+  EXPECT_FALSE(near_circle.contains({800, 800}));  // outside r = 1000
+}
+
+TEST(Polygon, BoundsCoverAllVertices) {
+  const Polygon tri({{-5, 0}, {10, 0}, {0, 20}});
+  EXPECT_TRUE(tri.bounds().contains({-5, 0}));
+  EXPECT_TRUE(tri.bounds().contains({10, 20}));  // bounding box corner
+  EXPECT_FALSE(tri.bounds().contains({11, 0}));
+}
+
+TEST(Polygon, DomainErrors) {
+  EXPECT_THROW(Polygon({{0, 0}, {1, 1}}), util::InvalidArgument);
+  EXPECT_THROW(Polygon::rectangle({5, 5}, {0, 0}), util::InvalidArgument);
+  EXPECT_THROW(Polygon::regular({0, 0}, -1.0, 8), util::InvalidArgument);
+  EXPECT_THROW(Polygon::regular({0, 0}, 1.0, 2), util::InvalidArgument);
+}
+
+// -------------------------------------------------------- targeting types
+
+adnet::Advertiser radius_campaign(std::uint64_t id, Point where,
+                                  double radius) {
+  adnet::Advertiser a;
+  a.id = id;
+  a.business_location = where;
+  a.targeting_radius_m = radius;
+  a.category = "test";
+  return a;
+}
+
+TEST(Targeting, AreaCampaignMatchesInsidePolygonOnly) {
+  adnet::Advertiser district = radius_campaign(1, {0, 0}, 1.0);
+  district.targeting = adnet::TargetingType::kArea;
+  district.area = Polygon::rectangle({-1000, -1000}, {1000, 1000});
+
+  adnet::AdNetwork network({district});
+  EXPECT_EQ(network.match({0, 0}).size(), 1u);
+  EXPECT_EQ(network.match({999, -999}).size(), 1u);
+  EXPECT_EQ(network.match({1500, 0}).size(), 0u);
+}
+
+TEST(Targeting, CountryCampaignMatchesEverywhere) {
+  adnet::Advertiser national = radius_campaign(1, {0, 0}, 1.0);
+  national.targeting = adnet::TargetingType::kCountry;
+
+  adnet::AdNetwork network({national});
+  EXPECT_EQ(network.match({0, 0}).size(), 1u);
+  EXPECT_EQ(network.match({40000, -40000}).size(), 1u);
+}
+
+TEST(Targeting, MixedCampaignTypesCoexist) {
+  adnet::Advertiser radius = radius_campaign(1, {0, 0}, 1000.0);
+  adnet::Advertiser district = radius_campaign(2, {0, 0}, 1.0);
+  district.targeting = adnet::TargetingType::kArea;
+  district.area = Polygon::rectangle({5000, 5000}, {7000, 7000});
+  adnet::Advertiser national = radius_campaign(3, {0, 0}, 1.0);
+  national.targeting = adnet::TargetingType::kCountry;
+
+  adnet::AdNetwork network({radius, district, national});
+  // Near the origin: radius + country.
+  EXPECT_EQ(network.match({100, 100}).size(), 2u);
+  // Inside the district: area + country.
+  EXPECT_EQ(network.match({6000, 6000}).size(), 2u);
+  // Far from both: country only.
+  EXPECT_EQ(network.match({-30000, 0}).size(), 1u);
+}
+
+TEST(Targeting, AreaCampaignWithoutPolygonRejected) {
+  adnet::Advertiser broken = radius_campaign(1, {0, 0}, 1000.0);
+  broken.targeting = adnet::TargetingType::kArea;  // no polygon set
+  EXPECT_THROW(adnet::AdNetwork({broken}), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace privlocad

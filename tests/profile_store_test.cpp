@@ -1,0 +1,147 @@
+// Tests for profile persistence and the restored-device serving path.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/edge_device.hpp"
+#include "core/profile_store.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+namespace {
+
+EdgeConfig fast_config() {
+  EdgeConfig c;
+  c.top_params.radius_m = 500.0;
+  c.top_params.epsilon = 1.0;
+  c.top_params.delta = 0.01;
+  c.top_params.n = 10;
+  c.management.window_seconds = 1000;
+  return c;
+}
+
+ProfileSnapshot sample_snapshot() {
+  ProfileSnapshot snapshot;
+  StoredProfile alice;
+  alice.profile = attack::LocationProfile(
+      {{{0, 0}, 50}, {{8000, 0}, 20}, {{3000, 3000}, 3}});
+  alice.top_indices = {0, 1};
+  snapshot.emplace(1, std::move(alice));
+  StoredProfile bob;
+  bob.profile = attack::LocationProfile({{{-500, 900}, 7}});
+  bob.top_indices = {0};
+  snapshot.emplace(2, std::move(bob));
+  return snapshot;
+}
+
+TEST(ProfileStore, RoundTripPreservesEverything) {
+  const ProfileSnapshot original = sample_snapshot();
+  std::ostringstream out;
+  save_profiles(out, original);
+  std::istringstream in(out.str());
+  const ProfileSnapshot loaded = load_profiles(in);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (const auto& [user, stored] : original) {
+    const auto it = loaded.find(user);
+    ASSERT_NE(it, loaded.end());
+    ASSERT_EQ(it->second.profile.size(), stored.profile.size());
+    for (std::size_t i = 0; i < stored.profile.size(); ++i) {
+      EXPECT_EQ(it->second.profile.top(i).frequency,
+                stored.profile.top(i).frequency);
+      EXPECT_NEAR(geo::distance(it->second.profile.top(i).location,
+                                stored.profile.top(i).location),
+                  0.0, 1e-5);
+    }
+    EXPECT_EQ(it->second.top_indices, stored.top_indices);
+  }
+}
+
+TEST(ProfileStore, EmptySnapshotRoundTrips) {
+  std::ostringstream out;
+  save_profiles(out, {});
+  std::istringstream in(out.str());
+  EXPECT_TRUE(load_profiles(in).empty());
+}
+
+TEST(ProfileStore, RejectsCorruptInput) {
+  {
+    std::istringstream in("a,b\n1,2\n");
+    EXPECT_THROW(load_profiles(in), util::InvalidArgument);
+  }
+  {
+    std::istringstream in(
+        "user_id,entry_index,x,y,frequency,is_top\n1,1,0,0,5,0\n");
+    EXPECT_THROW(load_profiles(in), util::InvalidArgument);  // gap at 0
+  }
+  {
+    std::istringstream in(
+        "user_id,entry_index,x,y,frequency,is_top\n1,0,0,0,0,0\n");
+    EXPECT_THROW(load_profiles(in), util::InvalidArgument);  // zero freq
+  }
+  {
+    std::istringstream in(
+        "user_id,entry_index,x,y,frequency,is_top\n1,0,0,0,5,7\n");
+    EXPECT_THROW(load_profiles(in), util::InvalidArgument);  // bad is_top
+  }
+}
+
+TEST(ProfileStore, MissingFilesThrow) {
+  EXPECT_THROW(load_profiles_file("/nonexistent/p.csv"),
+               std::runtime_error);
+}
+
+TEST(ProfileStore, RestoredDeviceServesTopLocationsImmediately) {
+  const geo::Point home{0.0, 0.0};
+  trace::UserTrace history;
+  history.user_id = 1;
+  for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
+
+  // Device A builds state, persists BOTH tables and profiles.
+  EdgeDevice device_a(fast_config(), 42);
+  device_a.import_history(1, history);
+  device_a.prepare_obfuscation(1);
+  std::stringstream tables, profiles;
+  save_tables(tables, device_a.snapshot_tables());
+  save_profiles(profiles, device_a.snapshot_profiles());
+
+  // Device B restores: the FIRST request after restart must already be a
+  // top-location report from the frozen set -- no warm-up window.
+  EdgeDevice device_b(fast_config(), 777);
+  device_b.restore_tables(load_tables(tables, 100.0));
+  device_b.restore_profiles(load_profiles(profiles));
+  const ReportedLocation r = device_b.report_location(1, home, 99999);
+  EXPECT_EQ(r.kind, ReportKind::kTopLocation);
+}
+
+TEST(ProfileStore, RestoreOverLiveProfileRejected) {
+  EdgeDevice device(fast_config(), 42);
+  const geo::Point home{0.0, 0.0};
+  trace::UserTrace history;
+  history.user_id = 1;
+  for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
+  device.import_history(1, history);
+
+  EXPECT_THROW(device.restore_profiles(sample_snapshot()),
+               util::PreconditionViolation);
+}
+
+TEST(ProfileStore, SnapshotSkipsUsersWithoutProfiles) {
+  EdgeDevice device(fast_config(), 42);
+  device.report_location(9, {0, 0}, 0);  // user exists, no rebuild yet
+  EXPECT_TRUE(device.snapshot_profiles().empty());
+}
+
+TEST(ProfileStore, RestoredTopIndexOutOfRangeRejected) {
+  ProfileSnapshot bad;
+  StoredProfile stored;
+  stored.profile = attack::LocationProfile({{{0, 0}, 5}});
+  stored.top_indices = {3};  // past the single entry
+  bad.emplace(1, std::move(stored));
+
+  EdgeDevice device(fast_config(), 42);
+  EXPECT_THROW(device.restore_profiles(bad), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace privlocad::core

@@ -1,0 +1,409 @@
+// Cross-module property suites (parameterized sweeps).
+//
+// These tests pin down the *relationships* the paper's analysis depends
+// on, across the whole parameter grid the evaluation uses -- rather than
+// spot values: calibration monotonicity, mechanism displacement quantiles,
+// utilization monotonicity in n, attack error scaling, selection-sharpness
+// invariance, and eta-frequent minimality under random profiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "attack/deobfuscation.hpp"
+#include "attack/profile.hpp"
+#include "core/eta_frequent.hpp"
+#include "core/output_selection.hpp"
+#include "core/profile_merge.hpp"
+#include "lppm/baselines.hpp"
+#include "lppm/gaussian.hpp"
+#include "lppm/planar_laplace.hpp"
+#include "opt/simplex.hpp"
+#include "rng/engine.hpp"
+#include "rng/samplers.hpp"
+#include "stats/quantiles.hpp"
+#include "stats/running_stats.hpp"
+#include "utility/metrics.hpp"
+
+namespace privlocad {
+namespace {
+
+lppm::BoundedGeoIndParams make_params(std::size_t n, double eps, double r) {
+  lppm::BoundedGeoIndParams p;
+  p.n = n;
+  p.epsilon = eps;
+  p.radius_m = r;
+  p.delta = 0.01;
+  return p;
+}
+
+// ------------------------------------------------- calibration monotonicity
+
+struct CalibCase {
+  double eps;
+  double r;
+};
+
+class CalibrationMonotonicity : public ::testing::TestWithParam<CalibCase> {};
+
+TEST_P(CalibrationMonotonicity, SigmaGrowsAsSqrtN) {
+  const auto& [eps, r] = GetParam();
+  double prev_ratio = 0.0;
+  for (std::size_t n = 1; n <= 10; ++n) {
+    const double sigma = lppm::n_fold_sigma(make_params(n, eps, r));
+    const double expected =
+        std::sqrt(static_cast<double>(n)) *
+        lppm::one_fold_sigma(r, eps, 0.01);
+    EXPECT_NEAR(sigma, expected, 1e-9);
+    // composition sigma must dominate n-fold for n >= 2 and the gap widens
+    const double comp = lppm::composition_sigma(make_params(n, eps, r));
+    const double ratio = comp / sigma;
+    if (n == 1) {
+      EXPECT_NEAR(ratio, 1.0, 1e-12);
+    } else {
+      EXPECT_GT(ratio, prev_ratio);
+    }
+    prev_ratio = ratio;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, CalibrationMonotonicity,
+    ::testing::Values(CalibCase{1.0, 500.0}, CalibCase{1.5, 500.0},
+                      CalibCase{1.0, 800.0}, CalibCase{0.5, 600.0}));
+
+// ----------------------------------------- mechanism displacement quantiles
+
+class DisplacementQuantiles
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DisplacementQuantiles, EmpiricalQuantilesMatchRayleigh) {
+  const auto [eps, r] = GetParam();
+  const lppm::NFoldGaussianMechanism mech(make_params(1, eps, r));
+  rng::Engine e(11);
+  std::vector<double> displacements;
+  constexpr int kN = 8000;
+  displacements.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    displacements.push_back(geo::norm(mech.obfuscate(e, {0, 0})[0]));
+  }
+  // Median of Rayleigh(sigma) is sigma * sqrt(2 ln 2).
+  const double median = stats::quantile(displacements, 0.5);
+  const double expected = mech.sigma() * std::sqrt(2.0 * std::log(2.0));
+  EXPECT_NEAR(median / expected, 1.0, 0.05);
+  // 95th percentile matches tail_radius(0.05).
+  const double p95 = stats::quantile(displacements, 0.95);
+  EXPECT_NEAR(p95 / mech.tail_radius(0.05), 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsRadiusGrid, DisplacementQuantiles,
+    ::testing::Combine(::testing::Values(1.0, 1.5),
+                       ::testing::Values(500.0, 800.0)));
+
+// ------------------------------------------------ UR monotonicity in n
+
+class UrMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(UrMonotonicity, NFoldUtilizationRisesWithN) {
+  const double eps = GetParam();
+  double prev = 0.0;
+  for (const std::size_t n : {1u, 3u, 6u, 10u}) {
+    const lppm::NFoldGaussianMechanism mech(make_params(n, eps, 500.0));
+    const rng::Engine parent(23);
+    stats::RunningStats ur;
+    for (int t = 0; t < 600; ++t) {
+      rng::Engine e = parent.split(t);
+      const auto candidates = mech.obfuscate(e, {0, 0});
+      ur.add(utility::utilization_rate(e, {0, 0}, candidates, 5000.0, 128));
+    }
+    EXPECT_GT(ur.mean(), prev - 0.02) << "n = " << n;  // allow MC noise
+    prev = ur.mean();
+  }
+  EXPECT_GT(prev, 0.85);  // n = 10 reaches high coverage for both eps
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsSweep, UrMonotonicity,
+                         ::testing::Values(1.0, 1.5));
+
+// -------------------------------------------- attack error ~ 1/sqrt(N) law
+
+class AttackScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(AttackScaling, ErrorShrinksRoughlyAsSqrtN) {
+  const double level = GetParam();
+  const lppm::PlanarLaplaceMechanism mech({level, 200.0});
+  attack::DeobfuscationConfig config;
+  config.trim_radius_m = mech.tail_radius(0.05);
+  config.connectivity_threshold_m = config.trim_radius_m / 4.0;
+
+  auto mean_error = [&](int observations) {
+    stats::RunningStats err;
+    for (int rep = 0; rep < 12; ++rep) {
+      rng::Engine e(rng::Engine(31).split(rep * 1000 + observations));
+      std::vector<geo::Point> observed;
+      for (int i = 0; i < observations; ++i) {
+        observed.push_back(mech.obfuscate_one(e, {0, 0}));
+      }
+      const auto inferred =
+          attack::deobfuscate_top_locations(observed, config);
+      err.add(geo::norm(inferred.at(0).location));
+    }
+    return err.mean();
+  };
+
+  const double e100 = mean_error(100);
+  const double e1600 = mean_error(1600);
+  // 16x more data -> ~4x less error; accept [2.2x, 7x] for MC noise.
+  const double gain = e100 / e1600;
+  EXPECT_GT(gain, 2.2) << "level " << level;
+  EXPECT_LT(gain, 7.0) << "level " << level;
+}
+
+INSTANTIATE_TEST_SUITE_P(LevelSweep, AttackScaling,
+                         ::testing::Values(std::log(2.0), std::log(4.0),
+                                           std::log(6.0)));
+
+// ------------------------------------- selection invariants across the grid
+
+class SelectionInvariants
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(SelectionInvariants, ProbabilitiesNormalizedAndOrderedByDistance) {
+  const auto [n, eps] = GetParam();
+  const lppm::NFoldGaussianMechanism mech(make_params(n, eps, 500.0));
+  rng::Engine e(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto candidates = mech.obfuscate(e, {0, 0});
+    const auto probs =
+        core::selection_probabilities(candidates, mech.posterior_sigma());
+    const double sum = std::accumulate(probs.begin(), probs.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+
+    // Weights must be monotone non-increasing in distance-to-centroid.
+    const geo::Point mean = geo::centroid(candidates);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      for (std::size_t j = 0; j < candidates.size(); ++j) {
+        if (geo::distance(candidates[i], mean) <
+            geo::distance(candidates[j], mean) - 1e-9) {
+          EXPECT_GE(probs[i], probs[j] - 1e-12);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NGrid, SelectionInvariants,
+    ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{5},
+                                         std::size_t{10}),
+                       ::testing::Values(1.0, 1.5)));
+
+// ------------------------------------------- eta-frequent random profiles
+
+class EtaFrequentProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EtaFrequentProperty, PrefixIsMinimalAndOrdered) {
+  rng::Engine e(GetParam());
+  // Random profile: 1..20 entries with random frequencies.
+  const std::size_t count = 1 + e.uniform_index(20);
+  std::vector<std::uint64_t> freqs;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    freqs.push_back(1 + e.uniform_index(500));
+    total += freqs.back();
+  }
+  std::sort(freqs.rbegin(), freqs.rend());
+  std::vector<attack::ProfileEntry> entries;
+  for (std::size_t i = 0; i < count; ++i) {
+    entries.push_back(
+        {{static_cast<double>(i) * 1000.0, 0.0}, freqs[i]});
+  }
+  const attack::LocationProfile profile(std::move(entries));
+
+  for (const double fraction : {0.2, 0.5, 0.8, 1.0}) {
+    const auto set = core::eta_frequent_set_fraction(profile, fraction);
+    ASSERT_FALSE(set.empty());
+    const auto eta = static_cast<std::uint64_t>(
+        std::ceil(fraction * static_cast<double>(total)));
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      sum += set[i].frequency;
+      if (i > 0) {
+        EXPECT_LE(set[i].frequency, set[i - 1].frequency);
+      }
+    }
+    EXPECT_GE(sum, std::min(eta, total));
+    if (set.size() > 1) {
+      EXPECT_LT(sum - set.back().frequency, eta);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EtaFrequentProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ------------------------------------ profile clustering scale invariance
+
+class ProfileThreshold : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProfileThreshold, JitteredAnchorsCollapseToOneEntryUnderThreshold) {
+  const double jitter = GetParam();
+  rng::Engine e(77);
+  std::vector<geo::Point> check_ins;
+  for (int i = 0; i < 200; ++i) {
+    check_ins.push_back(geo::Point{0, 0} + rng::gaussian_noise(e, jitter));
+  }
+  // With jitter well below threshold/2, everything is one cluster.
+  const attack::LocationProfile profile =
+      attack::build_profile(check_ins, 50.0);
+  if (jitter <= 10.0) {
+    EXPECT_EQ(profile.size(), 1u);
+    EXPECT_EQ(profile.top(0).frequency, 200u);
+  } else {
+    // Heavier jitter can fragment; the dominant cluster still carries
+    // most of the mass.
+    EXPECT_GE(profile.top(0).frequency, 150u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(JitterSweep, ProfileThreshold,
+                         ::testing::Values(2.0, 5.0, 10.0, 15.0));
+
+// ------------------------------------------ simplex vs brute-force vertices
+
+class SimplexRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexRandom, MatchesBruteForceVertexEnumerationIn2D) {
+  // Random bounded 2-variable LPs: the optimum sits on a vertex of the
+  // feasible polygon, so enumerating all constraint-pair intersections
+  // (including the axes) gives an independent reference optimum.
+  rng::Engine e(GetParam());
+  const std::size_t m = 3 + e.uniform_index(4);  // 3..6 inequalities
+
+  opt::LpProblem p;
+  p.objective = {e.uniform_in(-5.0, 5.0), e.uniform_in(-5.0, 5.0)};
+  p.ub_lhs = opt::Matrix(m + 2, 2);
+  p.ub_rhs.assign(m + 2, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    p.ub_lhs.at(r, 0) = e.uniform_in(0.1, 3.0);
+    p.ub_lhs.at(r, 1) = e.uniform_in(0.1, 3.0);
+    p.ub_rhs[r] = e.uniform_in(1.0, 10.0);
+  }
+  // Box bounds keep every instance bounded: x <= 20, y <= 20.
+  p.ub_lhs.at(m, 0) = 1.0;
+  p.ub_rhs[m] = 20.0;
+  p.ub_lhs.at(m + 1, 1) = 1.0;
+  p.ub_rhs[m + 1] = 20.0;
+
+  const opt::LpSolution solution = opt::solve(p);
+  ASSERT_EQ(solution.status, opt::LpStatus::kOptimal);
+
+  // Brute force: candidate vertices are intersections of every pair of
+  // constraint lines (plus x=0 / y=0), filtered by feasibility.
+  struct Line {
+    double a, b, c;  // a x + b y = c
+  };
+  std::vector<Line> lines{{1, 0, 0}, {0, 1, 0}};
+  for (std::size_t r = 0; r < m + 2; ++r) {
+    lines.push_back({p.ub_lhs.at(r, 0), p.ub_lhs.at(r, 1), p.ub_rhs[r]});
+  }
+  auto feasible = [&](double x, double y) {
+    if (x < -1e-9 || y < -1e-9) return false;
+    for (std::size_t r = 0; r < m + 2; ++r) {
+      if (p.ub_lhs.at(r, 0) * x + p.ub_lhs.at(r, 1) * y >
+          p.ub_rhs[r] + 1e-7) {
+        return false;
+      }
+    }
+    return true;
+  };
+  double best = 1e300;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::size_t j = i + 1; j < lines.size(); ++j) {
+      const double det =
+          lines[i].a * lines[j].b - lines[j].a * lines[i].b;
+      if (std::abs(det) < 1e-12) continue;
+      const double x =
+          (lines[i].c * lines[j].b - lines[j].c * lines[i].b) / det;
+      const double y =
+          (lines[i].a * lines[j].c - lines[j].a * lines[i].c) / det;
+      if (feasible(x, y)) {
+        best = std::min(best,
+                        p.objective[0] * x + p.objective[1] * y);
+      }
+    }
+  }
+  ASSERT_LT(best, 1e299) << "reference enumeration found no vertex";
+  EXPECT_NEAR(solution.objective, best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandom,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+// ------------------------------------------ profile merge order invariance
+
+TEST(ProfileMergeProperty, OrderOfSlicesDoesNotChangeTheResult) {
+  rng::Engine e(321);
+  // Three random slices over four real-world places.
+  const std::vector<geo::Point> places{{0, 0}, {5000, 0}, {0, 7000},
+                                       {-6000, -2000}};
+  auto random_slice = [&]() {
+    std::vector<attack::ProfileEntry> entries;
+    for (const geo::Point& place : places) {
+      const auto freq = e.uniform_index(40);
+      if (freq == 0) continue;
+      // Drift within the merge threshold.
+      entries.push_back(
+          {place + geo::Point{e.uniform_in(-20, 20), e.uniform_in(-20, 20)},
+           freq});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const attack::ProfileEntry& a,
+                 const attack::ProfileEntry& b) {
+                return a.frequency > b.frequency;
+              });
+    return attack::LocationProfile(std::move(entries));
+  };
+
+  const auto s1 = random_slice();
+  const auto s2 = random_slice();
+  const auto s3 = random_slice();
+  const auto abc = core::merge_profiles({s1, s2, s3}, 60.0);
+  const auto cba = core::merge_profiles({s3, s2, s1}, 60.0);
+
+  ASSERT_EQ(abc.size(), cba.size());
+  EXPECT_EQ(abc.total_frequency(), cba.total_frequency());
+  for (std::size_t i = 0; i < abc.size(); ++i) {
+    EXPECT_EQ(abc.top(i).frequency, cba.top(i).frequency);
+    // Centroids may differ by the weighting order only within drift scale.
+    EXPECT_LT(geo::distance(abc.top(i).location, cba.top(i).location),
+              60.0);
+  }
+}
+
+// --------------------------------------- efficacy flatness across n (Fig 9)
+
+TEST(EfficacyFlatness, PosteriorSelectionKeepsEfficacyFlat) {
+  // The Fig. 9 property as an invariant: from n = 2 to n = 10 the mean
+  // efficacy under posterior selection moves by less than 0.08.
+  const rng::Engine parent(53);
+  auto mean_efficacy = [&](std::size_t n) {
+    const lppm::NFoldGaussianMechanism mech(make_params(n, 1.0, 500.0));
+    stats::RunningStats ae;
+    for (int t = 0; t < 1500; ++t) {
+      rng::Engine e = parent.split(t + n * 100000);
+      const auto candidates = mech.obfuscate(e, {0, 0});
+      const auto probs =
+          core::selection_probabilities(candidates, mech.posterior_sigma());
+      ae.add(utility::efficacy_weighted({0, 0}, candidates, probs, 5000.0));
+    }
+    return ae.mean();
+  };
+  const double at2 = mean_efficacy(2);
+  const double at10 = mean_efficacy(10);
+  EXPECT_NEAR(at2, at10, 0.08);
+}
+
+}  // namespace
+}  // namespace privlocad

@@ -1,0 +1,128 @@
+// Tests for the risk-assessment module.
+#include <gtest/gtest.h>
+
+#include "core/risk.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+namespace {
+
+attack::LocationProfile concentrated_profile() {
+  // ~0.35 nats: one dominant location.
+  std::vector<attack::ProfileEntry> entries{{{0, 0}, 900}, {{5000, 0}, 50},
+                                            {{9000, 0}, 50}};
+  return attack::LocationProfile(std::move(entries));
+}
+
+attack::LocationProfile diffuse_profile() {
+  // 16 equally-visited places: entropy ln 16 ~ 2.77 nats.
+  std::vector<attack::ProfileEntry> entries;
+  for (int i = 0; i < 16; ++i) {
+    entries.push_back({{i * 3000.0, 0.0}, 10});
+  }
+  return attack::LocationProfile(std::move(entries));
+}
+
+TEST(Risk, NewUserIsLowRisk) {
+  const RiskAssessment r = assess_risk({}, 0, {});
+  EXPECT_EQ(r.level, RiskLevel::kLow);
+  EXPECT_DOUBLE_EQ(r.score, 0.0);
+  EXPECT_FALSE(r.recommendation.empty());
+}
+
+TEST(Risk, ConcentratedHeavyUserIsHighRisk) {
+  const RiskAssessment r = assess_risk(concentrated_profile(), 2000, {});
+  EXPECT_EQ(r.level, RiskLevel::kHigh);
+  EXPECT_GT(r.entropy_signal, 0.9);
+  EXPECT_DOUBLE_EQ(r.exposure_signal, 1.0);
+}
+
+TEST(Risk, DiffuseUserScoresLowerThanConcentrated) {
+  const RiskAssessment diffuse = assess_risk(diffuse_profile(), 2000, {});
+  const RiskAssessment focused =
+      assess_risk(concentrated_profile(), 2000, {});
+  EXPECT_LT(diffuse.score, focused.score);
+}
+
+TEST(Risk, ExposureGrowsWithCheckIns) {
+  const RiskAssessment few = assess_risk(concentrated_profile(), 20, {});
+  const RiskAssessment many = assess_risk(concentrated_profile(), 900, {});
+  EXPECT_LT(few.exposure_signal, many.exposure_signal);
+  EXPECT_LT(few.score, many.score);
+}
+
+TEST(Risk, ConcentrationAloneIsNotEnough) {
+  // A concentrated profile with almost no observations: the attacker has
+  // nothing to average, so the risk stays low.
+  const RiskAssessment r = assess_risk(concentrated_profile(), 5, {});
+  EXPECT_EQ(r.level, RiskLevel::kLow);
+}
+
+TEST(Risk, BurnedBudgetRaisesRisk) {
+  lppm::PrivacySpend spent;
+  spent.basic_epsilon = 50.0;  // far past saturation
+  spent.releases = 100;
+  const RiskAssessment clean = assess_risk(diffuse_profile(), 100, {});
+  const RiskAssessment burned = assess_risk(diffuse_profile(), 100, spent);
+  EXPECT_GT(burned.score, clean.score);
+  EXPECT_DOUBLE_EQ(burned.budget_signal, 1.0);
+}
+
+TEST(Risk, SignalsAreClamped) {
+  lppm::PrivacySpend spent;
+  spent.basic_epsilon = 1e9;
+  const RiskAssessment r =
+      assess_risk(concentrated_profile(), 1000000, spent);
+  EXPECT_LE(r.score, 1.0);
+  EXPECT_LE(r.entropy_signal, 1.0);
+  EXPECT_LE(r.exposure_signal, 1.0);
+  EXPECT_LE(r.budget_signal, 1.0);
+}
+
+TEST(Risk, RecommendedParamsFollowTheLevel) {
+  lppm::BoundedGeoIndParams current;
+  current.radius_m = 500.0;
+  current.epsilon = 1.0;
+  current.delta = 0.01;
+  current.n = 10;
+
+  RiskAssessment low;
+  low.level = RiskLevel::kLow;
+  const auto kept = recommended_params(low, current);
+  EXPECT_DOUBLE_EQ(kept.epsilon, 1.0);
+  EXPECT_EQ(kept.n, 10u);
+
+  RiskAssessment medium;
+  medium.level = RiskLevel::kMedium;
+  const auto tightened = recommended_params(medium, current);
+  EXPECT_DOUBLE_EQ(tightened.epsilon, 0.5);
+  EXPECT_EQ(tightened.n, 10u);
+
+  RiskAssessment high;
+  high.level = RiskLevel::kHigh;
+  const auto strict = recommended_params(high, current);
+  EXPECT_DOUBLE_EQ(strict.epsilon, 0.5);
+  EXPECT_EQ(strict.n, 20u);
+  // Stricter params always mean more noise per candidate.
+  EXPECT_GT(lppm::n_fold_sigma(strict), lppm::n_fold_sigma(current));
+}
+
+TEST(Risk, RecommendedParamsValidateInput) {
+  lppm::BoundedGeoIndParams bad;
+  bad.epsilon = -1.0;
+  EXPECT_THROW(recommended_params({}, bad), util::InvalidArgument);
+}
+
+TEST(Risk, LevelNamesAndThresholds) {
+  EXPECT_EQ(to_string(RiskLevel::kLow), "low");
+  EXPECT_EQ(to_string(RiskLevel::kMedium), "medium");
+  EXPECT_EQ(to_string(RiskLevel::kHigh), "high");
+
+  RiskConfig bad;
+  bad.medium_threshold = 0.9;
+  bad.high_threshold = 0.5;
+  EXPECT_THROW(assess_risk({}, 0, {}, bad), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace privlocad::core

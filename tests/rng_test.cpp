@@ -1,0 +1,381 @@
+// Unit and property tests for the randomness substrate: engine determinism,
+// Lambert W accuracy, and the inverse-CDF samplers the paper's mechanisms
+// are built on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "geo/point.hpp"
+#include "rng/engine.hpp"
+#include "rng/lambert_w.hpp"
+#include "rng/samplers.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::rng {
+namespace {
+
+// ----------------------------------------------------------------- Engine
+
+TEST(Engine, DeterministicForSameSeed) {
+  Engine a(123);
+  Engine b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Engine, DifferentSeedsDiverge) {
+  Engine a(1);
+  Engine b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Engine, SplitStreamsAreIndependentAndDeterministic) {
+  const Engine parent(99);
+  Engine child_a = parent.split(7);
+  Engine child_a2 = parent.split(7);
+  Engine child_b = parent.split(8);
+  EXPECT_EQ(child_a(), child_a2());
+  EXPECT_NE(child_a(), child_b());
+}
+
+TEST(Engine, UniformStaysInHalfOpenUnitInterval) {
+  Engine e(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = e.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Engine, UniformPositiveNeverReturnsZero) {
+  Engine e(6);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(e.uniform_positive(), 0.0);
+}
+
+TEST(Engine, UniformMeanNearHalf) {
+  Engine e(7);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += e.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+TEST(Engine, UniformInRange) {
+  Engine e(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = e.uniform_in(-3.0, 2.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 2.0);
+  }
+  EXPECT_THROW(e.uniform_in(2.0, 2.0), util::InvalidArgument);
+}
+
+TEST(Engine, UniformIndexUnbiasedSupport) {
+  Engine e(9);
+  std::vector<int> counts(5, 0);
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) ++counts[e.uniform_index(5)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.2, 0.02);
+  }
+  EXPECT_THROW(e.uniform_index(0), util::InvalidArgument);
+}
+
+TEST(SplitMix, MatchesReferenceVector) {
+  // Reference values for seed 0 from the published SplitMix64 code.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(splitmix64(state), 0x6E789E6AA1B965F4ULL);
+}
+
+// --------------------------------------------------------------- LambertW
+
+TEST(LambertW, DefiningIdentityBranch0) {
+  for (const double x : {-0.36, -0.2, -0.05, 0.5, 1.0, 10.0, 1e4}) {
+    const double w = lambert_w0(x);
+    EXPECT_NEAR(w * std::exp(w), x, 1e-10 * std::max(1.0, std::abs(x)))
+        << "x = " << x;
+  }
+}
+
+TEST(LambertW, DefiningIdentityBranchM1) {
+  for (const double x : {-0.367, -0.35, -0.2, -0.1, -0.01, -1e-6}) {
+    const double w = lambert_wm1(x);
+    EXPECT_NEAR(w * std::exp(w), x, 1e-10) << "x = " << x;
+    EXPECT_LE(w, -1.0 + 1e-9);  // branch -1 lives in (-inf, -1]
+  }
+}
+
+TEST(LambertW, BranchPointValue) {
+  const double inv_e = 1.0 / std::numbers::e;
+  EXPECT_NEAR(lambert_w0(-inv_e + 1e-12), -1.0, 1e-4);
+  EXPECT_NEAR(lambert_wm1(-inv_e + 1e-12), -1.0, 1e-4);
+}
+
+TEST(LambertW, KnownValues) {
+  EXPECT_NEAR(lambert_w0(1.0), 0.5671432904097838, 1e-12);  // Omega constant
+  EXPECT_NEAR(lambert_w0(std::numbers::e), 1.0, 1e-12);
+  EXPECT_NEAR(lambert_wm1(-2.0 * std::exp(-2.0)), -2.0, 1e-10);
+}
+
+TEST(LambertW, DomainErrors) {
+  EXPECT_THROW(lambert_w0(-1.0), util::InvalidArgument);
+  EXPECT_THROW(lambert_wm1(0.0), util::InvalidArgument);
+  EXPECT_THROW(lambert_wm1(0.5), util::InvalidArgument);
+  EXPECT_THROW(lambert_wm1(-1.0), util::InvalidArgument);
+}
+
+// --------------------------------------------------------- normal sampler
+
+TEST(NormalQuantile, MatchesKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.8413447460685429), 1.0, 1e-9);
+}
+
+TEST(NormalQuantile, InverseOfErfcCdf) {
+  for (const double p : {0.001, 0.01, 0.1, 0.3, 0.7, 0.9, 0.99, 0.999}) {
+    const double x = normal_quantile(p);
+    const double cdf = 0.5 * std::erfc(-x / std::numbers::sqrt2);
+    EXPECT_NEAR(cdf, p, 1e-12) << "p = " << p;
+  }
+}
+
+TEST(NormalQuantile, DomainErrors) {
+  EXPECT_THROW(normal_quantile(0.0), util::InvalidArgument);
+  EXPECT_THROW(normal_quantile(1.0), util::InvalidArgument);
+}
+
+TEST(StandardNormal, MomentsMatch) {
+  Engine e(11);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double z = standard_normal(e);
+    sum += z;
+    sum2 += z * z;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.02);
+}
+
+TEST(Normal, ShiftAndScale) {
+  Engine e(12);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += normal(e, 10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+  EXPECT_THROW(normal(e, 0.0, -1.0), util::InvalidArgument);
+}
+
+// -------------------------------------------------- polar Gaussian sampler
+
+TEST(RayleighQuantile, MatchesClosedForm) {
+  // F(r) = 1 - exp(-r^2 / (2 sigma^2)); check F(F^{-1}(s)) == s.
+  const double sigma = 300.0;
+  for (const double s : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    const double r = rayleigh_quantile(s, sigma);
+    const double cdf = 1.0 - std::exp(-r * r / (2.0 * sigma * sigma));
+    EXPECT_NEAR(cdf, s, 1e-12);
+  }
+}
+
+TEST(GaussianNoise, MarginalsAreGaussianWithRequestedSigma) {
+  Engine e(13);
+  const double sigma = 250.0;
+  double sx = 0.0, sx2 = 0.0, sy = 0.0, sy2 = 0.0, sxy = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const geo::Point p = gaussian_noise(e, sigma);
+    sx += p.x;
+    sy += p.y;
+    sx2 += p.x * p.x;
+    sy2 += p.y * p.y;
+    sxy += p.x * p.y;
+  }
+  EXPECT_NEAR(sx / kN, 0.0, 2.0);
+  EXPECT_NEAR(sy / kN, 0.0, 2.0);
+  EXPECT_NEAR(std::sqrt(sx2 / kN), sigma, sigma * 0.02);
+  EXPECT_NEAR(std::sqrt(sy2 / kN), sigma, sigma * 0.02);
+  EXPECT_NEAR(sxy / kN / (sigma * sigma), 0.0, 0.02);  // uncorrelated
+}
+
+TEST(GaussianNoise, ZeroSigmaIsDeterministicOrigin) {
+  Engine e(14);
+  const geo::Point p = gaussian_noise(e, 0.0);
+  EXPECT_DOUBLE_EQ(p.x, 0.0);
+  EXPECT_DOUBLE_EQ(p.y, 0.0);
+}
+
+// ------------------------------------------------- planar Laplace sampler
+
+TEST(PlanarLaplace, QuantileInvertsCdf) {
+  const double eps = std::log(4.0) / 200.0;  // the paper's l=ln4, r=200m
+  for (const double p : {0.05, 0.25, 0.5, 0.75, 0.95, 0.999}) {
+    const double r = planar_laplace_radius_quantile(p, eps);
+    EXPECT_NEAR(planar_laplace_radius_cdf(r, eps), p, 1e-10) << "p = " << p;
+  }
+}
+
+TEST(PlanarLaplace, QuantileAtZeroIsZero) {
+  EXPECT_DOUBLE_EQ(planar_laplace_radius_quantile(0.0, 0.01), 0.0);
+}
+
+TEST(PlanarLaplace, MeanRadiusIsTwoOverEpsilon) {
+  // The radial density (eps^2 r e^{-eps r}) is Gamma(2, 1/eps): mean 2/eps.
+  Engine e(15);
+  const double eps = 0.01;
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    sum += geo::norm(planar_laplace_noise(e, eps));
+  }
+  EXPECT_NEAR(sum / kN, 2.0 / eps, 2.0 / eps * 0.02);
+}
+
+TEST(PlanarLaplace, AngleIsUniform) {
+  Engine e(16);
+  const double eps = 0.01;
+  int quadrant[4] = {0, 0, 0, 0};
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    const geo::Point p = planar_laplace_noise(e, eps);
+    const int q = (p.x >= 0 ? 0 : 1) + (p.y >= 0 ? 0 : 2);
+    ++quadrant[q];
+  }
+  for (const int c : quadrant) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.25, 0.02);
+  }
+}
+
+TEST(PlanarLaplace, InvalidParametersRejected) {
+  Engine e(17);
+  EXPECT_THROW(planar_laplace_noise(e, 0.0), util::InvalidArgument);
+  EXPECT_THROW(planar_laplace_radius_quantile(1.0, 0.01),
+               util::InvalidArgument);
+  EXPECT_THROW(planar_laplace_radius_cdf(-1.0, 0.01), util::InvalidArgument);
+}
+
+// ---------------------------------------------------------- uniform disk
+
+TEST(UniformDisk, StaysInDiskAndAreaUniform) {
+  Engine e(18);
+  const double radius = 100.0;
+  int inside_half_radius = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const geo::Point p = uniform_in_disk(e, radius);
+    ASSERT_LE(geo::norm(p), radius + 1e-9);
+    if (geo::norm(p) <= radius / 2.0) ++inside_half_radius;
+  }
+  // Area-uniform: the half-radius disk holds 1/4 of the mass.
+  EXPECT_NEAR(static_cast<double>(inside_half_radius) / kN, 0.25, 0.01);
+}
+
+// ----------------------------------------------- distributional hygiene
+
+TEST(Engine, UniformPassesChiSquareOnBytes) {
+  // Chi-square goodness of fit over 256 buckets of the top byte.
+  Engine e(101);
+  constexpr int kN = 256000;
+  std::vector<int> counts(256, 0);
+  for (int i = 0; i < kN; ++i) ++counts[e() >> 56];
+  const double expected = kN / 256.0;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 255 dof: mean 255, std ~22.6; accept within ~5 sigma.
+  EXPECT_GT(chi2, 255.0 - 5.0 * 22.6);
+  EXPECT_LT(chi2, 255.0 + 5.0 * 22.6);
+}
+
+TEST(Engine, SplitStreamsAreDecorrelated) {
+  // Correlation between sibling streams must be negligible.
+  const Engine parent(77);
+  Engine a = parent.split(1);
+  Engine b = parent.split(2);
+  double sum_ab = 0.0, sum_a = 0.0, sum_b = 0.0, sum_a2 = 0.0, sum_b2 = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = a.uniform();
+    const double y = b.uniform();
+    sum_a += x;
+    sum_b += y;
+    sum_ab += x * y;
+    sum_a2 += x * x;
+    sum_b2 += y * y;
+  }
+  const double cov = sum_ab / kN - (sum_a / kN) * (sum_b / kN);
+  const double var_a = sum_a2 / kN - (sum_a / kN) * (sum_a / kN);
+  const double var_b = sum_b2 / kN - (sum_b / kN) * (sum_b / kN);
+  EXPECT_LT(std::abs(cov / std::sqrt(var_a * var_b)), 0.02);
+}
+
+TEST(PlanarLaplace, QuantileIsMonotoneInP) {
+  const double eps = 0.005;
+  double prev = -1.0;
+  for (double p = 0.01; p < 1.0; p += 0.01) {
+    const double r = planar_laplace_radius_quantile(p, eps);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(PlanarLaplace, QuantileScalesInverselyWithEpsilon) {
+  // r_p(eps) = r_p(1) / eps exactly, by the change of variables.
+  const double p = 0.7;
+  const double base = planar_laplace_radius_quantile(p, 1.0);
+  for (const double eps : {0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(planar_laplace_radius_quantile(p, eps), base / eps,
+                1e-9 * base / eps);
+  }
+}
+
+TEST(RayleighQuantile, MedianMatchesClosedForm) {
+  EXPECT_NEAR(rayleigh_quantile(0.5, 100.0),
+              100.0 * std::sqrt(2.0 * std::log(2.0)), 1e-9);
+}
+
+// ------------------------- property sweep: sampler CDFs via KS statistic
+
+struct KsCase {
+  const char* name;
+  double param;
+};
+
+class GaussianRadiusKs : public ::testing::TestWithParam<double> {};
+
+TEST_P(GaussianRadiusKs, RadialCdfMatchesRayleigh) {
+  const double sigma = GetParam();
+  Engine e(21);
+  constexpr int kN = 20000;
+  std::vector<double> radii;
+  radii.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    radii.push_back(geo::norm(gaussian_noise(e, sigma)));
+  }
+  std::sort(radii.begin(), radii.end());
+  double worst = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double ref =
+        1.0 - std::exp(-radii[i] * radii[i] / (2.0 * sigma * sigma));
+    const double emp_hi = static_cast<double>(i + 1) / kN;
+    const double emp_lo = static_cast<double>(i) / kN;
+    worst = std::max({worst, std::abs(emp_hi - ref), std::abs(ref - emp_lo)});
+  }
+  // KS 1% critical value for n=20000 is ~0.0115.
+  EXPECT_LT(worst, 0.0115) << "sigma = " << sigma;
+}
+
+INSTANTIATE_TEST_SUITE_P(SigmaSweep, GaussianRadiusKs,
+                         ::testing::Values(10.0, 100.0, 500.0, 2000.0));
+
+}  // namespace
+}  // namespace privlocad::rng

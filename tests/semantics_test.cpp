@@ -1,0 +1,135 @@
+// Tests for the semantic-labelling attack stage (home/work inference from
+// visit schedules).
+#include <gtest/gtest.h>
+
+#include "attack/semantics.hpp"
+#include "rng/engine.hpp"
+#include "trace/synthetic.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::attack {
+namespace {
+
+// Builds a check-in at an absolute day/hour offset from the study start.
+trace::CheckIn at(geo::Point where, int day, int hour) {
+  return {where,
+          trace::kStudyStart + day * trace::kSecondsPerDay + hour * 3600};
+}
+
+// kStudyStart (2019-06-01) was a Saturday; weekdays are days 2..6 of each
+// week starting there.
+constexpr int kMonday = 2;
+
+TEST(Semantics, NightVisitsLabelHome) {
+  const std::vector<InferredLocation> inferred{{{0, 0}, 20}};
+  std::vector<trace::CheckIn> observed;
+  for (int d = 0; d < 20; ++d) observed.push_back(at({5, 5}, d, 23));
+
+  const auto labels = label_locations(inferred, observed);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].semantic, LocationSemantic::kHome);
+  EXPECT_DOUBLE_EQ(labels[0].night_fraction, 1.0);
+  EXPECT_EQ(labels[0].visits, 20u);
+}
+
+TEST(Semantics, WeekdayOfficeHoursLabelWork) {
+  const std::vector<InferredLocation> inferred{{{0, 0}, 20}};
+  std::vector<trace::CheckIn> observed;
+  for (int w = 0; w < 4; ++w) {
+    for (int d = 0; d < 5; ++d) {
+      observed.push_back(at({-3, 4}, kMonday + w * 7 + d, 11));
+    }
+  }
+  const auto labels = label_locations(inferred, observed);
+  EXPECT_EQ(labels[0].semantic, LocationSemantic::kWork);
+  EXPECT_DOUBLE_EQ(labels[0].workday_fraction, 1.0);
+}
+
+TEST(Semantics, WeekendDaytimeIsOther) {
+  const std::vector<InferredLocation> inferred{{{0, 0}, 10}};
+  std::vector<trace::CheckIn> observed;
+  for (int w = 0; w < 10; ++w) {
+    observed.push_back(at({0, 0}, w * 7, 14));  // Saturdays at 2pm
+  }
+  const auto labels = label_locations(inferred, observed);
+  EXPECT_EQ(labels[0].semantic, LocationSemantic::kOther);
+}
+
+TEST(Semantics, NightDominanceBeatsOfficeDominance) {
+  // A place visited both at night and during office hours is a home
+  // (people work from home; offices rarely host nights).
+  const std::vector<InferredLocation> inferred{{{0, 0}, 20}};
+  std::vector<trace::CheckIn> observed;
+  for (int d = 0; d < 10; ++d) {
+    observed.push_back(at({0, 0}, kMonday + (d % 5), 23));
+    observed.push_back(at({0, 0}, kMonday + (d % 5), 10));
+  }
+  const auto labels = label_locations(inferred, observed);
+  EXPECT_EQ(labels[0].semantic, LocationSemantic::kHome);
+}
+
+TEST(Semantics, AttributionPicksNearestLocation) {
+  const std::vector<InferredLocation> inferred{{{0, 0}, 10},
+                                               {{1000, 0}, 10}};
+  std::vector<trace::CheckIn> observed;
+  for (int d = 0; d < 10; ++d) {
+    observed.push_back(at({100, 0}, d, 23));    // nearest: location 0
+    observed.push_back(at({900, 0}, kMonday + (d % 5), 11));  // location 1
+  }
+  const auto labels = label_locations(inferred, observed);
+  EXPECT_EQ(labels[0].semantic, LocationSemantic::kHome);
+  EXPECT_EQ(labels[1].semantic, LocationSemantic::kWork);
+}
+
+TEST(Semantics, FarCheckInsAreIgnored) {
+  const std::vector<InferredLocation> inferred{{{0, 0}, 10}};
+  std::vector<trace::CheckIn> observed{at({50000, 50000}, 0, 23)};
+  const auto labels = label_locations(inferred, observed);
+  EXPECT_EQ(labels[0].visits, 0u);
+  EXPECT_EQ(labels[0].semantic, LocationSemantic::kOther);
+}
+
+TEST(Semantics, RecoversPlantedStructureFromSyntheticUser) {
+  // The generator plants home-at-night / work-by-day; the labeller must
+  // recover it from the raw trace given the true anchors as "inferred".
+  const rng::Engine parent(3);
+  trace::SyntheticConfig config;
+  config.min_check_ins = 800;
+  config.max_check_ins = 1500;
+  // Find a user with at least two anchors.
+  for (std::uint64_t id = 0; id < 20; ++id) {
+    const trace::SyntheticUser user = trace::generate_user(parent, config, id);
+    if (user.truth.top_locations.size() < 2) continue;
+
+    std::vector<InferredLocation> inferred;
+    for (const geo::Point& top : user.truth.top_locations) {
+      inferred.push_back({top, 1});
+    }
+    SemanticConfig sem;
+    sem.attribution_radius_m = 100.0;
+    const auto labels =
+        label_locations(inferred, user.trace.check_ins, sem);
+    EXPECT_EQ(labels[0].semantic, LocationSemantic::kHome)
+        << "user " << id;
+    return;  // one qualifying user is enough
+  }
+  FAIL() << "no synthetic user with 2+ anchors found";
+}
+
+TEST(Semantics, ToStringNames) {
+  EXPECT_EQ(to_string(LocationSemantic::kHome), "home");
+  EXPECT_EQ(to_string(LocationSemantic::kWork), "work");
+  EXPECT_EQ(to_string(LocationSemantic::kOther), "other");
+}
+
+TEST(Semantics, DomainErrors) {
+  SemanticConfig bad;
+  bad.attribution_radius_m = 0.0;
+  EXPECT_THROW(label_locations({}, {}, bad), util::InvalidArgument);
+  bad = SemanticConfig{};
+  bad.home_night_threshold = 1.0;
+  EXPECT_THROW(label_locations({}, {}, bad), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace privlocad::attack

@@ -1,0 +1,147 @@
+// Tests for obfuscation-table persistence: round trips, permanence across
+// a simulated restart, and loud failure on corrupt input.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/table_store.hpp"
+#include "lppm/gaussian.hpp"
+#include "rng/engine.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+namespace {
+
+lppm::BoundedGeoIndParams params(std::size_t n = 5) {
+  lppm::BoundedGeoIndParams p;
+  p.radius_m = 500.0;
+  p.epsilon = 1.0;
+  p.delta = 0.01;
+  p.n = n;
+  return p;
+}
+
+TableSnapshot make_snapshot() {
+  const lppm::NFoldGaussianMechanism mech(params());
+  rng::Engine e(1);
+  TableSnapshot tables;
+  ObfuscationTable t1(100.0);
+  t1.candidates_for(e, mech, {0, 0});
+  t1.candidates_for(e, mech, {5000, 0});
+  tables.emplace(7, std::move(t1));
+  ObfuscationTable t2(100.0);
+  t2.candidates_for(e, mech, {-3000, 4000});
+  tables.emplace(9, std::move(t2));
+  return tables;
+}
+
+TEST(TableStore, RoundTripPreservesEverything) {
+  const TableSnapshot original = make_snapshot();
+  std::ostringstream out;
+  save_tables(out, original);
+  std::istringstream in(out.str());
+  const TableSnapshot loaded = load_tables(in, 100.0);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (const auto& [user, table] : original) {
+    const auto it = loaded.find(user);
+    ASSERT_NE(it, loaded.end());
+    ASSERT_EQ(it->second.entries().size(), table.entries().size());
+    for (std::size_t e = 0; e < table.entries().size(); ++e) {
+      const auto& orig = table.entries()[e];
+      const auto& back = it->second.entries()[e];
+      EXPECT_NEAR(geo::distance(orig.top_location, back.top_location), 0.0,
+                  1e-5);
+      ASSERT_EQ(orig.candidates.size(), back.candidates.size());
+      for (std::size_t c = 0; c < orig.candidates.size(); ++c) {
+        EXPECT_NEAR(geo::distance(orig.candidates[c], back.candidates[c]),
+                    0.0, 1e-5);
+      }
+    }
+  }
+}
+
+TEST(TableStore, RestartDoesNotRegenerate) {
+  // The privacy-critical property: after a save/load cycle, a lookup for
+  // a known top location must replay the SAVED candidates, not draw fresh
+  // noise.
+  const lppm::NFoldGaussianMechanism mech(params());
+  rng::Engine e(2);
+  TableSnapshot before;
+  ObfuscationTable table(100.0);
+  const std::vector<geo::Point> saved =
+      table.candidates_for(e, mech, {1234, -5678});
+  before.emplace(1, std::move(table));
+
+  std::ostringstream out;
+  save_tables(out, before);
+  std::istringstream in(out.str());
+  TableSnapshot after = load_tables(in, 100.0);
+
+  rng::Engine different_engine(999);
+  const auto& replayed = after.at(1).candidates_for(
+      different_engine, mech, {1234, -5678});
+  ASSERT_EQ(replayed.size(), saved.size());
+  for (std::size_t i = 0; i < saved.size(); ++i) {
+    EXPECT_NEAR(geo::distance(replayed[i], saved[i]), 0.0, 1e-5);
+  }
+}
+
+TEST(TableStore, EmptySnapshotRoundTrips) {
+  std::ostringstream out;
+  save_tables(out, {});
+  std::istringstream in(out.str());
+  EXPECT_TRUE(load_tables(in, 100.0).empty());
+}
+
+TEST(TableStore, RejectsWrongHeader) {
+  std::istringstream in("a,b,c\n1,2,3\n");
+  EXPECT_THROW(load_tables(in, 100.0), util::InvalidArgument);
+}
+
+TEST(TableStore, RejectsOutOfOrderCandidates) {
+  std::istringstream in(
+      "user_id,entry_index,top_x,top_y,cand_index,cand_x,cand_y\n"
+      "1,0,0,0,1,10,10\n");  // first candidate must have index 0
+  EXPECT_THROW(load_tables(in, 100.0), util::InvalidArgument);
+}
+
+TEST(TableStore, RejectsInconsistentTopLocation) {
+  std::istringstream in(
+      "user_id,entry_index,top_x,top_y,cand_index,cand_x,cand_y\n"
+      "1,0,0,0,0,10,10\n"
+      "1,0,99,99,1,20,20\n");  // same entry, different top
+  EXPECT_THROW(load_tables(in, 100.0), util::InvalidArgument);
+}
+
+TEST(TableStore, RejectsGapInEntryIndices) {
+  std::istringstream in(
+      "user_id,entry_index,top_x,top_y,cand_index,cand_x,cand_y\n"
+      "1,1,0,0,0,10,10\n");  // entry 0 missing
+  EXPECT_THROW(load_tables(in, 100.0), util::InvalidArgument);
+}
+
+TEST(TableStore, RejectsMalformedNumbers) {
+  std::istringstream in(
+      "user_id,entry_index,top_x,top_y,cand_index,cand_x,cand_y\n"
+      "1,0,zero,0,0,10,10\n");
+  EXPECT_THROW(load_tables(in, 100.0), util::InvalidArgument);
+}
+
+TEST(TableStore, MissingFilesThrow) {
+  EXPECT_THROW(load_tables_file("/nonexistent/tables.csv", 100.0),
+               std::runtime_error);
+}
+
+TEST(ObfuscationTable, RestoreValidation) {
+  ObfuscationTable table(100.0);
+  table.restore({{0, 0}, {{1, 1}, {2, 2}}});
+  EXPECT_EQ(table.size(), 1u);
+  // Colliding restore (within match radius) must throw.
+  EXPECT_THROW(table.restore({{50, 0}, {{3, 3}}}), util::InvalidArgument);
+  // Candidate-free restore must throw.
+  EXPECT_THROW(table.restore({{9000, 0}, {}}), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace privlocad::core
