@@ -10,18 +10,21 @@
 //                      and 5% top-2 within 500 m.
 //
 // Scale note: the paper attacks 37,262 users with up to 11,435 check-ins.
-// The attack is O(total check-ins) per user-config; the default here is
-// 2,000 users at up to 2,000 check-ins (statistically identical success
-// rates, single-core friendly). Raise with --users / --max-check-ins.
+// Users are attacked in parallel through attack::evaluate_population (set
+// PRIVLOCAD_THREADS to pin the lane count); per-user observation streams
+// seed-split from the same parent, so the success rates are identical for
+// any thread count. The default is 2,000 users at up to 2,000 check-ins;
+// raise with --users / --max-check-ins.
 #include <cmath>
 #include <cstdio>
-#include <functional>
 #include <memory>
 
 #include "bench_common.hpp"
 #include "core/output_selection.hpp"
 #include "lppm/gaussian.hpp"
 #include "lppm/planar_laplace.hpp"
+#include "par/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -75,26 +78,28 @@ std::vector<geo::Point> observe_defended(
   return observed;
 }
 
-void run_config(const char* label,
+void run_config(const char* label, const std::string& json_key,
                 const std::vector<trace::SyntheticUser>& population,
                 const lppm::Mechanism& attack_scale_mech,
-                const std::function<std::vector<geo::Point>(
-                    rng::Engine&, const trace::SyntheticUser&)>& observe) {
-  const attack::DeobfuscationConfig config =
-      bench::attack_config_for(attack_scale_mech, 2);
-  attack::SuccessRateAccumulator rates(2, {200.0, 500.0});
+                const attack::ObservationFn& observe,
+                bench::JsonMetrics& record) {
+  attack::PopulationAttackProtocol protocol;
+  protocol.deobfuscation = bench::attack_config_for(attack_scale_mech, 2);
 
-  rng::Engine parent(6);
-  for (std::size_t i = 0; i < population.size(); ++i) {
-    rng::Engine user_engine = parent.split(i);
-    const auto observed = observe(user_engine, population[i]);
-    const auto inferred = attack::deobfuscate_top_locations(observed, config);
-    rates.add(attack::evaluate_attack(inferred, population[i].truth, 2));
-  }
+  const util::Timer timer;
+  const attack::SuccessRateAccumulator rates =
+      attack::evaluate_population(population, protocol, observe);
+  const double seconds = timer.elapsed_seconds();
 
-  std::printf("%-28s %12.1f%% %12.1f%% %12.1f%% %12.1f%%\n", label,
+  std::printf("%-28s %12.1f%% %12.1f%% %12.1f%% %12.1f%%   %8.2fs\n", label,
               rates.rate(0, 0) * 100.0, rates.rate(0, 1) * 100.0,
-              rates.rate(1, 0) * 100.0, rates.rate(1, 1) * 100.0);
+              rates.rate(1, 0) * 100.0, rates.rate(1, 1) * 100.0, seconds);
+
+  record.add(json_key + "_top1_200m", rates.rate(0, 0));
+  record.add(json_key + "_top1_500m", rates.rate(0, 1));
+  record.add(json_key + "_top2_200m", rates.rate(1, 0));
+  record.add(json_key + "_top2_500m", rates.rate(1, 1));
+  record.add(json_key + "_seconds", seconds);
 }
 
 }  // namespace
@@ -103,23 +108,35 @@ int main(int argc, char** argv) {
   const std::size_t users = bench::flag_or(argc, argv, "users", 2000);
   const std::uint64_t max_check_ins =
       bench::flag_or(argc, argv, "max-check-ins", 2000);
+  const std::size_t threads = par::hardware_threads();
 
   bench::print_header("Figure 6 -- longitudinal attack success rates (" +
-                      std::to_string(users) + " users)");
+                      std::to_string(users) + " users, " +
+                      std::to_string(threads) + " threads)");
   const auto population = bench::bench_population(66, users, max_check_ins);
 
-  std::printf("%-28s %13s %13s %13s %13s\n", "mechanism", "top1@200m",
-              "top1@500m", "top2@200m", "top2@500m");
+  bench::JsonMetrics record;
+  record.add_string("bench", "fig6_attack");
+  record.add("threads", static_cast<std::uint64_t>(threads));
+  record.add("users", static_cast<std::uint64_t>(users));
+  record.add("max_check_ins", max_check_ins);
 
+  std::printf("%-28s %13s %13s %13s %13s %10s\n", "mechanism", "top1@200m",
+              "top1@500m", "top2@200m", "top2@500m", "wall");
+
+  const util::Timer total_timer;
   for (const double level : {std::log(2.0), std::log(4.0), std::log(6.0)}) {
     const lppm::PlanarLaplaceMechanism mech({level, 200.0});
     char label[64];
     std::snprintf(label, sizeof(label), "one-time laplace l=ln%.0f",
                   std::exp(level));
-    run_config(label, population, mech,
+    char key[64];
+    std::snprintf(key, sizeof(key), "laplace_ln%.0f", std::exp(level));
+    run_config(label, key, population, mech,
                [&mech](rng::Engine& e, const trace::SyntheticUser& u) {
                  return observe_one_time(e, u, mech);
-               });
+               },
+               record);
   }
 
   for (const double eps : {1.0, 1.5}) {
@@ -132,12 +149,23 @@ int main(int argc, char** argv) {
     const lppm::PlanarLaplaceMechanism nomadic({std::log(4.0), 200.0});
     char label[64];
     std::snprintf(label, sizeof(label), "10-fold gaussian eps=%.1f", eps);
-    run_config(label, population, mech,
+    char key[64];
+    std::snprintf(key, sizeof(key), "defence_eps%.0f", eps * 10.0);
+    run_config(label, key, population, mech,
                [&mech, &nomadic](rng::Engine& e,
                                  const trace::SyntheticUser& u) {
                  return observe_defended(e, u, mech, nomadic);
-               });
+               },
+               record);
   }
+  const double total_seconds = total_timer.elapsed_seconds();
+
+  record.add("wall_seconds", total_seconds);
+  record.add("users_per_second",
+             total_seconds > 0.0
+                 ? static_cast<double>(users) * 5.0 / total_seconds
+                 : 0.0);
+  bench::emit_json("BENCH_fig6_attack.json", record);
 
   std::printf("\npaper: laplace rows 75-93%% top1@200m, >50%% top2@200m;\n"
               "       defence rows <1%% @200m, ~6.8%%/5%% @500m\n");

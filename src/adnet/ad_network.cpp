@@ -112,7 +112,8 @@ std::vector<Ad> AdNetwork::match(geo::Point reported_location,
   // Radius campaigns via the per-class grids...
   for (const RadiusClass& radius_class : radius_classes_) {
     radius_class.index->for_each_within(
-        reported_location, radius_class.max_radius, [&](std::size_t local) {
+        reported_location, radius_class.max_radius,
+        [&](std::size_t local, double) {
           consider(advertisers_[radius_class.advertiser_indices[local]],
                    /*check_distance=*/true);
         });

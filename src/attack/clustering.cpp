@@ -13,14 +13,18 @@ std::vector<Cluster> connectivity_clusters(
   if (points.empty()) return {};
 
   const geo::GridIndex index(points, threshold_m);
+  const double threshold2 = threshold_m * threshold_m;
   std::vector<bool> visited(points.size(), false);
   std::vector<Cluster> clusters;
+  clusters.reserve(16);
 
   // BFS over the implicit connectivity graph.
   std::vector<std::size_t> frontier;
+  frontier.reserve(points.size());
   for (std::size_t seed = 0; seed < points.size(); ++seed) {
     if (visited[seed]) continue;
     Cluster cluster;
+    cluster.reserve(64);
     visited[seed] = true;
     frontier.assign(1, seed);
     while (!frontier.empty()) {
@@ -28,16 +32,13 @@ std::vector<Cluster> connectivity_clusters(
       frontier.pop_back();
       cluster.push_back(current);
       // Paper: connected iff dist < theta (strict); grid query is <=, so
-      // filter exact ties out. Measure-zero for continuous noise but it
-      // matters for degenerate/duplicated inputs in tests.
+      // filter exact ties out using the squared distance the grid already
+      // computed. Measure-zero for continuous noise but it matters for
+      // degenerate/duplicated inputs in tests.
       index.for_each_within(points[current], threshold_m,
-                            [&](std::size_t neighbor) {
+                            [&](std::size_t neighbor, double d2) {
                               if (visited[neighbor]) return;
-                              if (geo::distance(points[current],
-                                                points[neighbor]) >=
-                                  threshold_m) {
-                                return;
-                              }
+                              if (d2 >= threshold2) return;
                               visited[neighbor] = true;
                               frontier.push_back(neighbor);
                             });

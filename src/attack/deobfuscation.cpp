@@ -91,6 +91,7 @@ std::vector<InferredLocation> deobfuscate_top_locations(
 
     std::size_t support = 0;
     std::vector<geo::Point> members;
+    members.reserve(largest.size());
     std::vector<geo::Point> next;
     next.reserve(remaining.size());
     for (std::size_t i = 0; i < remaining.size(); ++i) {

@@ -1,6 +1,7 @@
 #include "attack/evaluation.hpp"
 
 #include "geo/point.hpp"
+#include "par/parallel.hpp"
 #include "util/validation.hpp"
 
 namespace privlocad::attack {
@@ -41,6 +42,39 @@ void SuccessRateAccumulator::add(const UserAttackOutcome& outcome) {
       if (error <= thresholds_[t]) ++successes_[k * thresholds_.size() + t];
     }
   }
+}
+
+SuccessRateAccumulator evaluate_population(
+    par::ThreadPool& pool,
+    const std::vector<trace::SyntheticUser>& population,
+    const PopulationAttackProtocol& protocol, const ObservationFn& observe) {
+  util::require(static_cast<bool>(observe),
+                "evaluate_population needs an observation function");
+  const rng::Engine parent(protocol.observation_seed);
+
+  // One task per user: observe under the user's split stream, run Alg. 1,
+  // score against truth. Outcomes land at the user's index, so the serial
+  // fold below sees them in population order regardless of scheduling.
+  const std::vector<UserAttackOutcome> outcomes = par::parallel_map(
+      pool, population,
+      [&](const trace::SyntheticUser& user, std::size_t i) {
+        rng::Engine user_engine = parent.split(i);
+        const std::vector<geo::Point> observed = observe(user_engine, user);
+        const std::vector<InferredLocation> inferred =
+            deobfuscate_top_locations(observed, protocol.deobfuscation);
+        return evaluate_attack(inferred, user.truth, protocol.ranks);
+      });
+
+  SuccessRateAccumulator rates(protocol.ranks, protocol.thresholds_m);
+  for (const UserAttackOutcome& outcome : outcomes) rates.add(outcome);
+  return rates;
+}
+
+SuccessRateAccumulator evaluate_population(
+    const std::vector<trace::SyntheticUser>& population,
+    const PopulationAttackProtocol& protocol, const ObservationFn& observe) {
+  return evaluate_population(par::ThreadPool::global(), population, protocol,
+                             observe);
 }
 
 double SuccessRateAccumulator::rate(std::size_t rank,

@@ -8,11 +8,17 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "attack/deobfuscation.hpp"
+#include "rng/engine.hpp"
 #include "trace/check_in.hpp"
+
+namespace privlocad::par {
+class ThreadPool;
+}
 
 namespace privlocad::attack {
 
@@ -52,5 +58,44 @@ class SuccessRateAccumulator {
   // successes_[rank * thresholds + t]
   std::vector<std::size_t> successes_;
 };
+
+/// The full Fig. 6 protocol for one population: how to turn a user into an
+/// observation stream, how to attack it, and how to score the result.
+struct PopulationAttackProtocol {
+  /// Algorithm 1 parameters (use bench::attack_config_for for the paper's
+  /// tail-calibrated settings).
+  DeobfuscationConfig deobfuscation;
+
+  /// Ranks scored (paper: top-1 and top-2).
+  std::size_t ranks = 2;
+
+  /// Success distances in meters (paper: 200 and 500).
+  std::vector<double> thresholds_m{200.0, 500.0};
+
+  /// Seed of the observation randomness. User i observes through
+  /// rng::Engine(observation_seed).split(i), so results are independent of
+  /// evaluation order and identical across thread counts.
+  std::uint64_t observation_seed = 6;
+};
+
+/// Produces one user's observed (obfuscated) check-in stream. The engine
+/// is the user's private split stream; implementations must not share
+/// mutable state across users.
+using ObservationFn = std::function<std::vector<geo::Point>(
+    rng::Engine&, const trace::SyntheticUser&)>;
+
+/// Runs Algorithm 1 against every user of `population` on `pool` (one
+/// task per user: observe -> deobfuscate -> score) and folds the per-user
+/// outcomes into a SuccessRateAccumulator in population order. Thanks to
+/// seed-splitting the rates are byte-identical for any thread count.
+SuccessRateAccumulator evaluate_population(
+    par::ThreadPool& pool,
+    const std::vector<trace::SyntheticUser>& population,
+    const PopulationAttackProtocol& protocol, const ObservationFn& observe);
+
+/// Global-pool convenience (sized by PRIVLOCAD_THREADS / hardware).
+SuccessRateAccumulator evaluate_population(
+    const std::vector<trace::SyntheticUser>& population,
+    const PopulationAttackProtocol& protocol, const ObservationFn& observe);
 
 }  // namespace privlocad::attack

@@ -1,5 +1,7 @@
 #include "core/concurrent_edge.hpp"
 
+#include "par/parallel.hpp"
+#include "util/timer.hpp"
 #include "util/validation.hpp"
 
 namespace privlocad::core {
@@ -49,6 +51,34 @@ void ConcurrentEdge::import_history(std::uint64_t user_id,
   Shard& shard = shard_for(user_id);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   shard.device->import_history(user_id, trace);
+}
+
+BatchServeStats ConcurrentEdge::serve_trace_batch(
+    const std::vector<trace::UserTrace>& traces, par::ThreadPool& pool) {
+  const util::Timer timer;
+  // One task per user keeps each trace time-ordered; different users hit
+  // the shard mutexes concurrently, which is the contention pattern a live
+  // deployment produces.
+  par::parallel_for(pool, 0, traces.size(), /*grain=*/1,
+                    [&](std::size_t i) {
+                      const trace::UserTrace& trace = traces[i];
+                      for (const trace::CheckIn& c : trace.check_ins) {
+                        report_location(trace.user_id, c.position, c.time);
+                      }
+                    });
+
+  BatchServeStats stats;
+  stats.users = traces.size();
+  for (const trace::UserTrace& trace : traces) {
+    stats.requests += trace.check_ins.size();
+  }
+  stats.wall_seconds = timer.elapsed_seconds();
+  return stats;
+}
+
+BatchServeStats ConcurrentEdge::serve_trace_batch(
+    const std::vector<trace::UserTrace>& traces) {
+  return serve_trace_batch(traces, par::ThreadPool::global());
 }
 
 EdgeTelemetry ConcurrentEdge::telemetry() const {

@@ -17,7 +17,24 @@
 
 #include "core/edge_device.hpp"
 
+namespace privlocad::par {
+class ThreadPool;
+}
+
 namespace privlocad::core {
+
+/// Outcome of one serve_trace_batch run.
+struct BatchServeStats {
+  std::size_t users = 0;
+  std::size_t requests = 0;
+  double wall_seconds = 0.0;
+
+  double requests_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(requests) / wall_seconds
+               : 0.0;
+  }
+};
 
 class ConcurrentEdge {
  public:
@@ -38,6 +55,19 @@ class ConcurrentEdge {
 
   /// Thread-safe history import.
   void import_history(std::uint64_t user_id, const trace::UserTrace& trace);
+
+  /// Drives a whole population of traces through the sharded devices from
+  /// the pool's worker threads: one task per user, so a user's check-ins
+  /// stay time-ordered while different users contend on the shard mutexes
+  /// exactly as live traffic would. Telemetry counter totals are
+  /// scheduling-independent (each user's classification depends only on
+  /// their own state), so a threads=1 run and a threads=N run agree.
+  BatchServeStats serve_trace_batch(
+      const std::vector<trace::UserTrace>& traces, par::ThreadPool& pool);
+
+  /// Global-pool convenience (sized by PRIVLOCAD_THREADS / hardware).
+  BatchServeStats serve_trace_batch(
+      const std::vector<trace::UserTrace>& traces);
 
   /// Cluster-wide telemetry rollup (locks every shard briefly).
   EdgeTelemetry telemetry() const;

@@ -1,5 +1,6 @@
 #include "core/edge_cluster.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/validation.hpp"
@@ -53,6 +54,26 @@ std::vector<adnet::Ad> EdgeCluster::filter_ads(
     }
   }
   return relevant;
+}
+
+std::vector<EdgeCluster::CellLoad> EdgeCluster::cell_loads() const {
+  std::vector<CellLoad> loads;
+  loads.reserve(served_.size());
+  for (const auto& [key, count] : served_) {
+    CellLoad load;
+    load.cx = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(key >> 32));
+    load.cy = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(key & 0xFFFFFFFFULL));
+    load.requests = count;
+    loads.push_back(load);
+  }
+  std::sort(loads.begin(), loads.end(),
+            [](const CellLoad& a, const CellLoad& b) {
+              if (a.cx != b.cx) return a.cx < b.cx;
+              return a.cy < b.cy;
+            });
+  return loads;
 }
 
 std::size_t EdgeCluster::requests_served(std::int32_t cx,

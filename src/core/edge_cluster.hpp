@@ -47,6 +47,18 @@ class EdgeCluster {
   /// Requests served by the device at cell (cx, cy); 0 if none.
   std::size_t requests_served(std::int32_t cx, std::int32_t cy) const;
 
+  /// One active cell and its request count.
+  struct CellLoad {
+    std::int32_t cx = 0;
+    std::int32_t cy = 0;
+    std::size_t requests = 0;
+  };
+
+  /// Every cell that served at least one request, sorted by (cx, cy) --
+  /// the complete load map, however far the population wandered (load
+  /// stats must not silently miss devices outside a fixed scan window).
+  std::vector<CellLoad> cell_loads() const;
+
   /// The device owning `location`'s cell, created on first use.
   EdgeDevice& device_for(geo::Point location);
 

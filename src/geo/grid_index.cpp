@@ -1,6 +1,8 @@
 #include "geo/grid_index.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/validation.hpp"
 
@@ -9,10 +11,29 @@ namespace privlocad::geo {
 GridIndex::GridIndex(std::vector<Point> points, double cell_size_m)
     : points_(std::move(points)), cell_size_(cell_size_m) {
   util::require_positive(cell_size_m, "grid cell size");
-  cells_.reserve(points_.size());
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    cells_[key_for(points_[i])].push_back(i);
+  util::require(points_.size() <= std::numeric_limits<std::uint32_t>::max(),
+                "GridIndex point count exceeds 32-bit addressing");
+
+  // Sort point indices by cell key (ties by index, so bucket order is the
+  // input order) and compress into CSR: unique keys + offsets + members.
+  const std::size_t n = points_.size();
+  std::vector<std::pair<CellKey, std::uint32_t>> keyed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keyed[i] = {key_for(points_[i]), static_cast<std::uint32_t>(i)};
   }
+  std::sort(keyed.begin(), keyed.end());
+
+  order_.resize(n);
+  keys_.reserve(n / 2 + 1);
+  starts_.reserve(n / 2 + 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keys_.empty() || keys_.back() != keyed[i].first) {
+      keys_.push_back(keyed[i].first);
+      starts_.push_back(static_cast<std::uint32_t>(i));
+    }
+    order_[i] = keyed[i].second;
+  }
+  starts_.push_back(static_cast<std::uint32_t>(n));
 }
 
 GridIndex::CellKey GridIndex::key_for(Point p) const {
@@ -29,11 +50,17 @@ GridIndex::CellKey GridIndex::pack(std::int32_t cx, std::int32_t cy) {
   return (ux << 32) | uy;
 }
 
+std::size_t GridIndex::find_cell(CellKey key) const {
+  const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return keys_.size();
+  return static_cast<std::size_t>(it - keys_.begin());
+}
+
 std::vector<std::size_t> GridIndex::within(Point query,
                                            double radius_m) const {
   std::vector<std::size_t> result;
   for_each_within(query, radius_m,
-                  [&result](std::size_t idx) { result.push_back(idx); });
+                  [&result](std::size_t idx, double) { result.push_back(idx); });
   return result;
 }
 

@@ -5,10 +5,17 @@
 // grid with cell size equal to the query radius answers those in O(points
 // in the 3x3 neighborhood), which makes the connectivity clustering linear
 // in practice instead of quadratic.
+//
+// Storage is CSR-style rather than a hash map of buckets: point indices
+// are grouped by cell in one flat array (`order_`), with a sorted unique
+// cell-key array (`keys_`) and an offsets array (`starts_`) addressing the
+// groups. Queries binary-search the 3x3 neighbor keys and then walk
+// contiguous memory -- this is the attack's inner loop over every check-in
+// pair, and the flat layout removes the per-bucket allocations and hash
+// probing of the previous unordered_map design.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "geo/point.hpp"
@@ -27,8 +34,10 @@ class GridIndex {
   /// `radius_m` may exceed the cell size (more cells are scanned).
   std::vector<std::size_t> within(Point query, double radius_m) const;
 
-  /// Calls `fn(index)` for each point within `radius_m` of `query`,
-  /// avoiding the result-vector allocation on hot paths.
+  /// Calls `fn(index, distance_squared)` for each point within `radius_m`
+  /// of `query`, avoiding the result-vector allocation on hot paths. The
+  /// already-computed squared distance is handed to the callback so strict
+  /// (< threshold) filters do not recompute it.
   template <typename Fn>
   void for_each_within(Point query, double radius_m, Fn&& fn) const;
 
@@ -40,10 +49,14 @@ class GridIndex {
 
   CellKey key_for(Point p) const;
   static CellKey pack(std::int32_t cx, std::int32_t cy);
+  /// Position of `key` in keys_, or keys_.size() when absent.
+  std::size_t find_cell(CellKey key) const;
 
   std::vector<Point> points_;
   double cell_size_;
-  std::unordered_map<CellKey, std::vector<std::size_t>> cells_;
+  std::vector<CellKey> keys_;          ///< sorted unique occupied cells
+  std::vector<std::uint32_t> starts_;  ///< keys_.size()+1 offsets into order_
+  std::vector<std::uint32_t> order_;   ///< point indices grouped by cell
 };
 
 template <typename Fn>
@@ -55,10 +68,13 @@ void GridIndex::for_each_within(Point query, double radius_m, Fn&& fn) const {
       std::ceil(radius_m / cell_size_));
   for (std::int32_t dx = -reach; dx <= reach; ++dx) {
     for (std::int32_t dy = -reach; dy <= reach; ++dy) {
-      const auto it = cells_.find(pack(cx + dx, cy + dy));
-      if (it == cells_.end()) continue;
-      for (const std::size_t idx : it->second) {
-        if (distance_squared(points_[idx], query) <= r2) fn(idx);
+      const std::size_t cell = find_cell(pack(cx + dx, cy + dy));
+      if (cell == keys_.size()) continue;
+      for (std::uint32_t slot = starts_[cell]; slot < starts_[cell + 1];
+           ++slot) {
+        const std::size_t idx = order_[slot];
+        const double d2 = distance_squared(points_[idx], query);
+        if (d2 <= r2) fn(idx, d2);
       }
     }
   }

@@ -1,0 +1,63 @@
+// Deterministic data-parallel helpers over a ThreadPool.
+//
+// parallel_map writes each result into its own pre-sized slot, so result
+// ORDER never depends on scheduling; combined with per-item seed-splitting
+// (rng::Engine::split(index)) the full output is byte-identical across
+// thread counts. That contract is what lets the attack/serving benches
+// compare "same numbers, less wall-clock" across PRIVLOCAD_THREADS values.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+
+namespace privlocad::par {
+
+/// Runs fn(i) for i in [begin, end) on `pool`, `grain` indices per task.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, Fn&& fn) {
+  pool.for_each_index(begin, end, grain,
+                      [&fn](std::size_t i) { fn(i); });
+}
+
+/// Auto-grained variant (~4 chunks per lane).
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  Fn&& fn) {
+  const std::size_t count = end > begin ? end - begin : 0;
+  parallel_for(pool, begin, end, default_grain(count, pool.thread_count()),
+               std::forward<Fn>(fn));
+}
+
+/// Global-pool convenience.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
+  parallel_for(ThreadPool::global(), begin, end, std::forward<Fn>(fn));
+}
+
+/// Maps fn(item, index) over `items`; results land at the same index as
+/// their input (deterministic ordering regardless of scheduling). The
+/// result type must be default-constructible.
+template <typename T, typename Fn>
+auto parallel_map(ThreadPool& pool, const std::vector<T>& items, Fn&& fn)
+    -> std::vector<
+        std::decay_t<std::invoke_result_t<Fn&, const T&, std::size_t>>> {
+  using Result =
+      std::decay_t<std::invoke_result_t<Fn&, const T&, std::size_t>>;
+  std::vector<Result> results(items.size());
+  parallel_for(pool, 0, items.size(),
+               [&](std::size_t i) { results[i] = fn(items[i], i); });
+  return results;
+}
+
+/// Global-pool convenience.
+template <typename T, typename Fn>
+auto parallel_map(const std::vector<T>& items, Fn&& fn) {
+  return parallel_map(ThreadPool::global(), items, std::forward<Fn>(fn));
+}
+
+}  // namespace privlocad::par

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "par/parallel.hpp"
 #include "rng/samplers.hpp"
 #include "util/validation.hpp"
 
@@ -220,16 +221,25 @@ SyntheticUser generate_user(const rng::Engine& parent,
   return user;
 }
 
-std::vector<SyntheticUser> generate_population(const rng::Engine& parent,
+std::vector<SyntheticUser> generate_population(par::ThreadPool& pool,
+                                               const rng::Engine& parent,
                                                const SyntheticConfig& config,
                                                std::size_t count) {
   validate(config);
-  std::vector<SyntheticUser> users;
-  users.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    users.push_back(generate_user(parent, config, i));
-  }
+  std::vector<SyntheticUser> users(count);
+  // generate_user derives everything from parent.split(user_id), so the
+  // per-index tasks are independent and the result is scheduling-proof.
+  par::parallel_for(pool, 0, count, [&](std::size_t i) {
+    users[i] = generate_user(parent, config, i);
+  });
   return users;
+}
+
+std::vector<SyntheticUser> generate_population(const rng::Engine& parent,
+                                               const SyntheticConfig& config,
+                                               std::size_t count) {
+  return generate_population(par::ThreadPool::global(), parent, config,
+                             count);
 }
 
 SyntheticUser generate_case_study_user(const rng::Engine& parent,

@@ -31,6 +31,10 @@
 #include "rng/engine.hpp"
 #include "trace/check_in.hpp"
 
+namespace privlocad::par {
+class ThreadPool;
+}
+
 namespace privlocad::trace {
 
 /// Tunable population parameters; defaults reproduce the paper's dataset
@@ -94,10 +98,17 @@ SyntheticUser generate_user(const rng::Engine& parent,
                             const SyntheticConfig& config,
                             std::uint64_t user_id);
 
-/// Generates a population of `count` users. Each user draws from an
-/// independent split stream, so populations are stable under reordering
-/// and subsetting.
+/// Generates a population of `count` users, fanned out over the global
+/// thread pool. Each user draws from an independent split stream keyed by
+/// user id, so the population is byte-identical for any thread count (and
+/// stable under reordering and subsetting).
 std::vector<SyntheticUser> generate_population(const rng::Engine& parent,
+                                               const SyntheticConfig& config,
+                                               std::size_t count);
+
+/// Same, on an explicit pool (tests pin thread counts through this).
+std::vector<SyntheticUser> generate_population(par::ThreadPool& pool,
+                                               const rng::Engine& parent,
                                                const SyntheticConfig& config,
                                                std::size_t count);
 

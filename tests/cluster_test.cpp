@@ -108,6 +108,31 @@ TEST(EdgeCluster, NegativeCoordinatesGetOwnCells) {
   EXPECT_EQ(cluster.requests_served(-1, -1), 1u);
 }
 
+TEST(EdgeCluster, CellLoadsCoverEveryActiveCell) {
+  // Load stats must see devices however far out the population wandered --
+  // including cells far outside any fixed scan window like [-4, 4].
+  EdgeCluster cluster(cluster_config(), 7);
+  cluster.report_location(1, {1000, 1000}, 0);       // cell (0, 0)
+  cluster.report_location(1, {1500, 1200}, 1);       // cell (0, 0)
+  cluster.report_location(2, {-95000, 1000}, 2);     // cell (-10, 0)
+  cluster.report_location(3, {250000, 250000}, 3);   // cell (25, 25)
+
+  const std::vector<EdgeCluster::CellLoad> loads = cluster.cell_loads();
+  ASSERT_EQ(loads.size(), 3u);
+  // Sorted by (cx, cy).
+  EXPECT_EQ(loads[0].cx, -10);
+  EXPECT_EQ(loads[0].cy, 0);
+  EXPECT_EQ(loads[0].requests, 1u);
+  EXPECT_EQ(loads[1].cx, 0);
+  EXPECT_EQ(loads[1].requests, 2u);
+  EXPECT_EQ(loads[2].cx, 25);
+  EXPECT_EQ(loads[2].cy, 25);
+
+  std::size_t total = 0;
+  for (const auto& cell : loads) total += cell.requests;
+  EXPECT_EQ(total, 4u);
+}
+
 TEST(EdgeCluster, DeviceForIsStablePerCell) {
   EdgeCluster cluster(cluster_config(), 3);
   EdgeDevice& a = cluster.device_for({100, 100});

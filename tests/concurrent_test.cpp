@@ -8,6 +8,8 @@
 #include "attack/grid_attack.hpp"
 #include "core/concurrent_edge.hpp"
 #include "core/telemetry.hpp"
+#include "par/thread_pool.hpp"
+#include "trace/synthetic.hpp"
 #include "lppm/planar_laplace.hpp"
 #include "rng/engine.hpp"
 #include "rng/samplers.hpp"
@@ -186,6 +188,51 @@ TEST(ConcurrentEdge, ParallelHammeringKeepsCountsExact) {
             static_cast<std::size_t>(kThreads * kRequestsPerThread));
   EXPECT_EQ(total.top_reports + total.nomadic_reports, total.requests);
   EXPECT_EQ(edge.user_count(), static_cast<std::size_t>(kThreads * 50));
+}
+
+TEST(ConcurrentEdge, BatchServeMatchesSerialTelemetry) {
+  // serve_trace_batch from a multi-threaded pool must be a faster version
+  // of the same computation: every telemetry total agrees with the 1-thread
+  // run because report classification depends only on per-user state.
+  // This test is also the TSan target (-DPRIVLOCAD_SANITIZE=thread).
+  trace::SyntheticConfig synth;
+  synth.min_check_ins = 30;
+  synth.max_check_ins = 120;
+  const rng::Engine parent(404);
+  const auto population = trace::generate_population(parent, synth, 32);
+  std::vector<trace::UserTrace> traces;
+  traces.reserve(population.size());
+  for (const trace::SyntheticUser& user : population) {
+    traces.push_back(user.trace);
+  }
+
+  par::ThreadPool serial_pool(1);
+  core::ConcurrentEdge serial_edge(fast_config(), 8, 42);
+  const core::BatchServeStats serial =
+      serial_edge.serve_trace_batch(traces, serial_pool);
+
+  par::ThreadPool parallel_pool(8);
+  core::ConcurrentEdge parallel_edge(fast_config(), 8, 42);
+  const core::BatchServeStats parallel =
+      parallel_edge.serve_trace_batch(traces, parallel_pool);
+
+  std::size_t expected_requests = 0;
+  for (const trace::UserTrace& t : traces) {
+    expected_requests += t.check_ins.size();
+  }
+  EXPECT_EQ(serial.users, traces.size());
+  EXPECT_EQ(parallel.users, traces.size());
+  EXPECT_EQ(serial.requests, expected_requests);
+  EXPECT_EQ(parallel.requests, expected_requests);
+
+  const core::EdgeTelemetry a = serial_edge.telemetry();
+  const core::EdgeTelemetry b = parallel_edge.telemetry();
+  EXPECT_EQ(a.requests, expected_requests);
+  EXPECT_EQ(b.requests, a.requests);
+  EXPECT_EQ(b.top_reports, a.top_reports);
+  EXPECT_EQ(b.nomadic_reports, a.nomadic_reports);
+  EXPECT_EQ(b.tables_generated, a.tables_generated);
+  EXPECT_EQ(parallel_edge.user_count(), serial_edge.user_count());
 }
 
 TEST(ConcurrentEdge, RejectsZeroShards) {
