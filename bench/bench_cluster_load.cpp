@@ -127,6 +127,12 @@ int main(int argc, char** argv) {
   record.add("speedup", speedup);
   record.add("telemetry_match",
              static_cast<std::uint64_t>(counters_match ? 1 : 0));
+  bench::add_latency_percentiles(
+      record, "serve_latency_us",
+      parallel_edge.metrics().histogram(core::edge_metrics::kServeLatencyUs));
+  const par::PoolStats pool_stats = parallel_pool.stats();
+  record.add("pool_tasks_executed", pool_stats.tasks_executed);
+  record.add("pool_steals", pool_stats.steals);
   bench::emit_json("BENCH_cluster_load.json", record);
 
   std::printf("\nexpected: load roughly follows population density; top "

@@ -5,16 +5,16 @@
 // argv ("--users=N", "--trials=N") so CI can run quick smoke passes.
 #pragma once
 
-#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "attack/deobfuscation.hpp"
 #include "attack/evaluation.hpp"
 #include "lppm/mechanism.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "trace/synthetic.hpp"
 
 namespace privlocad::bench {
@@ -60,64 +60,37 @@ inline attack::DeobfuscationConfig attack_config_for(
   return config;
 }
 
-/// Ordered key -> JSON-literal metric set for the perf-baseline records
-/// every bench writes (BENCH_<name>.json). Values are rendered at add()
-/// time so the writer needs no variant machinery; insertion order is the
-/// file order, which keeps diffs between runs line-stable.
-class JsonMetrics {
- public:
-  JsonMetrics& add(const std::string& key, double value) {
-    char buffer[64];
-    if (std::isfinite(value)) {
-      std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-    } else {
-      std::snprintf(buffer, sizeof(buffer), "null");
-    }
-    entries_.emplace_back(key, buffer);
-    return *this;
-  }
+/// The perf-baseline records every bench writes (BENCH_<name>.json) are
+/// built with the shared obs::JsonWriter: same flat one-key-per-line
+/// schema the metrics registry exports, so registry dumps and bench
+/// records diff with the same tooling.
+using JsonMetrics = obs::JsonWriter;
 
-  JsonMetrics& add(const std::string& key, std::uint64_t value) {
-    entries_.emplace_back(key, std::to_string(value));
-    return *this;
-  }
-
-  /// `value` must not need escaping (bench names and labels do not).
-  JsonMetrics& add_string(const std::string& key, const std::string& value) {
-    entries_.emplace_back(key, "\"" + value + "\"");
-    return *this;
-  }
-
-  const std::vector<std::pair<std::string, std::string>>& entries() const {
-    return entries_;
-  }
-
- private:
-  std::vector<std::pair<std::string, std::string>> entries_;
-};
+/// Appends histogram percentiles to `metrics` under `prefix` using the
+/// same `<prefix>_count/_p50/_p95/_p99` key family the registry export
+/// emits, so bench records stay schema-compatible with registry dumps.
+inline void add_latency_percentiles(JsonMetrics& metrics,
+                                    const std::string& prefix,
+                                    const obs::LatencyHistogram& histogram) {
+  metrics.add(prefix + "_count", histogram.count());
+  metrics.add(prefix + "_p50", histogram.quantile(0.50));
+  metrics.add(prefix + "_p95", histogram.quantile(0.95));
+  metrics.add(prefix + "_p99", histogram.quantile(0.99));
+}
 
 /// Writes `metrics` as one flat JSON object to `path` (typically
 /// "BENCH_<name>.json" in the working directory). These records are the
 /// perf trajectory future changes regress against: wall time, throughput,
 /// thread count, and whatever accuracy numbers prove the speedup did not
-/// change the result. Returns false (and warns on stderr) on IO failure.
+/// change the result. Also dumps the process-global metrics registry to
+/// $PRIVLOCAD_METRICS when that variable is set, so one run can leave
+/// both the bench record and the full registry behind. Returns false
+/// (and warns on stderr) on IO failure.
 inline bool emit_json(const std::string& path, const JsonMetrics& metrics) {
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-    return false;
-  }
-  std::fprintf(out, "{\n");
-  const auto& entries = metrics.entries();
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    std::fprintf(out, "  \"%s\": %s%s\n", entries[i].first.c_str(),
-                 entries[i].second.c_str(),
-                 i + 1 < entries.size() ? "," : "");
-  }
-  std::fprintf(out, "}\n");
-  std::fclose(out);
-  std::printf("perf record -> %s\n", path.c_str());
-  return true;
+  const bool ok = metrics.write_file(path);
+  if (ok) std::printf("perf record -> %s\n", path.c_str());
+  obs::MetricsRegistry::global().export_to_env_path();
+  return ok;
 }
 
 /// Synthetic population matching the paper's dataset shape, at a

@@ -165,6 +165,12 @@ int main(int argc, char** argv) {
              total_seconds > 0.0
                  ? static_cast<double>(users) * 5.0 / total_seconds
                  : 0.0);
+  // Per-user Alg. 1 wall time, recorded by evaluate_population into the
+  // process-global registry across every configuration above.
+  bench::add_latency_percentiles(
+      record, "deobfuscation_latency_us",
+      obs::MetricsRegistry::global().histogram(
+          "attack.deobfuscation_latency_us"));
   bench::emit_json("BENCH_fig6_attack.json", record);
 
   std::printf("\npaper: laplace rows 75-93%% top1@200m, >50%% top2@200m;\n"

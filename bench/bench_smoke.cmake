@@ -1,0 +1,41 @@
+# Smoke-runs one bench binary with tiny parameters and validates the
+# BENCH_<name>.json perf record it emits: the run must exit 0, the file
+# must exist, and every expected key must be present. Invoked by ctest as
+#
+#   cmake -DBENCH_EXE=<path> -DBENCH_ARGS="--users=12;--trials=200"
+#         -DBENCH_JSON=BENCH_foo.json -DBENCH_KEYS="bench;wall_seconds"
+#         -P bench_smoke.cmake
+#
+# BENCH_ARGS and BENCH_KEYS are semicolon-separated lists. The script runs
+# in the test's working directory, which is where the bench drops its JSON.
+foreach(required BENCH_EXE BENCH_JSON BENCH_KEYS)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "bench_smoke: ${required} must be defined")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${BENCH_EXE}" ${BENCH_ARGS}
+  RESULT_VARIABLE bench_status
+  OUTPUT_VARIABLE bench_stdout
+  ERROR_VARIABLE bench_stderr)
+if(NOT bench_status EQUAL 0)
+  message(FATAL_ERROR
+    "bench_smoke: ${BENCH_EXE} exited with ${bench_status}\n"
+    "stdout:\n${bench_stdout}\nstderr:\n${bench_stderr}")
+endif()
+
+if(NOT EXISTS "${BENCH_JSON}")
+  message(FATAL_ERROR "bench_smoke: ${BENCH_EXE} did not write ${BENCH_JSON}")
+endif()
+file(READ "${BENCH_JSON}" bench_record)
+
+foreach(key ${BENCH_KEYS})
+  if(NOT bench_record MATCHES "\"${key}\"")
+    message(FATAL_ERROR
+      "bench_smoke: ${BENCH_JSON} is missing key \"${key}\"\n"
+      "record:\n${bench_record}")
+  endif()
+endforeach()
+
+message(STATUS "bench_smoke: ${BENCH_JSON} OK")

@@ -76,11 +76,20 @@ int main(int argc, char** argv) {
   par::ThreadPool pool(threads);
   core::ConcurrentEdge edge(config.edge, 16, 31);
   const core::BatchServeStats batch = edge.serve_trace_batch(traces, pool);
+  const obs::LatencyHistogram& serve_latency =
+      edge.metrics().histogram(core::edge_metrics::kServeLatencyUs);
+  const par::PoolStats pool_stats = pool.stats();
   std::printf("\nbatch serving (%zu threads, 16 shards):\n", threads);
   std::printf("  requests           : %zu\n", batch.requests);
   std::printf("  wall               : %.3fs\n", batch.wall_seconds);
   std::printf("  throughput         : %.0f req/s\n",
               batch.requests_per_second());
+  std::printf("  serve latency      : p50 %.1fus  p95 %.1fus  p99 %.1fus\n",
+              serve_latency.quantile(0.50), serve_latency.quantile(0.95),
+              serve_latency.quantile(0.99));
+  std::printf("  pool               : %llu tasks, %llu steals\n",
+              static_cast<unsigned long long>(pool_stats.tasks_executed),
+              static_cast<unsigned long long>(pool_stats.steals));
 
   bench::JsonMetrics record;
   record.add_string("bench", "system_e2e");
@@ -94,6 +103,9 @@ int main(int argc, char** argv) {
   record.add("batch_requests", static_cast<std::uint64_t>(batch.requests));
   record.add("batch_wall_seconds", batch.wall_seconds);
   record.add("batch_requests_per_second", batch.requests_per_second());
+  bench::add_latency_percentiles(record, "serve_latency_us", serve_latency);
+  record.add("pool_tasks_executed", pool_stats.tasks_executed);
+  record.add("pool_steals", pool_stats.steals);
   bench::emit_json("BENCH_system_e2e.json", record);
   return 0;
 }

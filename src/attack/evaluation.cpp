@@ -1,6 +1,7 @@
 #include "attack/evaluation.hpp"
 
 #include "geo/point.hpp"
+#include "obs/metrics.hpp"
 #include "par/parallel.hpp"
 #include "util/validation.hpp"
 
@@ -52,6 +53,13 @@ SuccessRateAccumulator evaluate_population(
                 "evaluate_population needs an observation function");
   const rng::Engine parent(protocol.observation_seed);
 
+  // Per-user de-obfuscation wall time lands in the global registry so
+  // attack benches can report percentiles; resolved once here to keep the
+  // registration mutex off the per-user path.
+  obs::LatencyHistogram& deobfuscation_latency =
+      obs::MetricsRegistry::global().histogram(
+          "attack.deobfuscation_latency_us");
+
   // One task per user: observe under the user's split stream, run Alg. 1,
   // score against truth. Outcomes land at the user's index, so the serial
   // fold below sees them in population order regardless of scheduling.
@@ -60,8 +68,12 @@ SuccessRateAccumulator evaluate_population(
       [&](const trace::SyntheticUser& user, std::size_t i) {
         rng::Engine user_engine = parent.split(i);
         const std::vector<geo::Point> observed = observe(user_engine, user);
-        const std::vector<InferredLocation> inferred =
-            deobfuscate_top_locations(observed, protocol.deobfuscation);
+        std::vector<InferredLocation> inferred;
+        {
+          const obs::ScopedLatencyTimer timer(&deobfuscation_latency);
+          inferred =
+              deobfuscate_top_locations(observed, protocol.deobfuscation);
+        }
         return evaluate_attack(inferred, user.truth, protocol.ranks);
       });
 

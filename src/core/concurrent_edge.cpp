@@ -7,13 +7,16 @@
 namespace privlocad::core {
 
 ConcurrentEdge::ConcurrentEdge(EdgeConfig config, std::size_t shards,
-                               std::uint64_t seed) {
+                               std::uint64_t seed)
+    : metrics_(std::make_shared<obs::MetricsRegistry>()) {
   util::require(shards >= 1, "ConcurrentEdge needs at least one shard");
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->device = std::make_unique<EdgeDevice>(
-        config, seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
+        config, seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)), metrics_);
+    shard->lock_acquisitions = &metrics_->counter(
+        "edge.shard" + std::to_string(i) + ".lock_acquisitions");
     shards_.push_back(std::move(shard));
   }
 }
@@ -35,6 +38,7 @@ ReportedLocation ConcurrentEdge::report_location(std::uint64_t user_id,
                                                  trace::Timestamp time) {
   Shard& shard = shard_for(user_id);
   const std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.lock_count;
   return shard.device->report_location(user_id, true_location, time);
 }
 
@@ -43,6 +47,7 @@ std::vector<adnet::Ad> ConcurrentEdge::filter_ads(
     geo::Point true_location) {
   Shard& shard = shard_for(user_id);
   const std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.lock_count;
   return shard.device->filter_ads(ads, true_location);
 }
 
@@ -50,6 +55,7 @@ void ConcurrentEdge::import_history(std::uint64_t user_id,
                                     const trace::UserTrace& trace) {
   Shard& shard = shard_for(user_id);
   const std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.lock_count;
   shard.device->import_history(user_id, trace);
 }
 
@@ -73,6 +79,11 @@ BatchServeStats ConcurrentEdge::serve_trace_batch(
     stats.requests += trace.check_ins.size();
   }
   stats.wall_seconds = timer.elapsed_seconds();
+  // Publish the shard lock tallies and the pool's cumulative execution
+  // counters next to the serving metrics so one registry dump shows both
+  // sides of a batch run.
+  publish_shard_counters();
+  pool.export_metrics(*metrics_);
   return stats;
 }
 
@@ -81,13 +92,20 @@ BatchServeStats ConcurrentEdge::serve_trace_batch(
   return serve_trace_batch(traces, par::ThreadPool::global());
 }
 
-EdgeTelemetry ConcurrentEdge::telemetry() const {
-  EdgeTelemetry total;
+void ConcurrentEdge::publish_shard_counters() const {
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);
-    total.merge(shard->device->telemetry());
+    shard->lock_acquisitions->add(shard->lock_count -
+                                  shard->lock_count_published);
+    shard->lock_count_published = shard->lock_count;
   }
-  return total;
+}
+
+EdgeTelemetry ConcurrentEdge::telemetry() const {
+  // The edge_metrics counters live in the shared registry already; only
+  // the shard lock tallies need a lock sweep to publish.
+  publish_shard_counters();
+  return EdgeTelemetry::from_registry(*metrics_);
 }
 
 std::size_t ConcurrentEdge::user_count() const {

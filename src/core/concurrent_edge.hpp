@@ -40,7 +40,9 @@ class ConcurrentEdge {
  public:
   /// `shards` internal devices (>= 1). Seeds derive from `seed` so the
   /// whole server is reproducible given a fixed user->request schedule
-  /// per shard.
+  /// per shard. All shards record into ONE metrics registry (sharded
+  /// atomic counters make that safe), so telemetry() and metrics() read
+  /// box-wide totals without touching any shard mutex.
   ConcurrentEdge(EdgeConfig config, std::size_t shards, std::uint64_t seed);
 
   /// Thread-safe report_location; serialized per shard.
@@ -69,8 +71,18 @@ class ConcurrentEdge {
   BatchServeStats serve_trace_batch(
       const std::vector<trace::UserTrace>& traces);
 
-  /// Cluster-wide telemetry rollup (locks every shard briefly).
+  /// Box-wide telemetry snapshot, read lock-free off the shared registry.
   EdgeTelemetry telemetry() const;
+
+  /// The shared registry: edge_metrics counters, the serve-latency
+  /// histogram, and per-shard "edge.shard<i>.lock_acquisitions" counters
+  /// (a skewed shard shows up here before it shows up as tail latency).
+  /// The lock counters are tallied under each shard's own mutex and
+  /// published into the registry by serve_trace_batch()/telemetry(), so
+  /// read them after one of those. serve_trace_batch additionally
+  /// publishes the pool's task/steal counters.
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
   /// Total users across all shards.
   std::size_t user_count() const;
@@ -80,12 +92,26 @@ class ConcurrentEdge {
  private:
   struct Shard {
     std::unique_ptr<EdgeDevice> device;
+    /// Times this shard's mutex was taken (contention/skew signal). A
+    /// plain tally -- the incrementing path already holds the mutex, so
+    /// an atomic would buy nothing and cost a lock-prefixed RMW per
+    /// request. publish_shard_counters() moves it into the registry.
+    std::uint64_t lock_count = 0;
+    /// Portion of lock_count already flushed into the registry counter.
+    /// Mutable so the const telemetry() snapshot can publish.
+    mutable std::uint64_t lock_count_published = 0;
+    obs::Counter* lock_acquisitions = nullptr;
     mutable std::mutex mutex;
   };
 
   Shard& shard_for(std::uint64_t user_id);
   const Shard& shard_for(std::uint64_t user_id) const;
 
+  /// Flushes each shard's lock tally into its registry counter. Called
+  /// off the hot path: end of serve_trace_batch and telemetry().
+  void publish_shard_counters() const;
+
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

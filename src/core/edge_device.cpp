@@ -6,10 +6,27 @@
 namespace privlocad::core {
 
 EdgeDevice::EdgeDevice(EdgeConfig config, std::uint64_t seed)
+    : EdgeDevice(config, seed, std::make_shared<obs::MetricsRegistry>()) {}
+
+EdgeDevice::EdgeDevice(EdgeConfig config, std::uint64_t seed,
+                       std::shared_ptr<obs::MetricsRegistry> metrics)
     : config_(config),
       top_mechanism_(config.top_params),
       nomadic_mechanism_(config.nomadic_params),
-      engine_(seed) {}
+      engine_(seed),
+      metrics_(std::move(metrics)) {
+  util::require(metrics_ != nullptr, "EdgeDevice needs a metrics registry");
+  top_reports_total_ = &metrics_->counter(edge_metrics::kTopReports);
+  nomadic_reports_total_ =
+      &metrics_->counter(edge_metrics::kNomadicReports);
+  profile_rebuilds_total_ =
+      &metrics_->counter(edge_metrics::kProfileRebuilds);
+  tables_generated_total_ =
+      &metrics_->counter(edge_metrics::kTablesGenerated);
+  ads_seen_total_ = &metrics_->counter(edge_metrics::kAdsSeen);
+  ads_delivered_total_ = &metrics_->counter(edge_metrics::kAdsDelivered);
+  serve_latency_ = &metrics_->histogram(edge_metrics::kServeLatencyUs);
+}
 
 EdgeDevice::UserState& EdgeDevice::state_for(std::uint64_t user_id) {
   const auto it = users_.find(user_id);
@@ -38,10 +55,13 @@ const attack::ProfileEntry* EdgeDevice::matching_top(
 ReportedLocation EdgeDevice::report_location(std::uint64_t user_id,
                                              geo::Point true_location,
                                              trace::Timestamp time) {
+  const bool time_this_call =
+      serve_calls_++ % kServeLatencySampleStride == 0;
+  const obs::ScopedLatencyTimer latency_timer(
+      time_this_call ? serve_latency_ : nullptr);
   UserState& state = state_for(user_id);
-  ++telemetry_.requests;
   if (state.manager.record(true_location, time)) {
-    ++telemetry_.profile_rebuilds;
+    profile_rebuilds_total_->add();
   }
 
   if (const attack::ProfileEntry* top = matching_top(state, true_location)) {
@@ -54,18 +74,18 @@ ReportedLocation EdgeDevice::report_location(std::uint64_t user_id,
       // actually spent on it. Every later request replays the set.
       accountant_.record(user_id, {mechanism.params().epsilon,
                                    mechanism.params().delta});
-      ++telemetry_.tables_generated;
+      tables_generated_total_->add();
     }
     const std::size_t chosen = select_candidate(
         engine_, candidates, mechanism.posterior_sigma());
-    ++telemetry_.top_reports;
+    top_reports_total_->add();
     return {candidates[chosen], ReportKind::kTopLocation};
   }
 
   // Nomadic path: every release is an independent one-time charge at the
   // planar-Laplace level (eps = l, pure DP-style: delta = 0).
   accountant_.record(user_id, {config_.nomadic_params.level, 0.0});
-  ++telemetry_.nomadic_reports;
+  nomadic_reports_total_->add();
   return {nomadic_mechanism_.obfuscate_one(engine_, true_location),
           ReportKind::kNomadic};
 }
@@ -80,8 +100,8 @@ std::vector<adnet::Ad> EdgeDevice::filter_ads(
       relevant.push_back(ad);
     }
   }
-  telemetry_.ads_seen += ads.size();
-  telemetry_.ads_delivered += relevant.size();
+  ads_seen_total_->add(ads.size());
+  ads_delivered_total_->add(relevant.size());
   return relevant;
 }
 
@@ -103,7 +123,7 @@ void EdgeDevice::prepare_obfuscation(std::uint64_t user_id) {
     if (state.table.size() > entries_before) {
       accountant_.record(user_id, {mechanism.params().epsilon,
                                    mechanism.params().delta});
-      ++telemetry_.tables_generated;
+      tables_generated_total_->add();
     }
   }
 }

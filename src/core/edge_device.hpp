@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "lppm/accountant.hpp"
 #include "lppm/gaussian.hpp"
 #include "lppm/planar_laplace.hpp"
+#include "obs/metrics.hpp"
 #include "rng/engine.hpp"
 #include "trace/check_in.hpp"
 
@@ -61,6 +63,12 @@ struct EdgeConfig {
 /// How a reported location was produced; exposed for tests and metrics.
 enum class ReportKind { kTopLocation, kNomadic };
 
+/// One in this many report_location calls is latency-timed (per device,
+/// starting with the first). Reading the clock twice per request costs
+/// more than the entire metrics write path, so serve-latency percentiles
+/// come from a deterministic 1-in-16 systematic sample.
+inline constexpr std::uint64_t kServeLatencySampleStride = 16;
+
 struct ReportedLocation {
   geo::Point location;
   ReportKind kind;
@@ -68,7 +76,15 @@ struct ReportedLocation {
 
 class EdgeDevice {
  public:
+  /// Owns a fresh metrics registry (standalone device).
   EdgeDevice(EdgeConfig config, std::uint64_t seed);
+
+  /// Records into `metrics` (non-null) instead of a private registry --
+  /// how ConcurrentEdge shares one registry across its shards. The
+  /// registry's counters are sharded atomics, so concurrent devices can
+  /// share it safely.
+  EdgeDevice(EdgeConfig config, std::uint64_t seed,
+             std::shared_ptr<obs::MetricsRegistry> metrics);
 
   /// Steps 1-4 above: returns the obfuscated location to attach to the
   /// outgoing ad request.
@@ -128,8 +144,16 @@ class EdgeDevice {
   /// are post-processing and are never charged.
   const lppm::PrivacyAccountant& accountant() const { return accountant_; }
 
-  /// Operational counters since construction.
-  const EdgeTelemetry& telemetry() const { return telemetry_; }
+  /// Snapshot of the operational counters since construction (a typed
+  /// view over the metrics registry; see core/telemetry.hpp).
+  EdgeTelemetry telemetry() const {
+    return EdgeTelemetry::from_registry(*metrics_);
+  }
+
+  /// The registry this device records into: the edge_metrics counters
+  /// plus the serve-latency histogram. Export with to_json()/to_string().
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
   /// Risk assessment for `user_id` from their current profile, lifetime
   /// check-in count, and privacy spend (paper Section I: the edge
@@ -168,7 +192,20 @@ class EdgeDevice {
   lppm::PlanarLaplaceMechanism nomadic_mechanism_;
   rng::Engine engine_;
   lppm::PrivacyAccountant accountant_;
-  EdgeTelemetry telemetry_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  // Metric handles resolved once at construction so the serving hot path
+  // never takes the registry's registration mutex.
+  obs::Counter* top_reports_total_;
+  obs::Counter* nomadic_reports_total_;
+  obs::Counter* profile_rebuilds_total_;
+  obs::Counter* tables_generated_total_;
+  obs::Counter* ads_seen_total_;
+  obs::Counter* ads_delivered_total_;
+  obs::LatencyHistogram* serve_latency_;
+  /// Plain counter driving the 1-in-N latency sample: EdgeDevice is
+  /// externally synchronized (ConcurrentEdge calls under the shard lock),
+  /// so no atomics are needed.
+  std::uint64_t serve_calls_ = 0;
   std::unordered_map<std::uint64_t, UserState> users_;
 };
 

@@ -1,8 +1,24 @@
 #include "core/telemetry.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace privlocad::core {
+
+EdgeTelemetry EdgeTelemetry::from_registry(
+    const obs::MetricsRegistry& registry) {
+  EdgeTelemetry t;
+  t.top_reports = registry.counter_value(edge_metrics::kTopReports);
+  t.nomadic_reports = registry.counter_value(edge_metrics::kNomadicReports);
+  t.requests = t.top_reports + t.nomadic_reports;
+  t.profile_rebuilds =
+      registry.counter_value(edge_metrics::kProfileRebuilds);
+  t.tables_generated =
+      registry.counter_value(edge_metrics::kTablesGenerated);
+  t.ads_seen = registry.counter_value(edge_metrics::kAdsSeen);
+  t.ads_delivered = registry.counter_value(edge_metrics::kAdsDelivered);
+  return t;
+}
 
 double EdgeTelemetry::top_report_ratio() const {
   return requests == 0 ? 0.0

@@ -4,15 +4,43 @@
 // serving tens of thousands of users; an operable implementation needs to
 // see what those devices are doing: how many requests took the permanent
 // top-location path vs. the nomadic path, how often profiles rebuilt, how
-// much ad traffic the relevance filter absorbed. All counters are plain
-// tallies (no sampling) and cheap enough to keep always-on.
+// much ad traffic the relevance filter absorbed.
+//
+// Since PR 3 the live tallies are obs::MetricsRegistry counters (sharded
+// relaxed atomics, named below), so they are thread-safe, exportable as
+// JSON alongside the serve-latency histograms, and shared across the
+// shards of one ConcurrentEdge. EdgeTelemetry is the typed snapshot VIEW
+// over those counters: EdgeDevice::telemetry() materializes one via
+// from_registry(), and value semantics (merge, ratios, to_string) keep
+// working for cluster rollups and tests.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
 
+namespace privlocad::obs {
+class MetricsRegistry;
+}
+
 namespace privlocad::core {
+
+/// Registry metric names the edge serving path records under. One shared
+/// vocabulary so dashboards, benches, and EdgeTelemetry::from_registry
+/// never drift apart.
+namespace edge_metrics {
+/// Every report_location call ends in exactly one of the top/nomadic
+/// counters, so `requests` is derived as their sum at snapshot time
+/// rather than paying a third hot-path increment per request.
+inline constexpr const char* kTopReports = "edge.reports.top";
+inline constexpr const char* kNomadicReports = "edge.reports.nomadic";
+inline constexpr const char* kProfileRebuilds = "edge.profile_rebuilds";
+inline constexpr const char* kTablesGenerated = "edge.tables_generated";
+inline constexpr const char* kAdsSeen = "edge.ads.seen";
+inline constexpr const char* kAdsDelivered = "edge.ads.delivered";
+/// Latency histogram (microseconds) around report_location.
+inline constexpr const char* kServeLatencyUs = "edge.serve_latency_us";
+}  // namespace edge_metrics
 
 struct EdgeTelemetry {
   std::size_t requests = 0;            ///< report_location calls
@@ -22,6 +50,11 @@ struct EdgeTelemetry {
   std::size_t tables_generated = 0;    ///< permanent candidate sets created
   std::size_t ads_seen = 0;            ///< ads entering the relevance filter
   std::size_t ads_delivered = 0;       ///< ads surviving the filter
+
+  /// Snapshot of the edge_metrics counters in `registry` (absent counters
+  /// read as 0). This is how EdgeDevice/ConcurrentEdge::telemetry()
+  /// produce the struct.
+  static EdgeTelemetry from_registry(const obs::MetricsRegistry& registry);
 
   /// Fraction of requests answered from permanent candidates.
   double top_report_ratio() const;

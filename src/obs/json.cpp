@@ -1,0 +1,95 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace privlocad::obs {
+namespace {
+
+std::string escape_json(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonWriter& JsonWriter::add(const std::string& key, double value) {
+  char buffer[64];
+  if (std::isfinite(value)) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "null");
+  }
+  entries_.emplace_back(key, buffer);
+  return *this;
+}
+
+JsonWriter& JsonWriter::add(const std::string& key, std::uint64_t value) {
+  entries_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::add_string(const std::string& key,
+                                   const std::string& value) {
+  std::string literal;
+  literal.reserve(value.size() + 2);
+  literal += '"';
+  literal += escape_json(value);
+  literal += '"';
+  entries_.emplace_back(key, std::move(literal));
+  return *this;
+}
+
+std::string JsonWriter::to_string() const {
+  std::string out = "{\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    out += "  \"" + escape_json(entries_[i].first) + "\": ";
+    out += entries_[i].second;
+    out += i + 1 < entries_.size() ? ",\n" : "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+bool JsonWriter::write_file(const std::string& path) const {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string text = to_string();
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace privlocad::obs

@@ -1,0 +1,44 @@
+// Flat JSON object writer for metrics and perf records.
+//
+// Every bench emits one flat JSON object (BENCH_<name>.json) and the
+// metrics registry exports the same shape, so perf baselines and live
+// metrics dumps stay diffable line-by-line. Values are rendered at add()
+// time so the writer needs no variant machinery; insertion order is the
+// file order, which keeps diffs between runs line-stable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace privlocad::obs {
+
+/// Ordered key -> JSON-literal set serialized as one flat object.
+class JsonWriter {
+ public:
+  /// Doubles render at full precision; non-finite values render as null
+  /// (JSON has no NaN/Inf).
+  JsonWriter& add(const std::string& key, double value);
+
+  JsonWriter& add(const std::string& key, std::uint64_t value);
+
+  /// `value` is escaped per JSON (quotes, backslashes, control chars).
+  JsonWriter& add_string(const std::string& key, const std::string& value);
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+  /// The complete "{...}" object text, one key per line.
+  std::string to_string() const;
+
+  /// Writes to_string() to `path`; returns false (and warns on stderr)
+  /// on IO failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace privlocad::obs

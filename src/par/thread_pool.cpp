@@ -4,6 +4,7 @@
 #include <exception>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/validation.hpp"
 
 namespace privlocad::par {
@@ -64,9 +65,29 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
+PoolStats ThreadPool::stats() const {
+  PoolStats stats;
+  stats.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  stats.steals = steals_.load(std::memory_order_relaxed);
+  stats.queue_depth = pending_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ThreadPool::export_metrics(obs::MetricsRegistry& registry,
+                                const std::string& prefix) const {
+  const PoolStats snapshot = stats();
+  registry.gauge(prefix + "tasks_executed")
+      .set(static_cast<double>(snapshot.tasks_executed));
+  registry.gauge(prefix + "steals")
+      .set(static_cast<double>(snapshot.steals));
+  registry.gauge(prefix + "queue_depth")
+      .set(static_cast<double>(snapshot.queue_depth));
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   if (queues_.empty()) {
     task();
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   const std::size_t slot = next_queue_.fetch_add(1) % queues_.size();
@@ -103,6 +124,7 @@ std::function<void()> ThreadPool::take_task(std::size_t self) {
       auto task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
       pending_.fetch_sub(1);
+      steals_.fetch_add(1, std::memory_order_relaxed);
       return task;
     }
   }
@@ -124,6 +146,7 @@ bool ThreadPool::try_run_one() {
     tl_in_pool_task = true;
     task();
     tl_in_pool_task = was_in_task;
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;
@@ -134,6 +157,7 @@ void ThreadPool::worker_loop(std::stop_token stop, std::size_t self) {
   while (true) {
     if (auto task = take_task(self)) {
       task();
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     std::unique_lock<std::mutex> lock(sleep_mutex_);

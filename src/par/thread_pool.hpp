@@ -20,12 +20,18 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+namespace privlocad::obs {
+class MetricsRegistry;
+}
 
 namespace privlocad::par {
 
@@ -33,6 +39,13 @@ namespace privlocad::par {
 /// variable when set to a positive integer, otherwise
 /// std::thread::hardware_concurrency() (minimum 1).
 std::size_t hardware_threads();
+
+/// Cumulative execution counters for one pool (since construction).
+struct PoolStats {
+  std::uint64_t tasks_executed = 0;  ///< tasks run to completion
+  std::uint64_t steals = 0;          ///< tasks taken from a sibling deque
+  std::size_t queue_depth = 0;       ///< tasks queued right now
+};
 
 class ThreadPool {
  public:
@@ -59,6 +72,15 @@ class ThreadPool {
   void for_each_index(std::size_t begin, std::size_t end, std::size_t grain,
                       const std::function<void(std::size_t)>& fn);
 
+  /// Snapshot of the pool's execution counters (relaxed reads; exact once
+  /// the pool is quiescent).
+  PoolStats stats() const;
+
+  /// Publishes stats() into `registry` as gauges named
+  /// `<prefix>tasks_executed`, `<prefix>steals`, `<prefix>queue_depth`.
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "pool.") const;
+
   /// Process-wide pool sized by hardware_threads() at first use.
   static ThreadPool& global();
 
@@ -81,6 +103,8 @@ class ThreadPool {
   std::condition_variable_any sleep_cv_;  // stop_token-aware worker sleep
   std::atomic<std::size_t> pending_{0};
   std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
 };
 
 /// Chunk size that keeps every lane busy without drowning in task

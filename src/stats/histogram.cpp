@@ -8,14 +8,26 @@
 namespace privlocad::stats {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
-      counts_(bins, 0) {
-  util::require(lo < hi, "histogram range must have lo < hi");
+    : lo_(lo), hi_(hi) {
+  // Validate BEFORE deriving width_: a member-initializer division would
+  // run ahead of these checks (bins == 0 divides by zero, lo/hi NaN
+  // poisons every later bin computation).
   util::require(bins > 0, "histogram needs at least one bin");
+  util::require_finite(lo, "histogram lo");
+  util::require_finite(hi, "histogram hi");
+  util::require(lo < hi, "histogram range must have lo < hi");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
 }
 
 void Histogram::add(double value) {
   ++total_;
+  if (!std::isfinite(value)) {
+    // Casting a NaN/Inf offset to size_t below would be UB; tally the
+    // observation instead of silently mis-binning or crashing.
+    ++invalid_;
+    return;
+  }
   if (value < lo_) {
     ++underflow_;
     return;

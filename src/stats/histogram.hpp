@@ -20,6 +20,9 @@ class Histogram {
   std::uint64_t count_in_bin(std::size_t bin) const;
   std::uint64_t underflow() const { return underflow_; }
   std::uint64_t overflow() const { return overflow_; }
+  /// Non-finite (NaN/Inf) observations; counted in total() but never
+  /// binned.
+  std::uint64_t invalid() const { return invalid_; }
   std::uint64_t total() const { return total_; }
 
   /// Left edge of bin `bin`.
@@ -38,6 +41,7 @@ class Histogram {
   std::vector<std::uint64_t> counts_;
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;
+  std::uint64_t invalid_ = 0;
   std::uint64_t total_ = 0;
 };
 

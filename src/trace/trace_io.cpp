@@ -7,6 +7,7 @@
 
 #include "util/csv.hpp"
 #include "util/strings.hpp"
+#include "util/validation.hpp"
 
 namespace privlocad::trace {
 
@@ -30,18 +31,45 @@ std::vector<UserTrace> read_traces(std::istream& in) {
   const std::size_t t_col = table.column("timestamp");
 
   std::map<std::uint64_t, UserTrace> by_user;
-  for (const auto& row : table.rows) {
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    const auto context = [r] {
+      return "trace row " + std::to_string(r + 1);
+    };
+    // Validate the timestamp explicitly: downstream profile-window and
+    // serving code treats it as seconds-since-epoch, so a malformed or
+    // negative value must fail loudly with the offending row, not
+    // propagate as a context-free parse error (or worse, a bogus window).
+    Timestamp time = 0;
+    try {
+      time = util::parse_int(row[t_col]);
+    } catch (const util::InvalidArgument&) {
+      throw util::InvalidArgument(context() + ": timestamp '" +
+                                  row[t_col] + "' is not an integer");
+    }
+    util::require(time >= 0, context() + ": timestamp must be >= 0, got " +
+                                 row[t_col]);
+
     const auto id = static_cast<std::uint64_t>(util::parse_int(row[id_col]));
     UserTrace& trace = by_user[id];
     trace.user_id = id;
     trace.check_ins.push_back(
         {{util::parse_double(row[x_col]), util::parse_double(row[y_col])},
-         util::parse_int(row[t_col])});
+         time});
   }
 
   std::vector<UserTrace> traces;
   traces.reserve(by_user.size());
-  for (auto& [id, trace] : by_user) traces.push_back(std::move(trace));
+  for (auto& [id, trace] : by_user) {
+    // Downstream consumers (profile windows, edge serving) assume each
+    // trace is time-ordered, but rows may arrive in any order. Stable so
+    // equal-timestamp check-ins keep their file order.
+    std::stable_sort(trace.check_ins.begin(), trace.check_ins.end(),
+                     [](const CheckIn& a, const CheckIn& b) {
+                       return a.time < b.time;
+                     });
+    traces.push_back(std::move(trace));
+  }
   return traces;
 }
 

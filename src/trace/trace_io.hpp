@@ -18,8 +18,12 @@ namespace privlocad::trace {
 /// Writes traces as CSV rows (user_id,x_m,y_m,timestamp).
 void write_traces(std::ostream& out, const std::vector<UserTrace>& traces);
 
-/// Reads traces back; rows may be grouped or interleaved by user. Traces
-/// are returned sorted by user id with check-ins in file order.
+/// Reads traces back; rows may be grouped, interleaved, or shuffled by
+/// user AND by time. Traces are returned sorted by user id with each
+/// user's check-ins stable-sorted by timestamp (equal timestamps keep
+/// file order), since downstream profile-window and serving code assumes
+/// time-ordered traces. Throws util::InvalidArgument, naming the row, on
+/// malformed or negative timestamps.
 std::vector<UserTrace> read_traces(std::istream& in);
 
 /// Writes traces with geographic coordinates

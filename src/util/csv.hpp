@@ -1,8 +1,11 @@
 // Minimal CSV reader/writer used by the trace module and the bench harness.
 //
-// This is intentionally a subset of RFC 4180: fields are split on commas,
-// no quoting (traces contain only numbers and identifiers). The reader
-// validates column counts per row and reports the offending line number.
+// Single-line RFC 4180: fields split on commas, double-quoted fields may
+// contain commas, and "" inside quotes is a literal quote. Embedded
+// newlines are the one RFC feature deliberately not supported (the reader
+// is line-based); the writer rejects them and the reader reports an
+// unterminated quote with its line number. The reader also validates
+// column counts per row and reports the offending line number.
 #pragma once
 
 #include <cstddef>
@@ -22,7 +25,8 @@ struct CsvTable {
 };
 
 /// Parses CSV from a stream. First line is the header. Blank lines are
-/// skipped. Throws InvalidArgument on ragged rows (with the line number).
+/// skipped. Throws InvalidArgument on ragged rows and malformed quoting
+/// (with the line number).
 CsvTable read_csv(std::istream& in);
 
 /// Convenience overload reading from a file path; throws
@@ -34,8 +38,9 @@ class CsvWriter {
  public:
   CsvWriter(std::ostream& out, std::vector<std::string> header);
 
-  /// Writes one row; throws InvalidArgument if the width differs from the
-  /// header's.
+  /// Writes one row, quoting fields that contain commas or quotes; throws
+  /// InvalidArgument if the width differs from the header's or a field
+  /// contains a newline.
   void write_row(const std::vector<std::string>& fields);
 
  private:

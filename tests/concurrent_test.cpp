@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "attack/grid_attack.hpp"
 #include "core/concurrent_edge.hpp"
 #include "core/telemetry.hpp"
+#include "obs/metrics.hpp"
 #include "par/thread_pool.hpp"
 #include "trace/synthetic.hpp"
 #include "lppm/planar_laplace.hpp"
@@ -238,6 +241,77 @@ TEST(ConcurrentEdge, BatchServeMatchesSerialTelemetry) {
 TEST(ConcurrentEdge, RejectsZeroShards) {
   EXPECT_THROW(core::ConcurrentEdge(fast_config(), 0, 1),
                util::InvalidArgument);
+}
+
+// ------------------------------------------------------------ observability
+
+TEST(Telemetry, FromRegistryReadsEdgeCounters) {
+  obs::MetricsRegistry registry;
+  registry.counter(core::edge_metrics::kTopReports).add(6);
+  registry.counter(core::edge_metrics::kNomadicReports).add(3);
+  const core::EdgeTelemetry t = core::EdgeTelemetry::from_registry(registry);
+  // requests is derived, not stored: always top + nomadic.
+  EXPECT_EQ(t.requests, 9u);
+  EXPECT_EQ(t.top_reports, 6u);
+  EXPECT_EQ(t.nomadic_reports, 3u);
+  EXPECT_DOUBLE_EQ(t.top_report_ratio(), 6.0 / 9.0);
+}
+
+TEST(EdgeDevice, ServeLatencySamplesOneInStrideRequests) {
+  core::EdgeDevice device(fast_config(), 42);
+  const std::uint64_t requests = 2 * core::kServeLatencySampleStride + 3;
+  for (std::uint64_t i = 0; i < requests; ++i) {
+    device.report_location(1 + i % 3, {0, 0},
+                           static_cast<trace::Timestamp>(i));
+  }
+  // Samples land at call 0, stride, 2*stride, ... => ceil(requests/stride).
+  const obs::LatencyHistogram& latency =
+      device.metrics().histogram(core::edge_metrics::kServeLatencyUs);
+  EXPECT_EQ(latency.count(), 3u);
+  EXPECT_EQ(latency.invalid(), 0u);
+  EXPECT_GE(latency.quantile(0.99), 0.0);
+}
+
+TEST(ConcurrentEdge, RegistryTracksRequestsLatencyAndShardLocks) {
+  core::ConcurrentEdge edge(fast_config(), 4, 42);
+  trace::SyntheticConfig synth;
+  synth.min_check_ins = 20;
+  synth.max_check_ins = 60;
+  const rng::Engine parent(7);
+  const auto population = trace::generate_population(parent, synth, 12);
+  std::vector<trace::UserTrace> traces;
+  traces.reserve(population.size());
+  for (const trace::SyntheticUser& user : population) {
+    traces.push_back(user.trace);
+  }
+
+  par::ThreadPool pool(4);
+  const core::BatchServeStats stats = edge.serve_trace_batch(traces, pool);
+
+  // Each shard device samples one request in kServeLatencySampleStride
+  // (starting with its first), so across 4 shards the sample count is
+  // requests/stride rounded up per shard.
+  const obs::LatencyHistogram& latency =
+      edge.metrics().histogram(core::edge_metrics::kServeLatencyUs);
+  EXPECT_GE(latency.count(), stats.requests / core::kServeLatencySampleStride);
+  EXPECT_LE(latency.count(),
+            stats.requests / core::kServeLatencySampleStride + 4);
+
+  // Every request took a shard lock at least once; the per-shard
+  // acquisition counters must account for all of them.
+  std::uint64_t acquisitions = 0;
+  for (int s = 0; s < 4; ++s) {
+    acquisitions += edge.metrics().counter_value(
+        "edge.shard" + std::to_string(s) + ".lock_acquisitions");
+  }
+  EXPECT_GE(acquisitions, stats.requests);
+
+  // The lock-free telemetry rollup reads the same registry.
+  EXPECT_EQ(edge.telemetry().requests, stats.requests);
+
+  // serve_trace_batch exports the pool gauges into the edge registry.
+  EXPECT_NE(edge.metrics().to_json().find("\"pool.tasks_executed\""),
+            std::string::npos);
 }
 
 }  // namespace

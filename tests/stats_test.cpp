@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "stats/entropy.hpp"
@@ -207,6 +208,39 @@ TEST(Histogram, DomainErrors) {
   Histogram h(0.0, 1.0, 2);
   EXPECT_THROW(h.count_in_bin(2), util::InvalidArgument);
   EXPECT_THROW(h.fraction_in_bin(0), util::InvalidArgument);  // empty
+}
+
+TEST(Histogram, CtorValidatesBeforeComputingWidth) {
+  // Regression: the constructor used to divide by `bins` and build state
+  // before validating, so bad arguments could reach arithmetic. All bad
+  // combinations must throw InvalidArgument -- including ones whose
+  // width computation would "work" (e.g. inf bounds give inf width).
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), util::InvalidArgument);
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(Histogram(-inf, 1.0, 4), util::InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, inf, 4), util::InvalidArgument);
+  EXPECT_THROW(Histogram(nan, 1.0, 4), util::InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, nan, 4), util::InvalidArgument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), util::InvalidArgument);
+}
+
+TEST(Histogram, NonFiniteValuesTalliedAsInvalidNotBinned) {
+  // Regression: add() used to cast (value - lo) / width to size_t, which
+  // is UB for NaN and landed inf in overflow. Non-finite observations now
+  // count toward total() via invalid() and touch no bin.
+  Histogram h(0.0, 1.0, 2);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(0.25);
+  EXPECT_EQ(h.invalid(), 3u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count_in_bin(0), 1u);
+  EXPECT_EQ(h.count_in_bin(1), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction_in_bin(0), 0.25);
 }
 
 // ------------------------------------------------------------ Monte Carlo

@@ -344,5 +344,56 @@ TEST(TraceIo, MissingFilesThrow) {
   EXPECT_THROW(read_traces_file("/nonexistent/t.csv"), std::runtime_error);
 }
 
+TEST(TraceIo, CheckInsAreSortedByTimestampAfterLoad) {
+  // Regression: rows landed in file order, so an out-of-order export made
+  // profile windows and edge serving (which assume time-ordered traces)
+  // operate on a scrambled timeline.
+  std::istringstream in(
+      "user_id,x_m,y_m,timestamp\n"
+      "7,3.0,3.0,300\n"
+      "7,1.0,1.0,100\n"
+      "7,2.0,2.0,200\n");
+  const auto traces = read_traces(in);
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_EQ(traces[0].check_ins.size(), 3u);
+  EXPECT_EQ(traces[0].check_ins[0].time, 100);
+  EXPECT_EQ(traces[0].check_ins[1].time, 200);
+  EXPECT_EQ(traces[0].check_ins[2].time, 300);
+  EXPECT_NEAR(traces[0].check_ins[0].position.x, 1.0, 1e-9);
+}
+
+TEST(TraceIo, EqualTimestampsKeepFileOrder) {
+  std::istringstream in(
+      "user_id,x_m,y_m,timestamp\n"
+      "1,10.0,0.0,50\n"
+      "1,20.0,0.0,50\n");
+  const auto traces = read_traces(in);
+  ASSERT_EQ(traces[0].check_ins.size(), 2u);
+  EXPECT_NEAR(traces[0].check_ins[0].position.x, 10.0, 1e-9);
+  EXPECT_NEAR(traces[0].check_ins[1].position.x, 20.0, 1e-9);
+}
+
+TEST(TraceIo, MalformedTimestampNamesTheRow) {
+  std::istringstream in(
+      "user_id,x_m,y_m,timestamp\n"
+      "1,0.0,0.0,0\n"
+      "1,1.0,1.0,not-a-time\n");
+  try {
+    read_traces(in);
+    FAIL() << "expected InvalidArgument";
+  } catch (const util::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("trace row 2"), std::string::npos);
+    EXPECT_NE(what.find("not-a-time"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, NegativeTimestampRejected) {
+  std::istringstream in(
+      "user_id,x_m,y_m,timestamp\n"
+      "1,0.0,0.0,-5\n");
+  EXPECT_THROW(read_traces(in), util::InvalidArgument);
+}
+
 }  // namespace
 }  // namespace privlocad::trace

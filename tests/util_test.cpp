@@ -132,6 +132,74 @@ TEST(Csv, WriterRejectsEmptyHeader) {
   EXPECT_THROW(CsvWriter(out, {}), InvalidArgument);
 }
 
+TEST(Csv, QuotedFieldsMayContainCommas) {
+  // Regression: the reader used to split on every comma, so a quoted
+  // "lat,lon" pair silently became two fields and shifted the row.
+  std::istringstream in("place,coords\nhome,\"47.37,8.54\"\n");
+  const CsvTable table = read_csv(in);
+  ASSERT_EQ(table.rows.size(), 1u);
+  ASSERT_EQ(table.rows[0].size(), 2u);
+  EXPECT_EQ(table.rows[0][1], "47.37,8.54");
+}
+
+TEST(Csv, DoubledQuoteInsideQuotedFieldIsLiteral) {
+  std::istringstream in("a,b\n\"say \"\"hi\"\"\",2\n");
+  const CsvTable table = read_csv(in);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "say \"hi\"");
+}
+
+TEST(Csv, EmptyQuotedFieldAndTrailingComma) {
+  std::istringstream in("a,b,c\n\"\",x,\n");
+  const CsvTable table = read_csv(in);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "");
+  EXPECT_EQ(table.rows[0][2], "");
+}
+
+TEST(Csv, UnterminatedQuoteNamesTheLine) {
+  std::istringstream in("a,b\n\"oops,2\n");
+  try {
+    read_csv(in);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos);
+    EXPECT_NE(what.find("unterminated"), std::string::npos);
+  }
+}
+
+TEST(Csv, GarbageAfterClosingQuoteThrows) {
+  std::istringstream in("a,b\n\"x\"y,2\n");
+  EXPECT_THROW(read_csv(in), InvalidArgument);
+}
+
+TEST(Csv, StrayQuoteInUnquotedFieldThrows) {
+  std::istringstream in("a,b\n1,2\"3\n");
+  EXPECT_THROW(read_csv(in), InvalidArgument);
+}
+
+TEST(Csv, WriterQuotesAndRoundTripsSpecialFields) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"name", "note"});
+  writer.write_row({"a,b", "say \"hi\""});
+  writer.write_row({"plain", ""});
+
+  std::istringstream in(out.str());
+  const CsvTable table = read_csv(in);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0][0], "a,b");
+  EXPECT_EQ(table.rows[0][1], "say \"hi\"");
+  EXPECT_EQ(table.rows[1][0], "plain");
+}
+
+TEST(Csv, WriterRejectsEmbeddedNewlines) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"x"});
+  EXPECT_THROW(writer.write_row({"two\nlines"}), InvalidArgument);
+  EXPECT_THROW(writer.write_row({"cr\rhere"}), InvalidArgument);
+}
+
 // ------------------------------------------------------------- validation
 
 TEST(Validation, RequirePositive) {
