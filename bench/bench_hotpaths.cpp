@@ -1,0 +1,187 @@
+// Hot-path microbenches for the sampling + attack kernels: the two inner
+// loops population-scale runs actually spend their time in.
+//
+//   1. Standard-normal sampling. fill_standard_normal throughput for the
+//      ziggurat path vs the legacy inverse-CDF path (PRIVLOCAD_SAMPLER
+//      switch), plus the paired 2-D noise fill the mechanisms use. The
+//      emitted record pins the ziggurat/inverse-CDF speedup so a sampler
+//      regression shows up as a number, not a feeling.
+//   2. De-obfuscation. Repeated Algorithm-1 clusterings of one fixed
+//      observation stream through a reused DeobfuscationWorkspace
+//      (clusterings/sec), then a full evaluate_population pass whose
+//      per-user latency histogram ("attack.deobfuscation_latency_us")
+//      yields the p50/p95/p99 the workspace refactor is accountable to.
+//
+// Emits BENCH_hotpaths.json; the perf_guard ctest compares the committed
+// repo-root baseline against a fresh run.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "lppm/gaussian.hpp"
+#include "rng/samplers.hpp"
+#include "rng/ziggurat.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace privlocad;
+
+/// Samples/sec of fill_standard_normal under `sampler`, drawn through the
+/// same chunked-buffer pattern the mechanisms use (so the number reflects
+/// the real call shape, not one giant resident buffer).
+double sampler_rate(rng::NormalSampler sampler, std::uint64_t total) {
+  constexpr std::size_t kChunk = 16384;
+  std::vector<double> buffer(kChunk);
+  rng::Engine engine(97);
+  double sink = 0.0;  // defeat dead-code elimination
+  const util::Timer timer;
+  std::uint64_t remaining = total;
+  while (remaining > 0) {
+    const std::size_t n =
+        remaining < kChunk ? static_cast<std::size_t>(remaining) : kChunk;
+    rng::fill_standard_normal(engine, {buffer.data(), n}, sampler);
+    sink += buffer[0] + buffer[n - 1];
+    remaining -= n;
+  }
+  const double seconds = timer.elapsed_seconds();
+  if (sink == 12345.6789) std::printf("(unlikely) sink=%f\n", sink);
+  return static_cast<double>(total) / seconds;
+}
+
+/// 2-D noise pairs/sec through fill_gaussian_noise_2d (the n-fold release
+/// hot path) under the process-default sampler.
+double noise2d_rate(std::uint64_t total_pairs) {
+  constexpr std::size_t kChunk = 8192;
+  std::vector<geo::Point> buffer(kChunk);
+  rng::Engine engine(101);
+  double sink = 0.0;
+  const util::Timer timer;
+  std::uint64_t remaining = total_pairs;
+  while (remaining > 0) {
+    const std::size_t n =
+        remaining < kChunk ? static_cast<std::size_t>(remaining) : kChunk;
+    rng::fill_gaussian_noise_2d(engine, 250.0, {buffer.data(), n});
+    sink += buffer[0].x + buffer[n - 1].y;
+    remaining -= n;
+  }
+  const double seconds = timer.elapsed_seconds();
+  if (sink == 12345.6789) std::printf("(unlikely) sink=%f\n", sink);
+  return static_cast<double>(total_pairs) / seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace privlocad;
+
+  const std::uint64_t samples =
+      bench::flag_or(argc, argv, "samples", 4'000'000);
+  const std::uint64_t clusterings =
+      bench::flag_or(argc, argv, "clusterings", 300);
+  const std::size_t users = bench::flag_or(argc, argv, "users", 120);
+  const std::uint64_t max_check_ins =
+      bench::flag_or(argc, argv, "max-check-ins", 600);
+
+  bench::print_header("Hot paths -- batched sampling + attack workspace");
+
+  // ---- 1. sampler throughput, both paths.
+  const double zig_rate =
+      sampler_rate(rng::NormalSampler::kZiggurat, samples);
+  const double icdf_rate =
+      sampler_rate(rng::NormalSampler::kInverseCdf, samples);
+  const double speedup = zig_rate / icdf_rate;
+  const double pair_rate = noise2d_rate(samples / 2);
+  std::printf("standard normal (%llu samples, 16k chunks):\n",
+              static_cast<unsigned long long>(samples));
+  std::printf("  ziggurat     : %12.0f samples/s\n", zig_rate);
+  std::printf("  inverse CDF  : %12.0f samples/s\n", icdf_rate);
+  std::printf("  speedup      : %12.2fx\n", speedup);
+  std::printf("  2-D noise    : %12.0f pairs/s\n", pair_rate);
+
+  // ---- 2. repeated clusterings of one observation stream, workspace
+  // reused across calls exactly as evaluate_population reuses it.
+  lppm::BoundedGeoIndParams params;
+  params.radius_m = 500.0;
+  params.epsilon = 1.0;
+  params.delta = 0.01;
+  params.n = 10;
+  const lppm::NFoldGaussianMechanism mechanism(params);
+  const attack::DeobfuscationConfig attack_config =
+      bench::attack_config_for(mechanism, 2);
+
+  const auto population = bench::bench_population(7, users, max_check_ins);
+  // Cluster the longest trace: the clusterings/sec number should reflect
+  // a heavy user, not whichever happens to come first.
+  const trace::SyntheticUser& heaviest = *std::max_element(
+      population.begin(), population.end(),
+      [](const trace::SyntheticUser& a, const trace::SyntheticUser& b) {
+        return a.trace.check_ins.size() < b.trace.check_ins.size();
+      });
+  rng::Engine observe_engine(13);
+  std::vector<geo::Point> observed;
+  observed.reserve(heaviest.trace.check_ins.size());
+  for (const trace::CheckIn& c : heaviest.trace.check_ins) {
+    observed.push_back(c.position +
+                       rng::gaussian_noise(observe_engine, mechanism.sigma()));
+  }
+
+  attack::DeobfuscationWorkspace workspace;
+  std::size_t inferred_total = 0;
+  util::Timer cluster_timer;
+  for (std::uint64_t i = 0; i < clusterings; ++i) {
+    inferred_total +=
+        attack::deobfuscate_top_locations(observed, attack_config, workspace)
+            .size();
+  }
+  const double cluster_seconds = cluster_timer.elapsed_seconds();
+  const double cluster_rate =
+      static_cast<double>(clusterings) / cluster_seconds;
+  std::printf("\nAlgorithm 1, reused workspace (%zu check-ins):\n",
+              observed.size());
+  std::printf("  clusterings  : %llu (%zu locations inferred)\n",
+              static_cast<unsigned long long>(clusterings), inferred_total);
+  std::printf("  rate         : %12.1f clusterings/s\n", cluster_rate);
+
+  // ---- 3. population pass; the per-user latency histogram is the
+  // workspace refactor's accountability metric.
+  attack::PopulationAttackProtocol protocol;
+  protocol.deobfuscation = attack_config;
+  const double sigma = mechanism.sigma();
+  util::Timer population_timer;
+  const attack::SuccessRateAccumulator rates = attack::evaluate_population(
+      population, protocol,
+      [sigma](rng::Engine& engine, const trace::SyntheticUser& user) {
+        std::vector<geo::Point> stream;
+        stream.reserve(user.trace.check_ins.size());
+        for (const trace::CheckIn& c : user.trace.check_ins) {
+          stream.push_back(c.position + rng::gaussian_noise(engine, sigma));
+        }
+        return stream;
+      });
+  const double population_seconds = population_timer.elapsed_seconds();
+  const obs::LatencyHistogram& latency =
+      obs::MetricsRegistry::global().histogram(
+          "attack.deobfuscation_latency_us");
+  std::printf("\nevaluate_population (%zu users):\n", rates.users());
+  std::printf("  wall         : %.3fs\n", population_seconds);
+  std::printf("  per-user deobfuscation: p50 %.1fus  p95 %.1fus  p99 %.1fus\n",
+              latency.quantile(0.50), latency.quantile(0.95),
+              latency.quantile(0.99));
+
+  bench::JsonMetrics record;
+  record.add_string("bench", "hotpaths");
+  record.add("samples", samples);
+  record.add("ziggurat_samples_per_second", zig_rate);
+  record.add("inverse_cdf_samples_per_second", icdf_rate);
+  record.add("sampler_speedup", speedup);
+  record.add("noise2d_pairs_per_second", pair_rate);
+  record.add("clusterings", clusterings);
+  record.add("clusterings_per_second", cluster_rate);
+  record.add("users", static_cast<std::uint64_t>(rates.users()));
+  record.add("population_wall_seconds", population_seconds);
+  bench::add_latency_percentiles(record, "deobfuscation_latency_us", latency);
+  bench::emit_json("BENCH_hotpaths.json", record);
+  return 0;
+}

@@ -1,0 +1,47 @@
+# Runs one bench with smoke-scale parameters, then compares the rate
+# fields of the JSON it emits against the committed repo-root baseline
+# through the perf_guard tool. Invoked by ctest as
+#
+#   cmake -DBENCH_EXE=<bench binary> -DBENCH_ARGS="--users=12"
+#         -DBENCH_JSON=BENCH_foo.json -DGUARD_EXE=<perf_guard binary>
+#         -DBASELINE=<repo>/BENCH_foo.json -DGUARD_FIELDS="rate_a;rate_b"
+#         -P perf_guard.cmake
+#
+# The guard's pass floor is baseline / PRIVLOCAD_PERF_TOLERANCE (default
+# 5x, see perf_guard.cpp) -- it catches order-of-magnitude collapses at
+# smoke scale, not noise.
+foreach(required BENCH_EXE BENCH_JSON GUARD_EXE BASELINE GUARD_FIELDS)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "perf_guard: ${required} must be defined")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${BASELINE}")
+  message(FATAL_ERROR "perf_guard: committed baseline ${BASELINE} not found")
+endif()
+
+execute_process(
+  COMMAND "${BENCH_EXE}" ${BENCH_ARGS}
+  RESULT_VARIABLE bench_status
+  OUTPUT_VARIABLE bench_stdout
+  ERROR_VARIABLE bench_stderr)
+if(NOT bench_status EQUAL 0)
+  message(FATAL_ERROR
+    "perf_guard: ${BENCH_EXE} exited with ${bench_status}\n"
+    "stdout:\n${bench_stdout}\nstderr:\n${bench_stderr}")
+endif()
+if(NOT EXISTS "${BENCH_JSON}")
+  message(FATAL_ERROR "perf_guard: ${BENCH_EXE} did not write ${BENCH_JSON}")
+endif()
+
+execute_process(
+  COMMAND "${GUARD_EXE}" "${BENCH_JSON}" "${BASELINE}" ${GUARD_FIELDS}
+  RESULT_VARIABLE guard_status
+  OUTPUT_VARIABLE guard_stdout
+  ERROR_VARIABLE guard_stderr)
+message(STATUS "${guard_stdout}")
+if(NOT guard_status EQUAL 0)
+  message(FATAL_ERROR
+    "perf_guard: regression detected (exit ${guard_status})\n"
+    "stdout:\n${guard_stdout}\nstderr:\n${guard_stderr}")
+endif()

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "attack/clustering.hpp"
 #include "util/validation.hpp"
 
 namespace privlocad::attack {
@@ -17,35 +16,45 @@ void validate(const DeobfuscationConfig& c) {
                 "max_trim_iterations must be >= 1");
 }
 
-/// Stage-2 trimming (Algorithm 1, TRIMMING): refine the membership bitmap
-/// to the fixed point of "keep exactly the points within r_alpha of the
-/// evolving centroid". Returns the final centroid.
-geo::Point trim_cluster(const std::vector<geo::Point>& points,
-                        std::vector<bool>& member,
-                        const DeobfuscationConfig& config) {
-  auto centroid_of_members = [&]() {
-    geo::Point sum{};
-    std::size_t count = 0;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      if (member[i]) {
-        sum = sum + points[i];
-        ++count;
-      }
+/// Centroid of the current members. Ascending index order keeps the
+/// floating-point summation order of the pre-workspace implementation,
+/// so estimates stay bit-identical.
+geo::Point member_centroid(const std::vector<geo::Point>& points,
+                           const std::vector<std::uint8_t>& member) {
+  geo::Point sum{};
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (member[i]) {
+      sum = sum + points[i];
+      ++count;
     }
-    return sum / static_cast<double>(count);
-  };
+  }
+  return sum / static_cast<double>(count);
+}
 
-  geo::Point centroid = centroid_of_members();
+/// Stage-2 trimming (Algorithm 1, TRIMMING): refine the membership bitmap
+/// to the fixed point of "keep exactly the live points within r_alpha of
+/// the evolving centroid". Returns the final centroid.
+geo::Point trim_cluster(const geo::GridIndex& index,
+                        std::vector<std::uint8_t>& member,
+                        const DeobfuscationConfig& config) {
+  const std::vector<geo::Point>& points = index.points();
+  // Membership compares squared distances: one multiply replaces a sqrt
+  // per point per iteration (ties at exactly r_alpha are measure-zero for
+  // continuous noise).
+  const double trim_radius2 = config.trim_radius_m * config.trim_radius_m;
+  geo::Point centroid = member_centroid(points, member);
   for (std::size_t iter = 0; iter < config.max_trim_iterations; ++iter) {
     bool changed = false;
     std::size_t member_count = 0;
     // One pass decides membership against the current centroid: drops the
     // far members (Alg. 1: 13-15) and admits the near outsiders (16-18).
     for (std::size_t i = 0; i < points.size(); ++i) {
+      if (!index.alive(i)) continue;
       const bool should_belong =
-          geo::distance(points[i], centroid) <= config.trim_radius_m;
-      if (member[i] != should_belong) {
-        member[i] = should_belong;
+          geo::distance_squared(points[i], centroid) <= trim_radius2;
+      if (static_cast<bool>(member[i]) != should_belong) {
+        member[i] = should_belong ? 1 : 0;
         changed = true;
       }
       if (should_belong) ++member_count;
@@ -56,7 +65,7 @@ geo::Point trim_cluster(const std::vector<geo::Point>& points,
       return centroid;
     }
     if (!changed) break;
-    centroid = centroid_of_members();
+    centroid = member_centroid(points, member);
   }
   return centroid;
 }
@@ -64,65 +73,101 @@ geo::Point trim_cluster(const std::vector<geo::Point>& points,
 }  // namespace
 
 std::vector<InferredLocation> deobfuscate_top_locations(
-    std::vector<geo::Point> observed_check_ins,
-    const DeobfuscationConfig& config) {
+    const std::vector<geo::Point>& observed_check_ins,
+    const DeobfuscationConfig& config, DeobfuscationWorkspace& ws) {
   validate(config);
 
-  std::vector<geo::Point> remaining = std::move(observed_check_ins);
   std::vector<InferredLocation> inferred;
   inferred.reserve(config.top_n);
+  if (observed_check_ins.empty()) return inferred;
 
-  for (std::size_t rank = 0; rank < config.top_n; ++rank) {
-    if (remaining.empty()) break;
+  // One index build per call; each round retires its cluster through
+  // tombstones instead of a rebuild.
+  ws.index_.rebuild(observed_check_ins, config.connectivity_threshold_m);
+  const std::vector<geo::Point>& points = ws.index_.points();
+  const std::size_t n = points.size();
+  const double threshold2 =
+      config.connectivity_threshold_m * config.connectivity_threshold_m;
+  std::size_t alive_count = n;
 
-    const std::vector<Cluster> clusters = connectivity_clusters(
-        remaining, config.connectivity_threshold_m);
-    const Cluster& largest = clusters.front();
-
-    std::vector<bool> member(remaining.size(), false);
-    for (const std::size_t idx : largest) member[idx] = true;
-
-    geo::Point centroid;
-    if (config.enable_trimming) {
-      centroid = trim_cluster(remaining, member, config);
-    } else {
-      centroid = cluster_centroid(remaining, largest);
-    }
-
-    std::size_t support = 0;
-    std::vector<geo::Point> members;
-    members.reserve(largest.size());
-    std::vector<geo::Point> next;
-    next.reserve(remaining.size());
-    for (std::size_t i = 0; i < remaining.size(); ++i) {
-      if (member[i]) {
-        ++support;
-        members.push_back(remaining[i]);
-      } else {
-        next.push_back(remaining[i]);
+  for (std::size_t rank = 0; rank < config.top_n && alive_count > 0;
+       ++rank) {
+    // Stage 1: largest connected component (dist < theta, strict) among
+    // the live points. Seeds scan ascending, so the component discovered
+    // first at any given size contains the smallest live index --
+    // strictly-greater replacement therefore reproduces the old
+    // (size desc, front asc) cluster ranking exactly.
+    ws.visited_.assign(n, 0);
+    ws.largest_.clear();
+    for (std::size_t seed = 0; seed < n; ++seed) {
+      if (!ws.index_.alive(seed) || ws.visited_[seed]) continue;
+      ws.current_.clear();
+      ws.frontier_.assign(1, seed);
+      ws.visited_[seed] = 1;
+      while (!ws.frontier_.empty()) {
+        const std::size_t current = ws.frontier_.back();
+        ws.frontier_.pop_back();
+        ws.current_.push_back(current);
+        // The grid query is <=; exact ties are filtered out with the
+        // squared distance the grid already computed (measure-zero for
+        // continuous noise, matters for degenerate inputs in tests).
+        ws.index_.for_each_within(
+            points[current], config.connectivity_threshold_m,
+            [&](std::size_t neighbor, double d2) {
+              if (ws.visited_[neighbor]) return;
+              if (d2 >= threshold2) return;
+              ws.visited_[neighbor] = 1;
+              ws.frontier_.push_back(neighbor);
+            });
+      }
+      if (ws.current_.size() > ws.largest_.size()) {
+        ws.largest_.swap(ws.current_);
       }
     }
+
+    ws.member_.assign(n, 0);
+    for (const std::size_t idx : ws.largest_) ws.member_[idx] = 1;
+
+    geo::Point centroid = config.enable_trimming
+                              ? trim_cluster(ws.index_, ws.member_, config)
+                              : member_centroid(points, ws.member_);
+
+    // One membership pass (this used to be two near-identical partition
+    // loops): gather the member points for the estimator and the support
+    // count together.
+    ws.members_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ws.member_[i]) ws.members_.push_back(points[i]);
+    }
+    const std::size_t support = ws.members_.size();
     // The trimming loop always steers by the centroid (cheap, stable);
     // the configured estimator refines the FINAL estimate only.
-    if (config.estimator != LocationEstimator::kCentroid &&
-        !members.empty()) {
-      centroid = estimate_location(members, config.estimator);
+    if (config.estimator != LocationEstimator::kCentroid && support > 0) {
+      centroid = estimate_location(ws.members_, config.estimator);
     }
     // A fully-trimmed cluster contributes no support but still yields the
     // centroid estimate; remove the original cluster either way so the
     // next round makes progress (Alg. 1: 8).
     if (support == 0) {
-      for (const std::size_t idx : largest) member[idx] = true;
-      next.clear();
-      for (std::size_t i = 0; i < remaining.size(); ++i) {
-        if (!member[i]) next.push_back(remaining[i]);
+      for (const std::size_t idx : ws.largest_) ws.member_[idx] = 1;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ws.member_[i]) {
+        ws.index_.kill(i);
+        --alive_count;
       }
     }
 
     inferred.push_back({centroid, std::max<std::size_t>(support, 1)});
-    remaining = std::move(next);
   }
   return inferred;
+}
+
+std::vector<InferredLocation> deobfuscate_top_locations(
+    const std::vector<geo::Point>& observed_check_ins,
+    const DeobfuscationConfig& config) {
+  DeobfuscationWorkspace workspace;
+  return deobfuscate_top_locations(observed_check_ins, config, workspace);
 }
 
 }  // namespace privlocad::attack

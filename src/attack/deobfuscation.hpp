@@ -12,12 +12,23 @@
 //      removes the cluster's points before the next round.
 // r_alpha comes from the obfuscation distribution's tail (Eq. 4):
 // Pr[dist > r_alpha] <= alpha, alpha = 0.05 in the paper.
+//
+// PERFORMANCE. The attack runs once per user over millions of users, so
+// the per-call machinery is allocation-free after warmup: the grid index
+// is built ONCE per call and rounds remove their cluster by tombstoning
+// points in it (O(cluster)) instead of rebuilding, and every scratch
+// buffer lives in a reusable DeobfuscationWorkspace. Results are
+// bit-identical to the per-round-rebuild formulation: tombstones preserve
+// the surviving points' relative order, which is all the cluster ranking
+// and centroid summation order depend on.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "attack/estimators.hpp"
+#include "geo/grid_index.hpp"
 #include "geo/point.hpp"
 
 namespace privlocad::attack {
@@ -49,11 +60,49 @@ struct InferredLocation {
   std::size_t support;        ///< check-ins in the final cluster
 };
 
+/// Reusable scratch for deobfuscate_top_locations: the CSR grid index
+/// plus every per-round buffer (membership bitmaps, BFS frontier, member
+/// points). Reuse rules:
+///   - one workspace per thread; a workspace must never be shared between
+///     concurrent calls (no internal synchronization);
+///   - reuse across calls is what it is for -- each call fully re-seeds
+///     the state, so results are independent of what ran before;
+///   - the buffers grow to the largest input the workspace has seen and
+///     keep that capacity (bounded by max check-ins per user).
+/// evaluate_population keeps one workspace per pool thread; single-shot
+/// callers can use the two-argument overload, which supplies a local one.
+class DeobfuscationWorkspace {
+ public:
+  DeobfuscationWorkspace() = default;
+
+  DeobfuscationWorkspace(const DeobfuscationWorkspace&) = delete;
+  DeobfuscationWorkspace& operator=(const DeobfuscationWorkspace&) = delete;
+
+ private:
+  friend std::vector<InferredLocation> deobfuscate_top_locations(
+      const std::vector<geo::Point>&, const DeobfuscationConfig&,
+      DeobfuscationWorkspace&);
+
+  geo::GridIndex index_;                ///< built once per call, tombstoned
+  std::vector<std::uint8_t> member_;    ///< current cluster membership
+  std::vector<std::uint8_t> visited_;   ///< BFS visitation bitmap
+  std::vector<std::size_t> frontier_;   ///< BFS stack
+  std::vector<std::size_t> largest_;    ///< largest component this round
+  std::vector<std::size_t> current_;    ///< component being grown
+  std::vector<geo::Point> members_;     ///< member points for the estimator
+};
+
 /// Runs Algorithm 1. Returns up to `config.top_n` inferred locations in
 /// rank order; fewer if the check-ins run out. An empty input yields an
-/// empty result.
+/// empty result. `workspace` provides the index and scratch buffers (see
+/// its reuse rules above).
 std::vector<InferredLocation> deobfuscate_top_locations(
-    std::vector<geo::Point> observed_check_ins,
+    const std::vector<geo::Point>& observed_check_ins,
+    const DeobfuscationConfig& config, DeobfuscationWorkspace& workspace);
+
+/// Single-shot convenience: same attack through a call-local workspace.
+std::vector<InferredLocation> deobfuscate_top_locations(
+    const std::vector<geo::Point>& observed_check_ins,
     const DeobfuscationConfig& config);
 
 }  // namespace privlocad::attack

@@ -68,11 +68,16 @@ SuccessRateAccumulator evaluate_population(
       [&](const trace::SyntheticUser& user, std::size_t i) {
         rng::Engine user_engine = parent.split(i);
         const std::vector<geo::Point> observed = observe(user_engine, user);
+        // One workspace per pool thread: the grid index and every attack
+        // scratch buffer are reused across all users this thread scores,
+        // so the per-user hot path stays allocation-free after warmup.
+        thread_local DeobfuscationWorkspace workspace;
         std::vector<InferredLocation> inferred;
         {
           const obs::ScopedLatencyTimer timer(&deobfuscation_latency);
-          inferred =
-              deobfuscate_top_locations(observed, protocol.deobfuscation);
+          inferred = deobfuscate_top_locations(observed,
+                                               protocol.deobfuscation,
+                                               workspace);
         }
         return evaluate_attack(inferred, user.truth, protocol.ranks);
       });

@@ -29,7 +29,10 @@ const std::vector<geo::Point>& ObfuscationTable::candidates_for(
   if (const Entry* existing = find(top_location)) {
     return existing->candidates;
   }
-  entries_.push_back({top_location, mechanism.obfuscate(engine, top_location)});
+  // Batched release straight into the entry's vector: one sampler pass,
+  // no intermediate allocation.
+  entries_.push_back({top_location, {}});
+  mechanism.obfuscate_into(engine, top_location, entries_.back().candidates);
   return entries_.back().candidates;
 }
 

@@ -8,32 +8,46 @@
 
 namespace privlocad::geo {
 
-GridIndex::GridIndex(std::vector<Point> points, double cell_size_m)
-    : points_(std::move(points)), cell_size_(cell_size_m) {
+GridIndex::GridIndex(std::vector<Point> points, double cell_size_m) {
+  points_ = std::move(points);
+  build_cells(cell_size_m);
+}
+
+void GridIndex::rebuild(const std::vector<Point>& points,
+                        double cell_size_m) {
+  points_.assign(points.begin(), points.end());
+  build_cells(cell_size_m);
+}
+
+void GridIndex::build_cells(double cell_size_m) {
   util::require_positive(cell_size_m, "grid cell size");
   util::require(points_.size() <= std::numeric_limits<std::uint32_t>::max(),
                 "GridIndex point count exceeds 32-bit addressing");
+  cell_size_ = cell_size_m;
 
   // Sort point indices by cell key (ties by index, so bucket order is the
   // input order) and compress into CSR: unique keys + offsets + members.
   const std::size_t n = points_.size();
-  std::vector<std::pair<CellKey, std::uint32_t>> keyed(n);
+  keyed_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    keyed[i] = {key_for(points_[i]), static_cast<std::uint32_t>(i)};
+    keyed_[i] = {key_for(points_[i]), static_cast<std::uint32_t>(i)};
   }
-  std::sort(keyed.begin(), keyed.end());
+  std::sort(keyed_.begin(), keyed_.end());
 
   order_.resize(n);
+  keys_.clear();
+  starts_.clear();
   keys_.reserve(n / 2 + 1);
   starts_.reserve(n / 2 + 2);
   for (std::size_t i = 0; i < n; ++i) {
-    if (keys_.empty() || keys_.back() != keyed[i].first) {
-      keys_.push_back(keyed[i].first);
+    if (keys_.empty() || keys_.back() != keyed_[i].first) {
+      keys_.push_back(keyed_[i].first);
       starts_.push_back(static_cast<std::uint32_t>(i));
     }
-    order_[i] = keyed[i].second;
+    order_[i] = keyed_[i].second;
   }
   starts_.push_back(static_cast<std::uint32_t>(n));
+  alive_.assign(n, 1);
 }
 
 GridIndex::CellKey GridIndex::key_for(Point p) const {

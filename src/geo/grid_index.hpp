@@ -13,6 +13,14 @@
 // contiguous memory -- this is the attack's inner loop over every check-in
 // pair, and the flat layout removes the per-bucket allocations and hash
 // probing of the previous unordered_map design.
+//
+// Two amortization features serve the attack's round structure:
+//   - rebuild() re-indexes a new point set in place, reusing every
+//     internal buffer's capacity (a DeobfuscationWorkspace keeps one
+//     index alive across all users a thread processes);
+//   - tombstones (kill / revive_all) hide points from queries without
+//     touching the CSR arrays, so Alg. 1 removes each round's cluster in
+//     O(cluster) instead of rebuilding the index per rank.
 #pragma once
 
 #include <cstdint>
@@ -22,24 +30,41 @@
 
 namespace privlocad::geo {
 
-/// Immutable index over a point set; build once, query many times.
+/// Build once (or rebuild in place), query many times. Queries see every
+/// point that has not been tombstoned since the last build/revive_all.
 class GridIndex {
  public:
+  /// Empty index; rebuild() before querying.
+  GridIndex() = default;
+
   /// Indexes `points` with grid cells of side `cell_size_m` (> 0).
   /// The referenced vector is copied; indices returned by queries refer to
   /// positions in that original vector.
   GridIndex(std::vector<Point> points, double cell_size_m);
 
-  /// Indices of all points p with distance(p, query) <= radius_m.
+  /// Re-indexes `points` in place with cells of side `cell_size_m` (> 0),
+  /// reusing the internal buffers' capacity. All points come back alive.
+  void rebuild(const std::vector<Point>& points, double cell_size_m);
+
+  /// Indices of all live points p with distance(p, query) <= radius_m.
   /// `radius_m` may exceed the cell size (more cells are scanned).
   std::vector<std::size_t> within(Point query, double radius_m) const;
 
-  /// Calls `fn(index, distance_squared)` for each point within `radius_m`
-  /// of `query`, avoiding the result-vector allocation on hot paths. The
-  /// already-computed squared distance is handed to the callback so strict
-  /// (< threshold) filters do not recompute it.
+  /// Calls `fn(index, distance_squared)` for each live point within
+  /// `radius_m` of `query`, avoiding the result-vector allocation on hot
+  /// paths. The already-computed squared distance is handed to the
+  /// callback so strict (< threshold) filters do not recompute it.
   template <typename Fn>
   void for_each_within(Point query, double radius_m, Fn&& fn) const;
+
+  /// Tombstones point `index`: subsequent queries skip it. O(1).
+  void kill(std::size_t index) { alive_[index] = 0; }
+
+  /// True when `index` has not been tombstoned since the last build.
+  bool alive(std::size_t index) const { return alive_[index] != 0; }
+
+  /// Clears every tombstone (all points queryable again).
+  void revive_all() { alive_.assign(points_.size(), 1); }
 
   std::size_t size() const { return points_.size(); }
   const std::vector<Point>& points() const { return points_; }
@@ -47,16 +72,22 @@ class GridIndex {
  private:
   using CellKey = std::uint64_t;
 
+  /// Shared CSR construction for the constructor and rebuild().
+  void build_cells(double cell_size_m);
+
   CellKey key_for(Point p) const;
   static CellKey pack(std::int32_t cx, std::int32_t cy);
   /// Position of `key` in keys_, or keys_.size() when absent.
   std::size_t find_cell(CellKey key) const;
 
   std::vector<Point> points_;
-  double cell_size_;
+  double cell_size_ = 1.0;
   std::vector<CellKey> keys_;          ///< sorted unique occupied cells
   std::vector<std::uint32_t> starts_;  ///< keys_.size()+1 offsets into order_
   std::vector<std::uint32_t> order_;   ///< point indices grouped by cell
+  std::vector<std::uint8_t> alive_;    ///< tombstones: 0 = hidden
+  /// rebuild() scratch (cell key, point index) kept for capacity reuse.
+  std::vector<std::pair<CellKey, std::uint32_t>> keyed_;
 };
 
 template <typename Fn>
@@ -73,6 +104,7 @@ void GridIndex::for_each_within(Point query, double radius_m, Fn&& fn) const {
       for (std::uint32_t slot = starts_[cell]; slot < starts_[cell + 1];
            ++slot) {
         const std::size_t idx = order_[slot];
+        if (!alive_[idx]) continue;
         const double d2 = distance_squared(points_[idx], query);
         if (d2 <= r2) fn(idx, d2);
       }

@@ -54,11 +54,15 @@ PlainCompositionMechanism::PlainCompositionMechanism(
 std::vector<geo::Point> PlainCompositionMechanism::obfuscate(
     rng::Engine& engine, geo::Point real_location) const {
   std::vector<geo::Point> outputs;
-  outputs.reserve(params_.n);
-  for (std::size_t i = 0; i < params_.n; ++i) {
-    outputs.push_back(real_location + rng::gaussian_noise(engine, sigma_));
-  }
+  obfuscate_into(engine, real_location, outputs);
   return outputs;
+}
+
+void PlainCompositionMechanism::obfuscate_into(
+    rng::Engine& engine, geo::Point real_location,
+    std::vector<geo::Point>& out) const {
+  out.resize(params_.n);
+  rng::fill_gaussian_noise_2d(engine, sigma_, out, real_location);
 }
 
 std::string PlainCompositionMechanism::name() const {

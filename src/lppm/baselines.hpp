@@ -57,6 +57,10 @@ class PlainCompositionMechanism final : public Mechanism {
   std::vector<geo::Point> obfuscate(rng::Engine& engine,
                                     geo::Point real_location) const override;
 
+  /// Batched release, same stream as obfuscate().
+  void obfuscate_into(rng::Engine& engine, geo::Point real_location,
+                      std::vector<geo::Point>& out) const override;
+
   std::size_t output_count() const override { return params_.n; }
   std::string name() const override;
   double tail_radius(double alpha) const override;

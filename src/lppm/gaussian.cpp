@@ -14,11 +14,17 @@ NFoldGaussianMechanism::NFoldGaussianMechanism(BoundedGeoIndParams params)
 std::vector<geo::Point> NFoldGaussianMechanism::obfuscate(
     rng::Engine& engine, geo::Point real_location) const {
   std::vector<geo::Point> outputs;
-  outputs.reserve(params_.n);
-  for (std::size_t i = 0; i < params_.n; ++i) {
-    outputs.push_back(real_location + rng::gaussian_noise(engine, sigma_));
-  }
+  obfuscate_into(engine, real_location, outputs);
   return outputs;
+}
+
+void NFoldGaussianMechanism::obfuscate_into(
+    rng::Engine& engine, geo::Point real_location,
+    std::vector<geo::Point>& out) const {
+  // The whole n-fold release is one batched sampler pass (Algorithm 3's
+  // n i.i.d. polar-Gaussian outputs, drawn as 2n paired variates).
+  out.resize(params_.n);
+  rng::fill_gaussian_noise_2d(engine, sigma_, out, real_location);
 }
 
 std::string NFoldGaussianMechanism::name() const {

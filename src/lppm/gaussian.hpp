@@ -25,6 +25,11 @@ class NFoldGaussianMechanism final : public Mechanism {
   std::vector<geo::Point> obfuscate(rng::Engine& engine,
                                     geo::Point real_location) const override;
 
+  /// One batched sampler pass for the whole n-fold release (the
+  /// obfuscation-table hot path); same stream as obfuscate().
+  void obfuscate_into(rng::Engine& engine, geo::Point real_location,
+                      std::vector<geo::Point>& out) const override;
+
   std::size_t output_count() const override { return params_.n; }
   std::string name() const override;
 

@@ -24,6 +24,15 @@ class Mechanism {
   virtual std::vector<geo::Point> obfuscate(rng::Engine& engine,
                                             geo::Point real_location) const = 0;
 
+  /// Writes the output set into `out` (resized to output_count()),
+  /// reusing its capacity. This is the allocation-free path the
+  /// obfuscation-table build uses; the Gaussian mechanisms override it
+  /// with one batched sampler pass. Draws the same stream as obfuscate().
+  virtual void obfuscate_into(rng::Engine& engine, geo::Point real_location,
+                              std::vector<geo::Point>& out) const {
+    out = obfuscate(engine, real_location);
+  }
+
   /// Number of locations one obfuscate() call releases.
   virtual std::size_t output_count() const = 0;
 

@@ -1,9 +1,14 @@
 #include "rng/samplers.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <numbers>
+#include <vector>
 
 #include "rng/lambert_w.hpp"
+#include "rng/ziggurat.hpp"
 #include "util/validation.hpp"
 
 namespace privlocad::rng {
@@ -45,7 +50,43 @@ double probit_approx(double p) {
          ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
 }
 
+NormalSampler sampler_from_env() {
+  if (const char* env = std::getenv("PRIVLOCAD_SAMPLER")) {
+    if (std::strcmp(env, "icdf") == 0 ||
+        std::strcmp(env, "inverse-cdf") == 0 ||
+        std::strcmp(env, "inverse_cdf") == 0) {
+      return NormalSampler::kInverseCdf;
+    }
+  }
+  return NormalSampler::kZiggurat;
+}
+
+std::atomic<NormalSampler>& sampler_slot() {
+  static std::atomic<NormalSampler> slot{sampler_from_env()};
+  return slot;
+}
+
+double standard_normal_inverse_cdf(Engine& engine) {
+  return normal_quantile(engine.uniform_positive());
+}
+
+/// The paper's Algorithm 3 polar sampler; the inverse-CDF 2-D path keeps
+/// exactly this draw order so legacy streams replay bit-for-bit.
+geo::Point gaussian_noise_polar(Engine& engine, double sigma) {
+  const double theta = engine.uniform_in(0.0, 2.0 * std::numbers::pi);
+  const double r = rayleigh_quantile(engine.uniform(), sigma);
+  return {r * std::cos(theta), r * std::sin(theta)};
+}
+
 }  // namespace
+
+NormalSampler default_normal_sampler() {
+  return sampler_slot().load(std::memory_order_relaxed);
+}
+
+void set_default_normal_sampler(NormalSampler sampler) {
+  sampler_slot().store(sampler, std::memory_order_relaxed);
+}
 
 double normal_quantile(double p) {
   util::require_unit_open(p, "normal_quantile argument");
@@ -62,12 +103,28 @@ double normal_quantile(double p) {
 }
 
 double standard_normal(Engine& engine) {
-  return normal_quantile(engine.uniform_positive());
+  if (default_normal_sampler() == NormalSampler::kZiggurat) {
+    return standard_normal_ziggurat(engine);
+  }
+  return standard_normal_inverse_cdf(engine);
 }
 
 double normal(Engine& engine, double mean, double sigma) {
   util::require_non_negative(sigma, "normal sigma");
   return mean + sigma * standard_normal(engine);
+}
+
+void fill_standard_normal(Engine& engine, std::span<double> out,
+                          NormalSampler sampler) {
+  if (sampler == NormalSampler::kZiggurat) {
+    fill_standard_normal_ziggurat(engine, out);
+    return;
+  }
+  for (double& z : out) z = standard_normal_inverse_cdf(engine);
+}
+
+void fill_standard_normal(Engine& engine, std::span<double> out) {
+  fill_standard_normal(engine, out, default_normal_sampler());
 }
 
 double rayleigh_quantile(double s, double sigma) {
@@ -78,9 +135,35 @@ double rayleigh_quantile(double s, double sigma) {
 
 geo::Point gaussian_noise(Engine& engine, double sigma) {
   util::require_non_negative(sigma, "gaussian_noise sigma");
-  const double theta = engine.uniform_in(0.0, 2.0 * std::numbers::pi);
-  const double r = rayleigh_quantile(engine.uniform(), sigma);
-  return {r * std::cos(theta), r * std::sin(theta)};
+  if (default_normal_sampler() == NormalSampler::kZiggurat) {
+    return {sigma * standard_normal_ziggurat(engine),
+            sigma * standard_normal_ziggurat(engine)};
+  }
+  return gaussian_noise_polar(engine, sigma);
+}
+
+geo::Point gaussian_noise_2d(Engine& engine, double sigma) {
+  util::require_non_negative(sigma, "gaussian_noise_2d sigma");
+  return {sigma * standard_normal(engine), sigma * standard_normal(engine)};
+}
+
+void fill_gaussian_noise_2d(Engine& engine, double sigma,
+                            std::span<geo::Point> out, geo::Point center) {
+  util::require_non_negative(sigma, "fill_gaussian_noise_2d sigma");
+  if (default_normal_sampler() == NormalSampler::kZiggurat) {
+    // Per-thread sample buffer: one flat ziggurat pass produces the 2n
+    // variates, then one pairing pass scales and offsets. The buffer
+    // grows to the largest batch this thread has seen and is reused.
+    thread_local std::vector<double> samples;
+    samples.resize(out.size() * 2);
+    fill_standard_normal_ziggurat(engine, samples);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = {center.x + sigma * samples[2 * i],
+                center.y + sigma * samples[2 * i + 1]};
+    }
+    return;
+  }
+  for (geo::Point& p : out) p = center + gaussian_noise_polar(engine, sigma);
 }
 
 double planar_laplace_radius_quantile(double p, double epsilon) {

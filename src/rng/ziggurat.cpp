@@ -1,0 +1,111 @@
+#include "rng/ziggurat.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+namespace privlocad::rng {
+namespace {
+
+// 128 equal-area layers; constants from Marsaglia & Tsang (2000):
+// kR is the right edge of the base strip, kV the common strip area.
+constexpr int kLayers = 128;
+constexpr double kR = 3.442619855899;
+constexpr double kV = 9.91256303526217e-3;
+// The signed mantissa spans [-2^51, 2^51); kM converts it to [-1, 1).
+constexpr double kM = 2251799813685248.0;  // 2^51
+
+/// Per-layer tables: k is the fast-accept threshold on |mantissa|, w the
+/// mantissa-to-x scale, f the density at the layer edge. Built once on
+/// first use (thread-safe magic static); the recurrence is the published
+/// setup evaluated in double precision.
+struct Tables {
+  std::uint64_t k[kLayers];
+  double w[kLayers];
+  double f[kLayers];
+
+  Tables() {
+    double dn = kR;
+    double tn = kR;
+    const double q = kV / std::exp(-0.5 * kR * kR);
+    k[0] = static_cast<std::uint64_t>((dn / q) * kM);
+    k[1] = 0;
+    w[0] = q / kM;
+    w[kLayers - 1] = dn / kM;
+    f[0] = 1.0;
+    f[kLayers - 1] = std::exp(-0.5 * dn * dn);
+    for (int i = kLayers - 2; i >= 1; --i) {
+      dn = std::sqrt(-2.0 * std::log(kV / dn + std::exp(-0.5 * dn * dn)));
+      k[i + 1] = static_cast<std::uint64_t>((dn / tn) * kM);
+      tn = dn;
+      f[i] = std::exp(-0.5 * dn * dn);
+      w[i] = dn / kM;
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+/// Layer (low 7 bits) and signed 52-bit mantissa (bits 8..59) from one
+/// engine draw. The bit ranges are disjoint, so layer choice and
+/// magnitude are independent.
+inline std::int64_t signed_mantissa(std::uint64_t bits) {
+  return static_cast<std::int64_t>((bits >> 8) &
+                                   ((std::uint64_t{1} << 52) - 1)) -
+         (std::int64_t{1} << 51);
+}
+
+/// Wedge/tail handling for a draw that missed the fast accept.
+double sample_slow(Engine& engine, const Tables& t, std::int64_t hz,
+                   std::size_t layer) {
+  for (;;) {
+    if (layer == 0) {
+      // Base strip beyond kR: sample the tail by the standard
+      // exponential-rejection scheme (Marsaglia 1964).
+      double x;
+      double y;
+      do {
+        x = -std::log(engine.uniform_positive()) / kR;
+        y = -std::log(engine.uniform_positive());
+      } while (y + y < x * x);
+      return hz > 0 ? kR + x : -(kR + x);
+    }
+    const double x = static_cast<double>(hz) * t.w[layer];
+    // Wedge between the layer rectangle and the density curve.
+    if (t.f[layer] + engine.uniform() * (t.f[layer - 1] - t.f[layer]) <
+        std::exp(-0.5 * x * x)) {
+      return x;
+    }
+    const std::uint64_t bits = engine();
+    layer = bits & (kLayers - 1);
+    hz = signed_mantissa(bits);
+    const std::uint64_t abs_hz =
+        static_cast<std::uint64_t>(hz < 0 ? -hz : hz);
+    if (abs_hz < t.k[layer]) return static_cast<double>(hz) * t.w[layer];
+  }
+}
+
+inline double sample(Engine& engine, const Tables& t) {
+  const std::uint64_t bits = engine();
+  const std::size_t layer = bits & (kLayers - 1);
+  const std::int64_t hz = signed_mantissa(bits);
+  const std::uint64_t abs_hz =
+      static_cast<std::uint64_t>(hz < 0 ? -hz : hz);
+  if (abs_hz < t.k[layer]) return static_cast<double>(hz) * t.w[layer];
+  return sample_slow(engine, t, hz, layer);
+}
+
+}  // namespace
+
+double standard_normal_ziggurat(Engine& engine) {
+  return sample(engine, tables());
+}
+
+void fill_standard_normal_ziggurat(Engine& engine, std::span<double> out) {
+  const Tables& t = tables();
+  for (double& z : out) z = sample(engine, t);
+}
+
+}  // namespace privlocad::rng

@@ -262,6 +262,120 @@ TEST(Deobfuscation, InvalidConfigRejected) {
                util::InvalidArgument);
 }
 
+// ------------------------------------------------ reusable attack workspace
+
+namespace {
+
+/// Two well-separated Laplace-noised anchors: enough structure to
+/// exercise multi-round clustering, trimming, and the tombstone path.
+std::vector<geo::Point> workspace_test_stream(std::uint64_t seed,
+                                              int home_count,
+                                              int office_count) {
+  const lppm::PlanarLaplaceMechanism mech({std::log(4.0), 200.0});
+  rng::Engine e(seed);
+  std::vector<geo::Point> observed;
+  observed.reserve(static_cast<std::size_t>(home_count + office_count));
+  for (int i = 0; i < home_count; ++i) {
+    observed.push_back(mech.obfuscate_one(e, {0.0, 0.0}));
+  }
+  for (int i = 0; i < office_count; ++i) {
+    observed.push_back(mech.obfuscate_one(e, {8000.0, 2000.0}));
+  }
+  return observed;
+}
+
+void expect_same_inference(const std::vector<InferredLocation>& a,
+                           const std::vector<InferredLocation>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].location.x, b[i].location.x);
+    EXPECT_DOUBLE_EQ(a[i].location.y, b[i].location.y);
+    EXPECT_EQ(a[i].support, b[i].support);
+  }
+}
+
+}  // namespace
+
+TEST(DeobfuscationWorkspace, MatchesSingleShotOverloadBitForBit) {
+  const lppm::PlanarLaplaceMechanism mech({std::log(4.0), 200.0});
+  const DeobfuscationConfig config = attack_config_for_laplace(mech, 2);
+  const auto observed = workspace_test_stream(11, 600, 300);
+
+  DeobfuscationWorkspace workspace;
+  expect_same_inference(
+      deobfuscate_top_locations(observed, config, workspace),
+      deobfuscate_top_locations(observed, config));
+}
+
+TEST(DeobfuscationWorkspace, ReuseAcrossCallsLeavesNoResidue) {
+  // A workspace that has seen a LARGE input must produce the same result
+  // on a small input as a fresh one: every buffer is fully re-seeded.
+  const lppm::PlanarLaplaceMechanism mech({std::log(4.0), 200.0});
+  const DeobfuscationConfig config = attack_config_for_laplace(mech, 2);
+
+  DeobfuscationWorkspace reused;
+  (void)deobfuscate_top_locations(workspace_test_stream(13, 2000, 900),
+                                  config, reused);
+
+  const auto small = workspace_test_stream(17, 250, 120);
+  DeobfuscationWorkspace fresh;
+  expect_same_inference(deobfuscate_top_locations(small, config, reused),
+                        deobfuscate_top_locations(small, config, fresh));
+}
+
+TEST(DeobfuscationWorkspace, RepeatedCallsAreIdempotent) {
+  const lppm::PlanarLaplaceMechanism mech({std::log(4.0), 200.0});
+  const DeobfuscationConfig config = attack_config_for_laplace(mech, 2);
+  const auto observed = workspace_test_stream(19, 500, 250);
+
+  DeobfuscationWorkspace workspace;
+  const auto first = deobfuscate_top_locations(observed, config, workspace);
+  const auto second = deobfuscate_top_locations(observed, config, workspace);
+  expect_same_inference(first, second);
+}
+
+TEST(DeobfuscationWorkspace, EmptyAndTinyInputs) {
+  DeobfuscationConfig c;
+  c.top_n = 3;
+  c.connectivity_threshold_m = 10.0;
+  c.trim_radius_m = 10.0;
+  DeobfuscationWorkspace workspace;
+  EXPECT_TRUE(deobfuscate_top_locations({}, c, workspace).empty());
+  const auto tiny =
+      deobfuscate_top_locations({{0.0, 0.0}, {1.0, 1.0}}, c, workspace);
+  EXPECT_GE(tiny.size(), 1u);
+  EXPECT_LE(tiny.size(), 3u);
+}
+
+TEST(DeobfuscationWorkspace, ZeroSupportClusterReportsMinimumSupport) {
+  // Trimming with a tiny r_alpha can empty the cluster (support == 0 path):
+  // two far-apart singleton "clusters" and a trim radius smaller than the
+  // centroid-to-member distance do it deterministically.
+  DeobfuscationConfig c;
+  c.connectivity_threshold_m = 15.0;
+  c.trim_radius_m = 2.0;
+  c.top_n = 2;
+  // One 2-point cluster whose centroid is > 2 m from both members.
+  const std::vector<geo::Point> observed{{0.0, 0.0}, {10.0, 0.0},
+                                         {500.0, 500.0}};
+  DeobfuscationWorkspace workspace;
+  const auto inferred = deobfuscate_top_locations(observed, c, workspace);
+  ASSERT_EQ(inferred.size(), 2u);
+  for (const InferredLocation& loc : inferred) {
+    EXPECT_GE(loc.support, 1u);  // reported support is floored at 1
+  }
+  // The rounds must still consume the points and terminate (no livelock
+  // on the empty-cluster path): nothing left for a third round even if
+  // top_n were larger.
+  const auto exhausted = deobfuscate_top_locations(
+      observed, [&] {
+        DeobfuscationConfig wide = c;
+        wide.top_n = 10;
+        return wide;
+      }(), workspace);
+  EXPECT_LE(exhausted.size(), 3u);
+}
+
 // --------------------------------------------------------------- evaluation
 
 TEST(Evaluation, RankAlignedErrors) {

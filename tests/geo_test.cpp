@@ -267,5 +267,69 @@ TEST(GridIndex, AgreesWithBruteForce) {
   EXPECT_EQ(index.within(query, radius).size(), brute);
 }
 
+// ----------------------------------------------- GridIndex tombstoning
+
+TEST(GridIndex, KilledPointsDisappearFromQueries) {
+  const std::vector<Point> points{{0, 0}, {10, 0}, {20, 0}, {200, 200}};
+  GridIndex index(points, 50.0);
+  EXPECT_EQ(index.within({0, 0}, 30.0).size(), 3u);
+
+  index.kill(1);
+  EXPECT_FALSE(index.alive(1));
+  EXPECT_TRUE(index.alive(0));
+  const auto hits = index.within({0, 0}, 30.0);
+  EXPECT_EQ(hits.size(), 2u);
+  for (const std::size_t i : hits) EXPECT_NE(i, 1u);
+}
+
+TEST(GridIndex, ReviveAllRestoresEveryPoint) {
+  const std::vector<Point> points{{0, 0}, {10, 0}, {20, 0}};
+  GridIndex index(points, 50.0);
+  index.kill(0);
+  index.kill(2);
+  EXPECT_EQ(index.within({0, 0}, 30.0).size(), 1u);
+  index.revive_all();
+  EXPECT_EQ(index.within({0, 0}, 30.0).size(), 3u);
+  EXPECT_TRUE(index.alive(0));
+  EXPECT_TRUE(index.alive(2));
+}
+
+TEST(GridIndex, TombstonesMatchBruteForceFilter) {
+  std::vector<Point> points;
+  for (int i = 0; i < 400; ++i) {
+    points.push_back({std::fmod(i * 127.3, 800.0) - 400.0,
+                      std::fmod(i * 311.7, 800.0) - 400.0});
+  }
+  GridIndex index(points, 60.0);
+  for (std::size_t i = 0; i < points.size(); i += 3) index.kill(i);
+
+  const Point query{-7.0, 31.0};
+  const double radius = 90.0;
+  std::size_t brute = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i % 3 != 0 && distance(points[i], query) <= radius) ++brute;
+  }
+  EXPECT_EQ(index.within(query, radius).size(), brute);
+}
+
+TEST(GridIndex, RebuildReplacesContentsAndRevives) {
+  GridIndex index({{0, 0}, {10, 0}}, 50.0);
+  index.kill(0);
+  // Rebuild with a different cloud (and different cell size): old
+  // tombstones must not leak into the new generation.
+  index.rebuild({{5, 5}, {15, 5}, {500, 500}}, 40.0);
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_TRUE(index.alive(0));
+  EXPECT_EQ(index.within({5, 5}, 20.0).size(), 2u);
+  EXPECT_THROW(index.rebuild({{0, 0}}, 0.0), util::InvalidArgument);
+}
+
+TEST(GridIndex, DefaultConstructedThenRebuilt) {
+  GridIndex index;
+  EXPECT_EQ(index.size(), 0u);
+  index.rebuild({{0, 0}, {25, 0}}, 30.0);
+  EXPECT_EQ(index.within({0, 0}, 26.0).size(), 2u);
+}
+
 }  // namespace
 }  // namespace privlocad::geo

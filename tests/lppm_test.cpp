@@ -11,6 +11,7 @@
 #include "lppm/gaussian.hpp"
 #include "lppm/planar_laplace.hpp"
 #include "lppm/privacy_params.hpp"
+#include "rng/samplers.hpp"
 #include "util/validation.hpp"
 
 namespace privlocad::lppm {
@@ -309,6 +310,87 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(MechCase{1, 1.0, 500.0}, MechCase{5, 1.0, 500.0},
                       MechCase{10, 1.0, 500.0}, MechCase{10, 1.5, 500.0},
                       MechCase{10, 1.0, 800.0}, MechCase{3, 1.5, 600.0}));
+
+// --------------------------------------- determinism / batched-release API
+
+TEST(DeterminismContract, FixedSeedAndSamplerReproduceReleases) {
+  // The contract the goldens and obfuscation tables rely on: seed +
+  // sampler choice fully determine every release.
+  const NFoldGaussianMechanism mech(paper_params(10));
+  for (const rng::NormalSampler sampler :
+       {rng::NormalSampler::kZiggurat, rng::NormalSampler::kInverseCdf}) {
+    const rng::NormalSampler saved = rng::default_normal_sampler();
+    rng::set_default_normal_sampler(sampler);
+    rng::Engine a(42), b(42);
+    const auto ra = mech.obfuscate(a, {100.0, 200.0});
+    const auto rb = mech.obfuscate(b, {100.0, 200.0});
+    rng::set_default_normal_sampler(saved);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_DOUBLE_EQ(ra[i].x, rb[i].x);
+      EXPECT_DOUBLE_EQ(ra[i].y, rb[i].y);
+    }
+  }
+}
+
+TEST(DeterminismContract, SamplerChoiceChangesTheStream) {
+  const NFoldGaussianMechanism mech(paper_params(10));
+  const rng::NormalSampler saved = rng::default_normal_sampler();
+
+  rng::set_default_normal_sampler(rng::NormalSampler::kZiggurat);
+  rng::Engine a(42);
+  const auto zig = mech.obfuscate(a, {100.0, 200.0});
+
+  rng::set_default_normal_sampler(rng::NormalSampler::kInverseCdf);
+  rng::Engine b(42);
+  const auto icdf = mech.obfuscate(b, {100.0, 200.0});
+  rng::set_default_normal_sampler(saved);
+
+  ASSERT_EQ(zig.size(), icdf.size());
+  bool any_different = false;
+  for (std::size_t i = 0; i < zig.size(); ++i) {
+    any_different |= zig[i].x != icdf[i].x || zig[i].y != icdf[i].y;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(ObfuscateInto, SameStreamAsObfuscate) {
+  // The zero-allocation path must consume the engine identically to the
+  // allocating one, for every mechanism that overrides it and for the
+  // base-class fallback.
+  const std::vector<std::unique_ptr<Mechanism>> mechanisms = [&] {
+    std::vector<std::unique_ptr<Mechanism>> v;
+    v.push_back(std::make_unique<NFoldGaussianMechanism>(paper_params(10)));
+    v.push_back(std::make_unique<PlainCompositionMechanism>(paper_params(7)));
+    v.push_back(
+        std::make_unique<NaivePostProcessingMechanism>(paper_params(5)));
+    return v;
+  }();
+  for (const auto& mech : mechanisms) {
+    rng::Engine a(77), b(77);
+    const auto direct = mech->obfuscate(a, {-300.0, 450.0});
+    std::vector<geo::Point> into{{1.0, 2.0}};  // stale contents overwritten
+    mech->obfuscate_into(b, {-300.0, 450.0}, into);
+    ASSERT_EQ(direct.size(), into.size()) << mech->name();
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_DOUBLE_EQ(direct[i].x, into[i].x) << mech->name();
+      EXPECT_DOUBLE_EQ(direct[i].y, into[i].y) << mech->name();
+    }
+    EXPECT_EQ(a(), b()) << mech->name();  // engines in lockstep after
+  }
+}
+
+TEST(ObfuscateInto, ReusedBufferKeepsCapacity) {
+  const NFoldGaussianMechanism mech(paper_params(10));
+  rng::Engine e(78);
+  std::vector<geo::Point> buffer;
+  mech.obfuscate_into(e, {0.0, 0.0}, buffer);
+  EXPECT_EQ(buffer.size(), 10u);
+  const std::size_t cap = buffer.capacity();
+  mech.obfuscate_into(e, {5.0, 5.0}, buffer);
+  EXPECT_EQ(buffer.size(), 10u);
+  EXPECT_EQ(buffer.capacity(), cap);  // no reallocation on reuse
+}
 
 }  // namespace
 }  // namespace privlocad::lppm

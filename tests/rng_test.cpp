@@ -3,13 +3,16 @@
 // are built on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <vector>
 
 #include "geo/point.hpp"
 #include "rng/engine.hpp"
 #include "rng/lambert_w.hpp"
 #include "rng/samplers.hpp"
+#include "rng/ziggurat.hpp"
 #include "util/validation.hpp"
 
 namespace privlocad::rng {
@@ -376,6 +379,268 @@ TEST_P(GaussianRadiusKs, RadialCdfMatchesRayleigh) {
 
 INSTANTIATE_TEST_SUITE_P(SigmaSweep, GaussianRadiusKs,
                          ::testing::Values(10.0, 100.0, 500.0, 2000.0));
+
+// --------------------------------------- ziggurat sampler + batched fills
+
+/// RAII save/restore of the process-wide sampler so tests that flip it
+/// cannot leak the choice into later tests.
+class SamplerGuard {
+ public:
+  explicit SamplerGuard(NormalSampler sampler)
+      : saved_(default_normal_sampler()) {
+    set_default_normal_sampler(sampler);
+  }
+  ~SamplerGuard() { set_default_normal_sampler(saved_); }
+  SamplerGuard(const SamplerGuard&) = delete;
+  SamplerGuard& operator=(const SamplerGuard&) = delete;
+
+ private:
+  NormalSampler saved_;
+};
+
+struct Moments {
+  double mean;
+  double variance;
+  double excess_kurtosis;
+};
+
+Moments sample_moments(NormalSampler sampler, std::uint64_t seed, int n) {
+  Engine e(seed);
+  std::vector<double> buffer(4096);
+  double s1 = 0.0, s2 = 0.0, s4 = 0.0;
+  int remaining = n;
+  while (remaining > 0) {
+    const std::size_t chunk =
+        std::min<std::size_t>(buffer.size(), static_cast<std::size_t>(remaining));
+    fill_standard_normal(e, {buffer.data(), chunk}, sampler);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      const double z = buffer[i];
+      s1 += z;
+      s2 += z * z;
+      s4 += z * z * z * z;
+    }
+    remaining -= static_cast<int>(chunk);
+  }
+  const double mean = s1 / n;
+  const double variance = s2 / n - mean * mean;
+  const double kurtosis = (s4 / n) / (variance * variance) - 3.0;
+  return {mean, variance, kurtosis};
+}
+
+double ks_against_normal_cdf(NormalSampler sampler, std::uint64_t seed,
+                             int n) {
+  Engine e(seed);
+  std::vector<double> z(static_cast<std::size_t>(n));
+  fill_standard_normal(e, z, sampler);
+  std::sort(z.begin(), z.end());
+  double worst = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double ref = 0.5 * std::erfc(-z[static_cast<std::size_t>(i)] /
+                                       std::numbers::sqrt2);
+    const double emp_hi = static_cast<double>(i + 1) / n;
+    const double emp_lo = static_cast<double>(i) / n;
+    worst = std::max({worst, std::abs(emp_hi - ref), std::abs(ref - emp_lo)});
+  }
+  return worst;
+}
+
+TEST(Ziggurat, MomentsIncludingExcessKurtosis) {
+  // Mean 0, variance 1, excess kurtosis 0. The kurtosis term is the one
+  // that catches wedge/tail bugs: a ziggurat that silently clips its tail
+  // still has perfect mean and near-perfect variance, but light tails
+  // drag the fourth moment visibly below 3.
+  const Moments m = sample_moments(NormalSampler::kZiggurat, 31, 400000);
+  EXPECT_NEAR(m.mean, 0.0, 0.01);
+  EXPECT_NEAR(m.variance, 1.0, 0.01);
+  EXPECT_NEAR(m.excess_kurtosis, 0.0, 0.05);
+}
+
+TEST(Ziggurat, KsStatisticAgainstNormalCdf) {
+  // KS 1% critical value for n=20000 is ~0.0115.
+  EXPECT_LT(ks_against_normal_cdf(NormalSampler::kZiggurat, 33, 20000),
+            0.0115);
+}
+
+TEST(Ziggurat, TailPathProducesExtremeValues) {
+  // 2M draws should comfortably exceed |z| = 4.5 (expected max ~5.0); a
+  // sampler whose tail branch is broken or unreachable stays below it.
+  Engine e(35);
+  std::vector<double> z(16384);
+  double extreme = 0.0;
+  for (int pass = 0; pass < 128; ++pass) {
+    fill_standard_normal_ziggurat(e, z);
+    for (const double v : z) extreme = std::max(extreme, std::abs(v));
+  }
+  EXPECT_GT(extreme, 4.5);
+  EXPECT_LT(extreme, 8.0);  // and nothing absurd
+}
+
+TEST(Ziggurat, FillMatchesPerSampleDraws) {
+  // The batched fill must consume the engine exactly like repeated
+  // single-sample draws: this is what makes obfuscate()/obfuscate_into()
+  // produce one and the same stream.
+  Engine batched(41);
+  Engine single(41);
+  std::vector<double> out(1537);  // deliberately not a power of two
+  fill_standard_normal_ziggurat(batched, out);
+  for (const double v : out) {
+    EXPECT_DOUBLE_EQ(v, standard_normal_ziggurat(single));
+  }
+  EXPECT_EQ(batched(), single());  // engines fully in lockstep after
+}
+
+TEST(FillStandardNormal, DeterministicPerSamplerChoice) {
+  for (const NormalSampler sampler :
+       {NormalSampler::kZiggurat, NormalSampler::kInverseCdf}) {
+    Engine a(43), b(43);
+    std::vector<double> va(257), vb(257);
+    fill_standard_normal(a, va, sampler);
+    fill_standard_normal(b, vb, sampler);
+    EXPECT_EQ(va, vb);
+  }
+}
+
+TEST(FillStandardNormal, InverseCdfPathIsTheProbitOfUniforms) {
+  // The icdf fill must reproduce the legacy one-draw-per-variate stream.
+  Engine filled(47), manual(47);
+  std::vector<double> out(100);
+  fill_standard_normal(filled, out, NormalSampler::kInverseCdf);
+  for (const double v : out) {
+    EXPECT_DOUBLE_EQ(v, normal_quantile(manual.uniform_positive()));
+  }
+}
+
+TEST(SamplerEquivalence, BothSamplersMatchTheSameDistribution) {
+  // Same N(0,1), different streams: moments agree within statistical
+  // error, and each path separately passes the KS test against Phi.
+  const Moments zig = sample_moments(NormalSampler::kZiggurat, 51, 300000);
+  const Moments icdf = sample_moments(NormalSampler::kInverseCdf, 53, 300000);
+  EXPECT_NEAR(zig.mean, icdf.mean, 0.01);
+  EXPECT_NEAR(zig.variance, icdf.variance, 0.02);
+  EXPECT_NEAR(zig.excess_kurtosis, icdf.excess_kurtosis, 0.08);
+  EXPECT_LT(ks_against_normal_cdf(NormalSampler::kInverseCdf, 55, 20000),
+            0.0115);
+}
+
+TEST(SamplerSwitch, SetDefaultControlsEveryDispatchPoint) {
+  {
+    const SamplerGuard guard(NormalSampler::kInverseCdf);
+    Engine e(61), clone(61);
+    EXPECT_DOUBLE_EQ(standard_normal(e),
+                     normal_quantile(clone.uniform_positive()));
+  }
+  {
+    const SamplerGuard guard(NormalSampler::kZiggurat);
+    Engine e(61), clone(61);
+    EXPECT_DOUBLE_EQ(standard_normal(e), standard_normal_ziggurat(clone));
+  }
+}
+
+TEST(SamplerSwitch, GuardRestoresProcessDefault) {
+  const NormalSampler before = default_normal_sampler();
+  {
+    const SamplerGuard guard(before == NormalSampler::kZiggurat
+                                 ? NormalSampler::kInverseCdf
+                                 : NormalSampler::kZiggurat);
+    EXPECT_NE(default_normal_sampler(), before);
+  }
+  EXPECT_EQ(default_normal_sampler(), before);
+}
+
+TEST(SamplerSwitch, SamplersYieldDifferentStreams) {
+  // Same seed, different sampler => different sequence (the determinism
+  // contract is seed + sampler, not seed alone).
+  Engine a(67), b(67);
+  std::vector<double> za(64), zb(64);
+  fill_standard_normal(a, za, NormalSampler::kZiggurat);
+  fill_standard_normal(b, zb, NormalSampler::kInverseCdf);
+  EXPECT_NE(za, zb);
+}
+
+// ------------------------------------------------- batched 2-D noise fill
+
+TEST(GaussianNoise2d, MarginalsAreGaussian) {
+  Engine e(71);
+  const double sigma = 120.0;
+  double sx = 0.0, sx2 = 0.0, sy2 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const geo::Point p = gaussian_noise_2d(e, sigma);
+    sx += p.x + p.y;
+    sx2 += p.x * p.x;
+    sy2 += p.y * p.y;
+  }
+  EXPECT_NEAR(sx / (2 * kN), 0.0, 1.0);
+  EXPECT_NEAR(std::sqrt(sx2 / kN), sigma, sigma * 0.02);
+  EXPECT_NEAR(std::sqrt(sy2 / kN), sigma, sigma * 0.02);
+}
+
+TEST(FillGaussianNoise2d, MatchesPerPointDrawsUnderZiggurat) {
+  const SamplerGuard guard(NormalSampler::kZiggurat);
+  Engine filled(73), manual(73);
+  std::vector<geo::Point> out(33);
+  const geo::Point center{1000.0, -500.0};
+  fill_gaussian_noise_2d(filled, 80.0, out, center);
+  for (const geo::Point& p : out) {
+    const geo::Point q = center + gaussian_noise(manual, 80.0);
+    EXPECT_DOUBLE_EQ(p.x, q.x);
+    EXPECT_DOUBLE_EQ(p.y, q.y);
+  }
+}
+
+TEST(FillGaussianNoise2d, MatchesPerPointDrawsUnderInverseCdf) {
+  // In icdf mode the fill uses the legacy polar recipe per point, so the
+  // stream must equal a hand-rolled theta/radius loop.
+  const SamplerGuard guard(NormalSampler::kInverseCdf);
+  Engine filled(79), manual(79);
+  std::vector<geo::Point> out(33);
+  fill_gaussian_noise_2d(filled, 80.0, out);
+  for (const geo::Point& p : out) {
+    const double theta = manual.uniform_in(0.0, 2.0 * std::numbers::pi);
+    const double r = rayleigh_quantile(manual.uniform(), 80.0);
+    EXPECT_DOUBLE_EQ(p.x, r * std::cos(theta));
+    EXPECT_DOUBLE_EQ(p.y, r * std::sin(theta));
+  }
+}
+
+TEST(FillGaussianNoise2d, EmptySpanConsumesNothing) {
+  Engine e(83), untouched(83);
+  fill_gaussian_noise_2d(e, 50.0, {});
+  EXPECT_EQ(e(), untouched());
+}
+
+// ---------------------------------------------- deep-tail probit accuracy
+
+TEST(NormalQuantileTail, RoundTripsThroughTheExactCdf) {
+  // Pin the deep-tail accuracy the tail_radius / trimming calibration
+  // depends on: the CDF of the quantile must return p to high relative
+  // accuracy far beyond the central range.
+  for (const double p : {1e-12, 1e-9, 1e-6, 1e-3}) {
+    const double x = normal_quantile(p);
+    const double cdf = 0.5 * std::erfc(-x / std::numbers::sqrt2);
+    EXPECT_NEAR(cdf / p, 1.0, 1e-8) << "p = " << p;
+  }
+}
+
+TEST(NormalQuantileTail, SymmetricAndMonotone) {
+  double prev = -1e300;
+  for (const double p :
+       {1e-12, 1e-9, 1e-6, 1e-3, 0.1, 0.5, 0.9, 1.0 - 1e-6, 1.0 - 1e-9}) {
+    const double x = normal_quantile(p);
+    EXPECT_GT(x, prev) << "p = " << p;
+    prev = x;
+  }
+  for (const double p : {1e-9, 1e-6, 1e-3, 0.25}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p),
+                1e-9 * std::abs(normal_quantile(p)) + 1e-12)
+        << "p = " << p;
+  }
+}
+
+TEST(NormalQuantileTail, KnownDeepTailValue) {
+  // Phi^{-1}(1e-6) from reference tables (Wichura AS241 territory).
+  EXPECT_NEAR(normal_quantile(1e-6), -4.753424308822899, 1e-8);
+}
 
 }  // namespace
 }  // namespace privlocad::rng
