@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   config.edge.top_params.delta = 0.01;
   config.edge.top_params.n = 10;
   config.cell_size_m = cell_km * 1000.0;
-  core::EdgeCluster cluster(config, 9);
+  core::EdgeCluster cluster(config.with_seed(9));
 
   trace::SyntheticConfig synth;
   synth.min_check_ins = 100;
@@ -83,13 +83,13 @@ int main(int argc, char** argv) {
   }
 
   par::ThreadPool serial_pool(1);
-  core::ConcurrentEdge serial_edge(config.edge, kShards, 9);
+  core::ConcurrentEdge serial_edge(config.edge.with_shards(kShards).with_seed(9));
   const core::BatchServeStats serial =
       serial_edge.serve_trace_batch(traces, serial_pool);
   const core::EdgeTelemetry serial_telemetry = serial_edge.telemetry();
 
   par::ThreadPool parallel_pool(threads);
-  core::ConcurrentEdge parallel_edge(config.edge, kShards, 9);
+  core::ConcurrentEdge parallel_edge(config.edge.with_shards(kShards).with_seed(9));
   const core::BatchServeStats parallel =
       parallel_edge.serve_trace_batch(traces, parallel_pool);
   const core::EdgeTelemetry parallel_telemetry = parallel_edge.telemetry();

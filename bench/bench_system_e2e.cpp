@@ -14,6 +14,7 @@
 #include "bench_common.hpp"
 #include "core/concurrent_edge.hpp"
 #include "core/simulation.hpp"
+#include "fault/fault.hpp"
 #include "par/thread_pool.hpp"
 
 int main(int argc, char** argv) {
@@ -32,6 +33,14 @@ int main(int argc, char** argv) {
   bench::print_header(
       "System end-to-end -- Edge-PrivLocAd under the longitudinal attack (" +
       std::to_string(users) + " users, full request flow)");
+
+  // PRIVLOCAD_FAULTS turns this bench into the fault-tolerance proof run:
+  // every request must still end in a typed outcome (served / degraded),
+  // never a leak or an uncaught exception.
+  fault::FaultInjector& faults = fault::FaultInjector::global();
+  if (faults.enabled()) {
+    std::printf("%s\n\n", faults.plan().summary().c_str());
+  }
 
   core::SimulationConfig config;
   config.user_count = users;
@@ -84,7 +93,7 @@ int main(int argc, char** argv) {
   par::ThreadPool pool(requested_threads);
   // The pool may clamp the request; record what actually ran.
   const std::size_t threads = pool.thread_count();
-  core::ConcurrentEdge edge(config.edge, 16, 31);
+  core::ConcurrentEdge edge(config.edge.with_shards(16).with_seed(31));
   const core::BatchServeStats batch = edge.serve_trace_batch(traces, pool);
   const obs::LatencyHistogram& serve_latency =
       edge.metrics().histogram(core::edge_metrics::kServeLatencyUs);
@@ -101,6 +110,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(pool_stats.tasks_executed),
               static_cast<unsigned long long>(pool_stats.steals));
 
+  // Fault-tolerance accounting for the batch (all zero with faults off).
+  const core::EdgeTelemetry batch_telemetry = edge.telemetry();
+  faults.publish(edge.metrics());
+  std::printf("  outcomes           : %zu served (%zu after retry), "
+              "%zu degraded-cached, %zu dropped, %zu failed\n",
+              batch.served, batch.served_after_retry, batch.degraded_cached,
+              batch.degraded_dropped, batch.failed);
+  if (faults.enabled()) {
+    std::printf("  faults injected    : %llu (retries %zu)\n",
+                static_cast<unsigned long long>(faults.injected_total()),
+                batch_telemetry.serve_retries);
+  }
+
   bench::JsonMetrics record;
   record.add_string("bench", "system_e2e");
   record.add("threads", static_cast<std::uint64_t>(threads));
@@ -113,6 +135,23 @@ int main(int argc, char** argv) {
   record.add("batch_requests", static_cast<std::uint64_t>(batch.requests));
   record.add("batch_wall_seconds", batch.wall_seconds);
   record.add("batch_requests_per_second", batch.requests_per_second());
+  record.add("batch_served", static_cast<std::uint64_t>(batch.served));
+  record.add("batch_degraded_cached",
+             static_cast<std::uint64_t>(batch.degraded_cached));
+  record.add("batch_degraded_dropped",
+             static_cast<std::uint64_t>(batch.degraded_dropped));
+  record.add("batch_failed", static_cast<std::uint64_t>(batch.failed));
+  record.add("serve_retries",
+             static_cast<std::uint64_t>(batch_telemetry.serve_retries));
+  record.add("serve_after_retry",
+             static_cast<std::uint64_t>(batch_telemetry.served_after_retry));
+  record.add("serve_degraded_cached",
+             static_cast<std::uint64_t>(batch_telemetry.degraded_cached));
+  record.add("serve_degraded_dropped",
+             static_cast<std::uint64_t>(batch_telemetry.degraded_dropped));
+  record.add("serve_failed",
+             static_cast<std::uint64_t>(batch_telemetry.serve_failed));
+  record.add("fault_injected_total", faults.injected_total());
   bench::add_latency_percentiles(record, "serve_latency_us", serve_latency);
   record.add("pool_tasks_executed", pool_stats.tasks_executed);
   record.add("pool_steals", pool_stats.steals);

@@ -27,7 +27,7 @@ int main() {
   config.management.window_seconds = 30 * trace::kSecondsPerDay;
 
   // ---- 1. serve traffic ----------------------------------------------
-  core::EdgeDevice device(config, 2024);
+  core::EdgeDevice device(config.with_seed(2024));
   const geo::Point alice_home{1200.0, -300.0};
   trace::UserTrace history;
   history.user_id = 1;  // alice
@@ -58,7 +58,7 @@ int main() {
   std::printf("persisted: %zu bytes of tables, %zu bytes of profiles\n\n",
               storage.str().size(), profile_storage.str().size());
 
-  core::EdgeDevice restarted(config, /*different seed=*/777);
+  core::EdgeDevice restarted(config.with_seed(/*different seed=*/777));
   restarted.restore_tables(core::load_tables(storage, 100.0));
   restarted.restore_profiles(core::load_profiles(profile_storage));
   const core::ReportedLocation replay = restarted.report_location(

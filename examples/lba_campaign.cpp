@@ -29,10 +29,9 @@ int main(int argc, char** argv) {
 
   rng::Engine engine(99);
   core::EdgePrivLocAd system(
-      config,
+      config.with_seed(17),
       adnet::generate_campaigns(engine, adnet::table1_presets()[3], 1000,
-                                40000.0),
-      /*seed=*/17);
+                                40000.0));
 
   // --- populate the city ---------------------------------------------
   trace::SyntheticConfig synth;

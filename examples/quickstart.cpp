@@ -30,7 +30,7 @@ int main() {
   std::vector<adnet::Advertiser> campaigns = adnet::generate_campaigns(
       engine, adnet::table1_presets()[3], /*count=*/3000,
       /*area_half_extent_m=*/40000.0);
-  core::EdgePrivLocAd system(config, std::move(campaigns), /*seed=*/7);
+  core::EdgePrivLocAd system(config.with_seed(7), std::move(campaigns));
 
   // --- 3. Build a user's profile from history ------------------------
   const geo::Point home{1200.0, -800.0};

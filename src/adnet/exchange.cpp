@@ -68,4 +68,18 @@ AuctionResult Exchange::run_auction(const AdRequest& request) {
   return result;
 }
 
+util::Result<AuctionResult> Exchange::try_run_auction(
+    const AdRequest& request, const fault::RetryPolicy& policy,
+    fault::FaultInjector* faults) {
+  fault::FaultInjector& injector =
+      faults != nullptr ? *faults : fault::FaultInjector::global();
+  if (injector.enabled()) {
+    const util::Status reachable = fault::retry_with_backoff(
+        policy, backoff_engine_,
+        [&injector] { return injector.check(fault::Site::kExchange); });
+    if (!reachable.ok()) return reachable;
+  }
+  return run_auction(request);
+}
+
 }  // namespace privlocad::adnet

@@ -16,6 +16,10 @@
 #include <vector>
 
 #include "adnet/ad_network.hpp"
+#include "fault/fault.hpp"
+#include "fault/retry.hpp"
+#include "rng/engine.hpp"
+#include "util/status.hpp"
 
 namespace privlocad::adnet {
 
@@ -59,6 +63,18 @@ class Exchange {
   /// Fans the request out to every DSP, runs the second-price auction.
   AuctionResult run_auction(const AdRequest& request);
 
+  /// Fault-aware auction: consults the injector's `exchange` site before
+  /// running, retrying transient faults under `policy` (backoff jitter
+  /// from an internal deterministic engine). Returns the auction result,
+  /// or the final non-ok Status once retries are exhausted / the fault is
+  /// not transient. `faults == nullptr` selects the process-global
+  /// injector; with injection disabled this is run_auction plus one
+  /// branch. Never throws on the fault path -- precondition violations
+  /// (no DSPs) still throw like run_auction.
+  util::Result<AuctionResult> try_run_auction(
+      const AdRequest& request, const fault::RetryPolicy& policy = {},
+      fault::FaultInjector* faults = nullptr);
+
   std::size_t dsp_count() const { return dsps_.size(); }
   const Dsp& dsp(std::size_t index) const;
 
@@ -73,6 +89,9 @@ class Exchange {
   std::size_t auctions_ = 0;
   std::size_t filled_ = 0;
   double revenue_ = 0.0;
+  /// Drives backoff jitter in try_run_auction; fixed seed keeps the
+  /// retry schedule reproducible and independent of the serving RNGs.
+  rng::Engine backoff_engine_{0x0BACC0FFULL};
 };
 
 }  // namespace privlocad::adnet

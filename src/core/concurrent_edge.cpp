@@ -1,25 +1,36 @@
 #include "core/concurrent_edge.hpp"
 
+#include <atomic>
+
 #include "par/parallel.hpp"
 #include "util/timer.hpp"
 #include "util/validation.hpp"
 
 namespace privlocad::core {
 
-ConcurrentEdge::ConcurrentEdge(EdgeConfig config, std::size_t shards,
-                               std::uint64_t seed)
+ConcurrentEdge::ConcurrentEdge(EdgeConfig config)
     : metrics_(std::make_shared<obs::MetricsRegistry>()) {
-  util::require(shards >= 1, "ConcurrentEdge needs at least one shard");
-  shards_.reserve(shards);
-  for (std::size_t i = 0; i < shards; ++i) {
+  config.validate();
+  shards_.reserve(config.shards);
+  for (std::size_t i = 0; i < config.shards; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->device = std::make_unique<EdgeDevice>(
-        config, seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)), metrics_);
+        config.with_seed(config.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1))),
+        metrics_);
     shard->lock_acquisitions = &metrics_->counter(
         "edge.shard" + std::to_string(i) + ".lock_acquisitions");
     shards_.push_back(std::move(shard));
   }
 }
+
+// Deprecated forwarding constructor; suppress its self-referential
+// deprecation warning.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+ConcurrentEdge::ConcurrentEdge(EdgeConfig config, std::size_t shards,
+                               std::uint64_t seed)
+    : ConcurrentEdge(config.with_shards(shards).with_seed(seed)) {}
+#pragma GCC diagnostic pop
 
 ConcurrentEdge::Shard& ConcurrentEdge::shard_for(std::uint64_t user_id) {
   // Fibonacci-hash the user id so consecutive ids spread across shards.
@@ -33,13 +44,21 @@ const ConcurrentEdge::Shard& ConcurrentEdge::shard_for(
   return *shards_[mixed % shards_.size()];
 }
 
-ReportedLocation ConcurrentEdge::report_location(std::uint64_t user_id,
-                                                 geo::Point true_location,
-                                                 trace::Timestamp time) {
+ServeResult ConcurrentEdge::serve(std::uint64_t user_id,
+                                  geo::Point true_location,
+                                  trace::Timestamp time) {
   Shard& shard = shard_for(user_id);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   ++shard.lock_count;
-  return shard.device->report_location(user_id, true_location, time);
+  return shard.device->serve(user_id, true_location, time);
+}
+
+ReportedLocation ConcurrentEdge::report_location(std::uint64_t user_id,
+                                                 geo::Point true_location,
+                                                 trace::Timestamp time) {
+  const ServeResult result = serve(user_id, true_location, time);
+  if (!result.released()) throw util::StatusError(result.status);
+  return result.reported;
 }
 
 std::vector<adnet::Ad> ConcurrentEdge::filter_ads(
@@ -64,20 +83,49 @@ BatchServeStats ConcurrentEdge::serve_trace_batch(
   const util::Timer timer;
   // One task per user keeps each trace time-ordered; different users hit
   // the shard mutexes concurrently, which is the contention pattern a live
-  // deployment produces.
-  par::parallel_for(pool, 0, traces.size(), /*grain=*/1,
-                    [&](std::size_t i) {
-                      const trace::UserTrace& trace = traces[i];
-                      for (const trace::CheckIn& c : trace.check_ins) {
-                        report_location(trace.user_id, c.position, c.time);
-                      }
-                    });
+  // deployment produces. serve() never throws, so under fault injection
+  // the batch runs to completion and tallies per-outcome totals.
+  std::atomic<std::size_t> served{0};
+  std::atomic<std::size_t> served_after_retry{0};
+  std::atomic<std::size_t> degraded_cached{0};
+  std::atomic<std::size_t> degraded_dropped{0};
+  std::atomic<std::size_t> failed{0};
+  par::parallel_for(
+      pool, 0, traces.size(), /*grain=*/1, [&](std::size_t i) {
+        const trace::UserTrace& trace = traces[i];
+        std::size_t ok = 0, after_retry = 0, cached = 0, dropped = 0,
+                    errors = 0;
+        for (const trace::CheckIn& c : trace.check_ins) {
+          const ServeResult r = serve(trace.user_id, c.position, c.time);
+          switch (r.outcome) {
+            case ServeOutcome::kServed: ++ok; break;
+            case ServeOutcome::kServedAfterRetry:
+              ++ok;
+              ++after_retry;
+              break;
+            case ServeOutcome::kDegradedCached: ++cached; break;
+            case ServeOutcome::kDegradedDropped: ++dropped; break;
+            case ServeOutcome::kFailed: ++errors; break;
+          }
+        }
+        served.fetch_add(ok, std::memory_order_relaxed);
+        served_after_retry.fetch_add(after_retry, std::memory_order_relaxed);
+        degraded_cached.fetch_add(cached, std::memory_order_relaxed);
+        degraded_dropped.fetch_add(dropped, std::memory_order_relaxed);
+        failed.fetch_add(errors, std::memory_order_relaxed);
+      });
 
   BatchServeStats stats;
   stats.users = traces.size();
   for (const trace::UserTrace& trace : traces) {
     stats.requests += trace.check_ins.size();
   }
+  stats.served = served.load(std::memory_order_relaxed);
+  stats.served_after_retry =
+      served_after_retry.load(std::memory_order_relaxed);
+  stats.degraded_cached = degraded_cached.load(std::memory_order_relaxed);
+  stats.degraded_dropped = degraded_dropped.load(std::memory_order_relaxed);
+  stats.failed = failed.load(std::memory_order_relaxed);
   stats.wall_seconds = timer.elapsed_seconds();
   // Publish the shard lock tallies and the pool's cumulative execution
   // counters next to the serving metrics so one registry dump shows both

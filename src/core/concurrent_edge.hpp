@@ -23,10 +23,17 @@ class ThreadPool;
 
 namespace privlocad::core {
 
-/// Outcome of one serve_trace_batch run.
+/// Outcome of one serve_trace_batch run. Every request lands in exactly
+/// one of the outcome tallies (served covers both first-attempt and
+/// after-retry successes).
 struct BatchServeStats {
   std::size_t users = 0;
   std::size_t requests = 0;
+  std::size_t served = 0;              ///< released a location normally
+  std::size_t served_after_retry = 0;  ///< subset of served needing retries
+  std::size_t degraded_cached = 0;     ///< replayed the frozen set
+  std::size_t degraded_dropped = 0;    ///< dropped rather than leak
+  std::size_t failed = 0;              ///< typed internal failure
   double wall_seconds = 0.0;
 
   double requests_per_second() const {
@@ -38,14 +45,24 @@ struct BatchServeStats {
 
 class ConcurrentEdge {
  public:
-  /// `shards` internal devices (>= 1). Seeds derive from `seed` so the
+  /// config.shards internal devices, each seeded from config.seed so the
   /// whole server is reproducible given a fixed user->request schedule
   /// per shard. All shards record into ONE metrics registry (sharded
   /// atomic counters make that safe), so telemetry() and metrics() read
   /// box-wide totals without touching any shard mutex.
+  explicit ConcurrentEdge(EdgeConfig config);
+
+  [[deprecated("pass shards/seed inside EdgeConfig: "
+               "ConcurrentEdge(config.with_shards(n).with_seed(seed))")]]
   ConcurrentEdge(EdgeConfig config, std::size_t shards, std::uint64_t seed);
 
-  /// Thread-safe report_location; serialized per shard.
+  /// Thread-safe typed serving; serialized per shard. Never throws (see
+  /// EdgeDevice::serve).
+  ServeResult serve(std::uint64_t user_id, geo::Point true_location,
+                    trace::Timestamp time);
+
+  /// Thread-safe legacy wrapper; throws util::StatusError on a dropped or
+  /// failed request (never happens with fault injection disabled).
   ReportedLocation report_location(std::uint64_t user_id,
                                    geo::Point true_location,
                                    trace::Timestamp time);
@@ -61,9 +78,14 @@ class ConcurrentEdge {
   /// Drives a whole population of traces through the sharded devices from
   /// the pool's worker threads: one task per user, so a user's check-ins
   /// stay time-ordered while different users contend on the shard mutexes
-  /// exactly as live traffic would. Telemetry counter totals are
-  /// scheduling-independent (each user's classification depends only on
-  /// their own state), so a threads=1 run and a threads=N run agree.
+  /// exactly as live traffic would. With fault injection disabled,
+  /// telemetry counter totals are scheduling-independent (each user's
+  /// classification depends only on their own state), so a threads=1 run
+  /// and a threads=N run agree. Requests run through serve(), so under
+  /// fault injection the batch completes with per-outcome tallies
+  /// instead of throwing; those tallies depend on the cross-user arrival
+  /// interleaving at the injector's shared per-site counters (see
+  /// fault/fault.hpp), so they are bit-stable only single-threaded.
   BatchServeStats serve_trace_batch(
       const std::vector<trace::UserTrace>& traces, par::ThreadPool& pool);
 

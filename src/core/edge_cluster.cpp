@@ -7,10 +7,22 @@
 
 namespace privlocad::core {
 
-EdgeCluster::EdgeCluster(EdgeClusterConfig config, std::uint64_t seed)
-    : config_(config), seed_(seed) {
+EdgeCluster::EdgeCluster(EdgeClusterConfig config)
+    : config_(config), seed_(config.edge.seed) {
   util::require_positive(config.cell_size_m, "edge cluster cell size");
+  config_.edge.validate();
 }
+
+// Deprecated forwarding constructor; suppress its self-referential
+// deprecation warning.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+EdgeCluster::EdgeCluster(EdgeClusterConfig config, std::uint64_t seed)
+    : EdgeCluster([&] {
+        config.edge.seed = seed;
+        return config;
+      }()) {}
+#pragma GCC diagnostic pop
 
 EdgeCluster::CellKey EdgeCluster::key_for(geo::Point location) const {
   const auto cx = static_cast<std::int32_t>(
@@ -27,19 +39,27 @@ EdgeDevice& EdgeCluster::device_for(geo::Point location) {
   if (it == devices_.end()) {
     // Each device gets its own deterministic seed derived from its cell.
     it = devices_
-             .emplace(key, std::make_unique<EdgeDevice>(
-                               config_.edge, seed_ ^ (key * 0x9E3779B97F4A7C15ULL)))
+             .emplace(key,
+                      std::make_unique<EdgeDevice>(config_.edge.with_seed(
+                          seed_ ^ (key * 0x9E3779B97F4A7C15ULL))))
              .first;
   }
   return *it->second;
 }
 
+ServeResult EdgeCluster::serve(std::uint64_t user_id,
+                               geo::Point true_location,
+                               trace::Timestamp time) {
+  ++served_[key_for(true_location)];
+  return device_for(true_location).serve(user_id, true_location, time);
+}
+
 ReportedLocation EdgeCluster::report_location(std::uint64_t user_id,
                                               geo::Point true_location,
                                               trace::Timestamp time) {
-  ++served_[key_for(true_location)];
-  return device_for(true_location)
-      .report_location(user_id, true_location, time);
+  const ServeResult result = serve(user_id, true_location, time);
+  if (!result.released()) throw util::StatusError(result.status);
+  return result.reported;
 }
 
 std::vector<adnet::Ad> EdgeCluster::filter_ads(

@@ -26,13 +26,30 @@ namespace privlocad::core {
 struct EdgeClusterConfig {
   EdgeConfig edge;            ///< per-device configuration
   double cell_size_m = 20000; ///< side of one device's service cell
+
+  /// Fluent copy setting the per-device base seed (edge.seed).
+  EdgeClusterConfig with_seed(std::uint64_t s) const {
+    EdgeClusterConfig copy = *this;
+    copy.edge.seed = s;
+    return copy;
+  }
 };
 
 class EdgeCluster {
  public:
+  /// Per-device seeds derive from config.edge.seed and the cell key.
+  explicit EdgeCluster(EdgeClusterConfig config);
+
+  [[deprecated("pass the seed inside EdgeConfig: config.edge.seed")]]
   EdgeCluster(EdgeClusterConfig config, std::uint64_t seed);
 
-  /// Serves one request through the device owning the location's cell.
+  /// Typed serving through the device owning the location's cell. Never
+  /// throws (see EdgeDevice::serve).
+  ServeResult serve(std::uint64_t user_id, geo::Point true_location,
+                    trace::Timestamp time);
+
+  /// Legacy throwing wrapper; throws util::StatusError on a dropped or
+  /// failed request (never happens with fault injection disabled).
   ReportedLocation report_location(std::uint64_t user_id,
                                    geo::Point true_location,
                                    trace::Timestamp time);

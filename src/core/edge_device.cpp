@@ -5,16 +5,41 @@
 
 namespace privlocad::core {
 
-EdgeDevice::EdgeDevice(EdgeConfig config, std::uint64_t seed)
-    : EdgeDevice(config, seed, std::make_shared<obs::MetricsRegistry>()) {}
+void EdgeConfig::validate() const {
+  util::require_positive(top_match_radius_m, "top_match_radius_m");
+  util::require_positive(table_match_radius_m, "table_match_radius_m");
+  util::require_positive(targeting_radius_m, "targeting_radius_m");
+  util::require(shards >= 1, "EdgeConfig.shards must be >= 1");
+  top_params.validate();
+  util::require_positive(nomadic_params.level, "nomadic_params.level");
+  util::require_positive(nomadic_params.radius_m, "nomadic_params.radius_m");
+  retry.validate();
+}
 
-EdgeDevice::EdgeDevice(EdgeConfig config, std::uint64_t seed,
+const char* serve_outcome_name(ServeOutcome outcome) {
+  switch (outcome) {
+    case ServeOutcome::kServed: return "served";
+    case ServeOutcome::kServedAfterRetry: return "served_after_retry";
+    case ServeOutcome::kDegradedCached: return "degraded_cached";
+    case ServeOutcome::kDegradedDropped: return "degraded_dropped";
+    case ServeOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+EdgeDevice::EdgeDevice(EdgeConfig config)
+    : EdgeDevice(config, std::make_shared<obs::MetricsRegistry>()) {}
+
+EdgeDevice::EdgeDevice(EdgeConfig config,
                        std::shared_ptr<obs::MetricsRegistry> metrics)
     : config_(config),
       top_mechanism_(config.top_params),
       nomadic_mechanism_(config.nomadic_params),
-      engine_(seed),
-      metrics_(std::move(metrics)) {
+      engine_(config.seed),
+      metrics_(std::move(metrics)),
+      faults_(config.faults != nullptr ? config.faults
+                                       : &fault::FaultInjector::global()) {
+  config_.validate();
   util::require(metrics_ != nullptr, "EdgeDevice needs a metrics registry");
   top_reports_total_ = &metrics_->counter(edge_metrics::kTopReports);
   nomadic_reports_total_ =
@@ -25,8 +50,28 @@ EdgeDevice::EdgeDevice(EdgeConfig config, std::uint64_t seed,
       &metrics_->counter(edge_metrics::kTablesGenerated);
   ads_seen_total_ = &metrics_->counter(edge_metrics::kAdsSeen);
   ads_delivered_total_ = &metrics_->counter(edge_metrics::kAdsDelivered);
+  serve_retries_total_ = &metrics_->counter(edge_metrics::kServeRetries);
+  served_after_retry_total_ =
+      &metrics_->counter(edge_metrics::kServedAfterRetry);
+  degraded_cached_total_ =
+      &metrics_->counter(edge_metrics::kDegradedCached);
+  degraded_dropped_total_ =
+      &metrics_->counter(edge_metrics::kDegradedDropped);
+  serve_failed_total_ = &metrics_->counter(edge_metrics::kServeFailed);
   serve_latency_ = &metrics_->histogram(edge_metrics::kServeLatencyUs);
 }
+
+// Deprecated forwarding constructors (kept for one release); suppress the
+// self-referential deprecation warnings their definitions would emit.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+EdgeDevice::EdgeDevice(EdgeConfig config, std::uint64_t seed)
+    : EdgeDevice(config.with_seed(seed)) {}
+
+EdgeDevice::EdgeDevice(EdgeConfig config, std::uint64_t seed,
+                       std::shared_ptr<obs::MetricsRegistry> metrics)
+    : EdgeDevice(config.with_seed(seed), std::move(metrics)) {}
+#pragma GCC diagnostic pop
 
 EdgeDevice::UserState& EdgeDevice::state_for(std::uint64_t user_id) {
   const auto it = users_.find(user_id);
@@ -52,9 +97,26 @@ const attack::ProfileEntry* EdgeDevice::matching_top(
   return best;
 }
 
-ReportedLocation EdgeDevice::report_location(std::uint64_t user_id,
-                                             geo::Point true_location,
-                                             trace::Timestamp time) {
+ServeResult EdgeDevice::serve(std::uint64_t user_id,
+                              geo::Point true_location,
+                              trace::Timestamp time) {
+  // The no-throw boundary: whatever breaks inside, the caller gets a
+  // typed outcome and nothing unobfuscated has left the device (the raw
+  // location is only ever released through a mechanism).
+  try {
+    return serve_impl(user_id, true_location, time);
+  } catch (const std::exception& error) {
+    serve_failed_total_->add();
+    ServeResult failed;
+    failed.outcome = ServeOutcome::kFailed;
+    failed.status = util::status_from_exception(error);
+    return failed;
+  }
+}
+
+ServeResult EdgeDevice::serve_impl(std::uint64_t user_id,
+                                   geo::Point true_location,
+                                   trace::Timestamp time) {
   const bool time_this_call =
       serve_calls_++ % kServeLatencySampleStride == 0;
   const obs::ScopedLatencyTimer latency_timer(
@@ -63,8 +125,50 @@ ReportedLocation EdgeDevice::report_location(std::uint64_t user_id,
   if (state.manager.record(true_location, time)) {
     profile_rebuilds_total_->add();
   }
+  const attack::ProfileEntry* top = matching_top(state, true_location);
 
-  if (const attack::ProfileEntry* top = matching_top(state, true_location)) {
+  // Acquire the obfuscation inputs (mechanism/noise backend). This is the
+  // serve-path fault seam: transient failures are retried with capped
+  // exponential backoff; a disabled injector reduces the whole block to
+  // one branch.
+  ServeResult result;
+  util::Status inputs = util::Status();
+  if (faults_->enabled()) {
+    std::size_t retries = 0;
+    inputs = fault::retry_with_backoff(
+        config_.retry, engine_,
+        [this] { return faults_->check(fault::Site::kServe); }, &retries);
+    result.retries = static_cast<std::uint32_t>(retries);
+    if (retries > 0) serve_retries_total_->add(retries);
+  }
+
+  if (!inputs.ok()) {
+    // Degraded serving: obfuscation inputs are down. The frozen candidate
+    // set (if this top location already has one) is pure post-processing
+    // -- replaying it needs no fresh noise and spends no privacy -- so it
+    // is the safe fallback. Without one, the request is dropped: a raw
+    // location is never a fallback ("fail private").
+    result.status = inputs;
+    if (top != nullptr) {
+      if (const std::optional<std::vector<geo::Point>> cached =
+              state.table.lookup(top->location)) {
+        const std::size_t chosen = select_candidate(
+            engine_, *cached, mechanism_for(state).posterior_sigma());
+        degraded_cached_total_->add();
+        result.outcome = ServeOutcome::kDegradedCached;
+        result.reported = {(*cached)[chosen], ReportKind::kTopLocation};
+        return result;
+      }
+    }
+    degraded_dropped_total_->add();
+    result.outcome = ServeOutcome::kDegradedDropped;
+    return result;
+  }
+  result.outcome = result.retries > 0 ? ServeOutcome::kServedAfterRetry
+                                      : ServeOutcome::kServed;
+  if (result.retries > 0) served_after_retry_total_->add();
+
+  if (top != nullptr) {
     const lppm::NFoldGaussianMechanism& mechanism = mechanism_for(state);
     const std::size_t entries_before = state.table.size();
     const std::vector<geo::Point>& candidates =
@@ -79,15 +183,25 @@ ReportedLocation EdgeDevice::report_location(std::uint64_t user_id,
     const std::size_t chosen = select_candidate(
         engine_, candidates, mechanism.posterior_sigma());
     top_reports_total_->add();
-    return {candidates[chosen], ReportKind::kTopLocation};
+    result.reported = {candidates[chosen], ReportKind::kTopLocation};
+    return result;
   }
 
   // Nomadic path: every release is an independent one-time charge at the
   // planar-Laplace level (eps = l, pure DP-style: delta = 0).
   accountant_.record(user_id, {config_.nomadic_params.level, 0.0});
   nomadic_reports_total_->add();
-  return {nomadic_mechanism_.obfuscate_one(engine_, true_location),
-          ReportKind::kNomadic};
+  result.reported = {nomadic_mechanism_.obfuscate_one(engine_, true_location),
+                     ReportKind::kNomadic};
+  return result;
+}
+
+ReportedLocation EdgeDevice::report_location(std::uint64_t user_id,
+                                             geo::Point true_location,
+                                             trace::Timestamp time) {
+  const ServeResult result = serve(user_id, true_location, time);
+  if (!result.released()) throw util::StatusError(result.status);
+  return result.reported;
 }
 
 std::vector<adnet::Ad> EdgeDevice::filter_ads(

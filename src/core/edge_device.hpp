@@ -30,15 +30,22 @@
 #include "core/risk.hpp"
 #include "core/table_store.hpp"
 #include "core/telemetry.hpp"
+#include "fault/fault.hpp"
+#include "fault/retry.hpp"
 #include "lppm/accountant.hpp"
 #include "lppm/gaussian.hpp"
 #include "lppm/planar_laplace.hpp"
 #include "obs/metrics.hpp"
 #include "rng/engine.hpp"
 #include "trace/check_in.hpp"
+#include "util/status.hpp"
 
 namespace privlocad::core {
 
+/// The one validated aggregate configuring every edge flavour (EdgeDevice,
+/// ConcurrentEdge, EdgeCluster cells, EdgePrivLocAd). Construction-time
+/// knobs that used to travel as extra constructor parameters (seed, shard
+/// count) live here, so every edge constructor takes exactly one config.
 struct EdgeConfig {
   /// Permanent protection for top locations (the n-fold Gaussian).
   lppm::BoundedGeoIndParams top_params{};
@@ -58,10 +65,57 @@ struct EdgeConfig {
 
   /// Targeting radius R defining the AOI used for edge-side ad filtering.
   double targeting_radius_m = 5000.0;
+
+  /// Seed for the device RNG (candidate noise, output selection, backoff
+  /// jitter). ConcurrentEdge derives one sub-seed per shard from it.
+  std::uint64_t seed = 1;
+
+  /// Internal device count of a ConcurrentEdge (>= 1); ignored by a
+  /// standalone EdgeDevice.
+  std::size_t shards = 16;
+
+  /// Backoff policy for transient obfuscation-input faults in serve().
+  fault::RetryPolicy retry{};
+
+  /// Fault injector consulted by serve(); nullptr selects
+  /// fault::FaultInjector::global() (configured from PRIVLOCAD_FAULTS).
+  fault::FaultInjector* faults = nullptr;
+
+  /// Throws util::InvalidArgument unless every field is in-domain
+  /// (radii > 0, shards >= 1, retry policy valid, privacy params valid).
+  /// Every edge constructor calls this.
+  void validate() const;
+
+  /// Fluent copies for call sites that tweak one knob:
+  ///   EdgeDevice device(config().with_seed(42));
+  EdgeConfig with_seed(std::uint64_t s) const {
+    EdgeConfig copy = *this;
+    copy.seed = s;
+    return copy;
+  }
+  EdgeConfig with_shards(std::size_t n) const {
+    EdgeConfig copy = *this;
+    copy.shards = n;
+    return copy;
+  }
 };
 
 /// How a reported location was produced; exposed for tests and metrics.
 enum class ReportKind { kTopLocation, kNomadic };
+
+/// How one serve() call concluded. Every request ends in exactly one of
+/// these -- serve() never throws.
+enum class ServeOutcome {
+  kServed,           ///< normal path, first attempt
+  kServedAfterRetry, ///< normal path after >= 1 transient-fault retries
+  kDegradedCached,   ///< obfuscation inputs down; replayed the frozen set
+  kDegradedDropped,  ///< obfuscation inputs down, nothing cached: request
+                     ///< dropped rather than released raw (fail private)
+  kFailed,           ///< non-transient internal failure; nothing released
+};
+
+/// Human-readable outcome name ("served_after_retry", ...).
+const char* serve_outcome_name(ServeOutcome outcome);
 
 /// One in this many report_location calls is latency-timed (per device,
 /// starting with the first). Reading the clock twice per request costs
@@ -74,20 +128,61 @@ struct ReportedLocation {
   ReportKind kind;
 };
 
+/// The rich outcome of one serve() call. `reported` is meaningful only
+/// when released() -- on a dropped/failed request nothing left the edge,
+/// and `status` carries the cause.
+struct ServeResult {
+  ReportedLocation reported{};
+  ServeOutcome outcome = ServeOutcome::kServed;
+  util::Status status{};      ///< non-ok when degraded or failed
+  std::uint32_t retries = 0;  ///< transient-fault retries performed
+
+  /// True when an (always obfuscated) location was released.
+  bool released() const {
+    return outcome == ServeOutcome::kServed ||
+           outcome == ServeOutcome::kServedAfterRetry ||
+           outcome == ServeOutcome::kDegradedCached;
+  }
+  bool degraded() const {
+    return outcome == ServeOutcome::kDegradedCached ||
+           outcome == ServeOutcome::kDegradedDropped;
+  }
+};
+
 class EdgeDevice {
  public:
-  /// Owns a fresh metrics registry (standalone device).
-  EdgeDevice(EdgeConfig config, std::uint64_t seed);
+  /// Owns a fresh metrics registry (standalone device). The config is
+  /// validated here; seed, retry policy, and fault injector come from it.
+  explicit EdgeDevice(EdgeConfig config);
 
   /// Records into `metrics` (non-null) instead of a private registry --
   /// how ConcurrentEdge shares one registry across its shards. The
   /// registry's counters are sharded atomics, so concurrent devices can
   /// share it safely.
+  EdgeDevice(EdgeConfig config, std::shared_ptr<obs::MetricsRegistry> metrics);
+
+  [[deprecated("pass the seed inside EdgeConfig: "
+               "EdgeDevice(config.with_seed(seed))")]]
+  EdgeDevice(EdgeConfig config, std::uint64_t seed);
+
+  [[deprecated("pass the seed inside EdgeConfig: "
+               "EdgeDevice(config.with_seed(seed), metrics)")]]
   EdgeDevice(EdgeConfig config, std::uint64_t seed,
              std::shared_ptr<obs::MetricsRegistry> metrics);
 
-  /// Steps 1-4 above: returns the obfuscated location to attach to the
-  /// outgoing ad request.
+  /// Steps 1-4 above, never throwing: returns the typed outcome of the
+  /// request. On transient obfuscation-input faults it retries under the
+  /// config's policy; once the budget is exhausted it degrades -- replays
+  /// the user's frozen candidate set when one covers the matched top
+  /// location, otherwise drops the request. In every path the released
+  /// location (if any) is obfuscated; a raw coordinate never crosses this
+  /// boundary ("fail private").
+  ServeResult serve(std::uint64_t user_id, geo::Point true_location,
+                    trace::Timestamp time);
+
+  /// Legacy throwing wrapper around serve(): returns the released
+  /// location, throwing util::StatusError when the request was degraded-
+  /// dropped or failed (never happens with fault injection disabled).
   ReportedLocation report_location(std::uint64_t user_id,
                                    geo::Point true_location,
                                    trace::Timestamp time);
@@ -187,12 +282,18 @@ class EdgeDevice {
   const attack::ProfileEntry* matching_top(const UserState& state,
                                            geo::Point location) const;
 
+  /// The serving body behind serve()'s try/catch boundary.
+  ServeResult serve_impl(std::uint64_t user_id, geo::Point true_location,
+                         trace::Timestamp time);
+
   EdgeConfig config_;
   lppm::NFoldGaussianMechanism top_mechanism_;
   lppm::PlanarLaplaceMechanism nomadic_mechanism_;
   rng::Engine engine_;
   lppm::PrivacyAccountant accountant_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
+  /// The injector serve() consults (config's, or the process-global one).
+  fault::FaultInjector* faults_;
   // Metric handles resolved once at construction so the serving hot path
   // never takes the registry's registration mutex.
   obs::Counter* top_reports_total_;
@@ -201,6 +302,11 @@ class EdgeDevice {
   obs::Counter* tables_generated_total_;
   obs::Counter* ads_seen_total_;
   obs::Counter* ads_delivered_total_;
+  obs::Counter* serve_retries_total_;
+  obs::Counter* served_after_retry_total_;
+  obs::Counter* degraded_cached_total_;
+  obs::Counter* degraded_dropped_total_;
+  obs::Counter* serve_failed_total_;
   obs::LatencyHistogram* serve_latency_;
   /// Plain counter driving the 1-in-N latency sample: EdgeDevice is
   /// externally synchronized (ConcurrentEdge calls under the shard lock),

@@ -22,6 +22,10 @@ GeoServedAds GeoFrontend::on_lba_request(std::uint64_t user_id,
       system_.on_lba_request(user_id, projection_.to_local(where), time);
 
   GeoServedAds geo_served;
+  geo_served.outcome = served.outcome;
+  geo_served.status = served.status;
+  geo_served.ad_path_degraded = served.ad_path_degraded;
+  if (!served.location_released()) return geo_served;
   geo_served.reported_location = projection_.to_geo(served.reported.location);
   geo_served.report_kind = served.reported.kind;
   geo_served.delivered.reserve(served.delivered.size());

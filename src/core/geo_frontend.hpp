@@ -25,10 +25,22 @@ struct GeoAd {
   std::string category;
 };
 
+/// `reported_location`/`report_kind` are meaningful only when
+/// location_released(); a dropped or failed round carries the typed
+/// cause in `status` and delivers nothing.
 struct GeoServedAds {
-  geo::LatLon reported_location;
+  geo::LatLon reported_location{};
   ReportKind report_kind = ReportKind::kNomadic;
   std::vector<GeoAd> delivered;
+  ServeOutcome outcome = ServeOutcome::kServed;
+  util::Status status{};
+  bool ad_path_degraded = false;
+
+  bool location_released() const {
+    return outcome == ServeOutcome::kServed ||
+           outcome == ServeOutcome::kServedAfterRetry ||
+           outcome == ServeOutcome::kDegradedCached;
+  }
 };
 
 class GeoFrontend {

@@ -76,14 +76,58 @@ ProfileSnapshot load_profiles(std::istream& in) {
 void save_profiles_file(const std::string& path,
                         const ProfileSnapshot& profiles) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  if (!out) throw util::IoError("cannot open for writing: " + path);
   save_profiles(out, profiles);
 }
 
 ProfileSnapshot load_profiles_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  if (!in) throw util::IoError("cannot open for reading: " + path);
   return load_profiles(in);
+}
+
+util::Result<ProfileSnapshot> try_load_profiles_file(
+    const std::string& path, const fault::RetryPolicy& policy,
+    fault::FaultInjector* faults) {
+  fault::FaultInjector& injector =
+      faults != nullptr ? *faults : fault::FaultInjector::global();
+  // Fixed-seed local engine: backoff jitter stays reproducible and leaves
+  // every serving RNG untouched.
+  rng::Engine backoff_engine(0x9120F11EULL);
+  return fault::retry_with_backoff(
+      policy, backoff_engine, [&]() -> util::Result<ProfileSnapshot> {
+        if (injector.enabled()) {
+          const util::Status s = injector.check(fault::Site::kProfileStore);
+          if (!s.ok()) return s;
+        }
+        try {
+          return load_profiles_file(path);
+        } catch (const std::exception& error) {
+          return util::status_from_exception(error);
+        }
+      });
+}
+
+util::Status try_save_profiles_file(const std::string& path,
+                                    const ProfileSnapshot& profiles,
+                                    const fault::RetryPolicy& policy,
+                                    fault::FaultInjector* faults) {
+  fault::FaultInjector& injector =
+      faults != nullptr ? *faults : fault::FaultInjector::global();
+  rng::Engine backoff_engine(0x9120F11EULL);
+  return fault::retry_with_backoff(
+      policy, backoff_engine, [&]() -> util::Status {
+        if (injector.enabled()) {
+          const util::Status s = injector.check(fault::Site::kProfileStore);
+          if (!s.ok()) return s;
+        }
+        try {
+          save_profiles_file(path, profiles);
+          return util::Status();
+        } catch (const std::exception& error) {
+          return util::status_from_exception(error);
+        }
+      });
 }
 
 }  // namespace privlocad::core

@@ -19,6 +19,9 @@
 #include <vector>
 
 #include "attack/profile.hpp"
+#include "fault/fault.hpp"
+#include "fault/retry.hpp"
+#include "util/status.hpp"
 
 namespace privlocad::core {
 
@@ -38,9 +41,22 @@ void save_profiles(std::ostream& out, const ProfileSnapshot& profiles);
 /// out-of-order entries, or top indices past the profile size.
 ProfileSnapshot load_profiles(std::istream& in);
 
-/// File-path convenience wrappers; throw std::runtime_error on IO failure.
+/// File-path convenience wrappers; throw util::IoError (a
+/// std::runtime_error) when the file cannot be opened.
 void save_profiles_file(const std::string& path,
                         const ProfileSnapshot& profiles);
 ProfileSnapshot load_profiles_file(const std::string& path);
+
+/// Fault-aware non-throwing variants: each attempt first consults the
+/// injector's `profile_store` site (nullptr selects the process-global
+/// injector), and transient faults are retried under `policy`. Corrupt
+/// input and IO errors fail fast with the typed status.
+util::Result<ProfileSnapshot> try_load_profiles_file(
+    const std::string& path, const fault::RetryPolicy& policy = {},
+    fault::FaultInjector* faults = nullptr);
+util::Status try_save_profiles_file(const std::string& path,
+                                    const ProfileSnapshot& profiles,
+                                    const fault::RetryPolicy& policy = {},
+                                    fault::FaultInjector* faults = nullptr);
 
 }  // namespace privlocad::core

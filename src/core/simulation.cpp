@@ -18,11 +18,10 @@ SimulationResult run_simulation(const SimulationConfig& config) {
   // --- world setup ----------------------------------------------------
   rng::Engine engine(config.seed);
   EdgePrivLocAd system(
-      config.edge,
+      config.edge.with_seed(config.seed ^ 0xED6EULL),
       adnet::generate_campaigns(engine, adnet::table1_presets()[3],
                                 config.advertiser_count,
-                                config.population.area_half_extent_m),
-      config.seed ^ 0xED6EULL);
+                                config.population.area_half_extent_m));
 
   const rng::Engine population_parent(config.seed ^ 0x9090ULL);
   const std::vector<trace::SyntheticUser> users = trace::generate_population(

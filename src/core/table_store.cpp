@@ -85,15 +85,59 @@ TableSnapshot load_tables(std::istream& in, double match_radius_m) {
 
 void save_tables_file(const std::string& path, const TableSnapshot& tables) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  if (!out) throw util::IoError("cannot open for writing: " + path);
   save_tables(out, tables);
 }
 
 TableSnapshot load_tables_file(const std::string& path,
                                double match_radius_m) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  if (!in) throw util::IoError("cannot open for reading: " + path);
   return load_tables(in, match_radius_m);
+}
+
+util::Result<TableSnapshot> try_load_tables_file(
+    const std::string& path, double match_radius_m,
+    const fault::RetryPolicy& policy, fault::FaultInjector* faults) {
+  fault::FaultInjector& injector =
+      faults != nullptr ? *faults : fault::FaultInjector::global();
+  // Fixed-seed local engine: backoff jitter stays reproducible and leaves
+  // every serving RNG untouched.
+  rng::Engine backoff_engine(0x7AB1E5ULL);
+  return fault::retry_with_backoff(
+      policy, backoff_engine, [&]() -> util::Result<TableSnapshot> {
+        if (injector.enabled()) {
+          const util::Status s = injector.check(fault::Site::kTableStore);
+          if (!s.ok()) return s;
+        }
+        try {
+          return load_tables_file(path, match_radius_m);
+        } catch (const std::exception& error) {
+          return util::status_from_exception(error);
+        }
+      });
+}
+
+util::Status try_save_tables_file(const std::string& path,
+                                  const TableSnapshot& tables,
+                                  const fault::RetryPolicy& policy,
+                                  fault::FaultInjector* faults) {
+  fault::FaultInjector& injector =
+      faults != nullptr ? *faults : fault::FaultInjector::global();
+  rng::Engine backoff_engine(0x7AB1E5ULL);
+  return fault::retry_with_backoff(
+      policy, backoff_engine, [&]() -> util::Status {
+        if (injector.enabled()) {
+          const util::Status s = injector.check(fault::Site::kTableStore);
+          if (!s.ok()) return s;
+        }
+        try {
+          save_tables_file(path, tables);
+          return util::Status();
+        } catch (const std::exception& error) {
+          return util::status_from_exception(error);
+        }
+      });
 }
 
 }  // namespace privlocad::core

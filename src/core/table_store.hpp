@@ -18,6 +18,9 @@
 #include <string>
 
 #include "core/obfuscation_table.hpp"
+#include "fault/fault.hpp"
+#include "fault/retry.hpp"
+#include "util/status.hpp"
 
 namespace privlocad::core {
 
@@ -33,9 +36,25 @@ void save_tables(std::ostream& out, const TableSnapshot& tables);
 /// candidate indices, or entries whose top locations collide.
 TableSnapshot load_tables(std::istream& in, double match_radius_m);
 
-/// File-path convenience wrappers; throw std::runtime_error on IO failure.
+/// File-path convenience wrappers; throw util::IoError (a
+/// std::runtime_error) when the file cannot be opened.
 void save_tables_file(const std::string& path, const TableSnapshot& tables);
 TableSnapshot load_tables_file(const std::string& path,
                                double match_radius_m);
+
+/// Fault-aware non-throwing variants: each attempt first consults the
+/// injector's `table_store` site (nullptr selects the process-global
+/// injector), and transient faults are retried under `policy`. Corrupt
+/// input (ParseError / validation failures) and IO errors fail fast with
+/// the typed status -- a corrupt table must fail loudly at startup, never
+/// be retried into silence.
+util::Result<TableSnapshot> try_load_tables_file(
+    const std::string& path, double match_radius_m,
+    const fault::RetryPolicy& policy = {},
+    fault::FaultInjector* faults = nullptr);
+util::Status try_save_tables_file(const std::string& path,
+                                  const TableSnapshot& tables,
+                                  const fault::RetryPolicy& policy = {},
+                                  fault::FaultInjector* faults = nullptr);
 
 }  // namespace privlocad::core

@@ -10,13 +10,25 @@ EdgeTelemetry EdgeTelemetry::from_registry(
   EdgeTelemetry t;
   t.top_reports = registry.counter_value(edge_metrics::kTopReports);
   t.nomadic_reports = registry.counter_value(edge_metrics::kNomadicReports);
-  t.requests = t.top_reports + t.nomadic_reports;
   t.profile_rebuilds =
       registry.counter_value(edge_metrics::kProfileRebuilds);
   t.tables_generated =
       registry.counter_value(edge_metrics::kTablesGenerated);
   t.ads_seen = registry.counter_value(edge_metrics::kAdsSeen);
   t.ads_delivered = registry.counter_value(edge_metrics::kAdsDelivered);
+  t.serve_retries = registry.counter_value(edge_metrics::kServeRetries);
+  t.served_after_retry =
+      registry.counter_value(edge_metrics::kServedAfterRetry);
+  t.degraded_cached = registry.counter_value(edge_metrics::kDegradedCached);
+  t.degraded_dropped =
+      registry.counter_value(edge_metrics::kDegradedDropped);
+  t.serve_failed = registry.counter_value(edge_metrics::kServeFailed);
+  t.adnet_degraded = registry.counter_value(edge_metrics::kAdnetDegraded);
+  // Every serve call lands in exactly one of these buckets; the degraded
+  // cached path reuses the top-location candidate set but is tallied
+  // separately, so the sum is exact.
+  t.requests = t.top_reports + t.nomadic_reports + t.degraded_cached +
+               t.degraded_dropped + t.serve_failed;
   return t;
 }
 
@@ -43,6 +55,12 @@ std::string EdgeTelemetry::to_string() const {
   out += "ads seen/delivered: " + std::to_string(ads_seen) + "/" +
          std::to_string(ads_delivered) + " (filter drops " +
          util::format_double(filter_drop_ratio() * 100.0, 1) + "%)\n";
+  out += "serve retries     : " + std::to_string(serve_retries) + " (" +
+         std::to_string(served_after_retry) + " requests recovered)\n";
+  out += "degraded          : " + std::to_string(degraded_cached) +
+         " cached, " + std::to_string(degraded_dropped) + " dropped\n";
+  out += "failed            : " + std::to_string(serve_failed) +
+         " serve, " + std::to_string(adnet_degraded) + " adnet-degraded\n";
   return out;
 }
 
@@ -54,6 +72,12 @@ void EdgeTelemetry::merge(const EdgeTelemetry& other) {
   tables_generated += other.tables_generated;
   ads_seen += other.ads_seen;
   ads_delivered += other.ads_delivered;
+  serve_retries += other.serve_retries;
+  served_after_retry += other.served_after_retry;
+  degraded_cached += other.degraded_cached;
+  degraded_dropped += other.degraded_dropped;
+  serve_failed += other.serve_failed;
+  adnet_degraded += other.adnet_degraded;
 }
 
 }  // namespace privlocad::core

@@ -1,0 +1,34 @@
+#include "fault/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/validation.hpp"
+
+namespace privlocad::fault {
+
+void RetryPolicy::validate() const {
+  util::require(max_attempts >= 1, "retry max_attempts must be >= 1");
+  util::require_non_negative(initial_backoff_us, "retry initial_backoff_us");
+  util::require_non_negative(max_backoff_us, "retry max_backoff_us");
+  util::require(std::isfinite(backoff_multiplier) &&
+                    backoff_multiplier >= 1.0,
+                "retry backoff_multiplier must be >= 1");
+  util::require(std::isfinite(jitter) && jitter >= 0.0 && jitter <= 1.0,
+                "retry jitter must lie in [0, 1]");
+}
+
+double backoff_delay_us(const RetryPolicy& policy, std::size_t retry,
+                        rng::Engine& engine) {
+  double delay = policy.initial_backoff_us;
+  for (std::size_t i = 0; i < retry && delay < policy.max_backoff_us; ++i) {
+    delay *= policy.backoff_multiplier;
+  }
+  delay = std::min(delay, policy.max_backoff_us);
+  if (policy.jitter > 0.0) {
+    delay *= engine.uniform_in(1.0 - policy.jitter, 1.0 + policy.jitter);
+  }
+  return delay;
+}
+
+}  // namespace privlocad::fault

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "util/csv.hpp"
+#include "util/status.hpp"
 #include "util/strings.hpp"
 #include "util/validation.hpp"
 
@@ -44,11 +45,15 @@ std::vector<UserTrace> read_traces(std::istream& in) {
     try {
       time = util::parse_int(row[t_col]);
     } catch (const util::InvalidArgument&) {
-      throw util::InvalidArgument(context() + ": timestamp '" +
-                                  row[t_col] + "' is not an integer");
+      throw util::ParseError(context() + ": timestamp '" + row[t_col] +
+                                 "' is not an integer",
+                             r + 2);  // +1 for the header, +1 for 1-basing
     }
-    util::require(time >= 0, context() + ": timestamp must be >= 0, got " +
-                                 row[t_col]);
+    if (time < 0) {
+      throw util::ParseError(context() + ": timestamp must be >= 0, got " +
+                                 row[t_col],
+                             r + 2);
+    }
 
     const auto id = static_cast<std::uint64_t>(util::parse_int(row[id_col]));
     UserTrace& trace = by_user[id];
@@ -90,13 +95,13 @@ void write_traces_geo(std::ostream& out, const std::vector<UserTrace>& traces,
 void write_traces_file(const std::string& path,
                        const std::vector<UserTrace>& traces) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  if (!out) throw util::IoError("cannot open for writing: " + path);
   write_traces(out, traces);
 }
 
 std::vector<UserTrace> read_traces_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  if (!in) throw util::IoError("cannot open for reading: " + path);
   return read_traces(in);
 }
 

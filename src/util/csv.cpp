@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "util/status.hpp"
 #include "util/strings.hpp"
 #include "util/validation.hpp"
 
@@ -44,21 +45,24 @@ std::vector<std::string> split_csv_line(const std::string& line,
         field += line[i++];
       }
       if (!closed) {
-        throw InvalidArgument(context() +
-                              ": unterminated quoted field (multi-line "
-                              "quoted fields are unsupported)");
+        throw ParseError(context() +
+                             ": unterminated quoted field (multi-line "
+                             "quoted fields are unsupported)",
+                         line_number);
       }
       if (i < line.size() && line[i] != ',') {
-        throw InvalidArgument(context() +
-                              ": unexpected character after closing quote");
+        throw ParseError(
+            context() + ": unexpected character after closing quote",
+            line_number);
       }
     } else {
       // Unquoted field: runs to the next comma; a stray quote inside it
       // means the producer meant quoting we would otherwise mis-parse.
       while (i < line.size() && line[i] != ',') {
         if (line[i] == '"') {
-          throw InvalidArgument(context() +
-                                ": unexpected '\"' inside unquoted field");
+          throw ParseError(
+              context() + ": unexpected '\"' inside unquoted field",
+              line_number);
         }
         field += line[i++];
       }
@@ -104,7 +108,7 @@ std::size_t CsvTable::column(const std::string& name) const {
   for (std::size_t i = 0; i < header.size(); ++i) {
     if (header[i] == name) return i;
   }
-  throw InvalidArgument("CSV has no column named '" + name + "'");
+  throw ParseError("CSV has no column named '" + name + "'");
 }
 
 CsvTable read_csv(std::istream& in) {
@@ -121,10 +125,11 @@ CsvTable read_csv(std::istream& in) {
       continue;
     }
     if (fields.size() != table.header.size()) {
-      throw InvalidArgument("CSV line " + std::to_string(line_number) +
-                            " has " + std::to_string(fields.size()) +
-                            " fields, expected " +
-                            std::to_string(table.header.size()));
+      throw ParseError("CSV line " + std::to_string(line_number) + " has " +
+                           std::to_string(fields.size()) +
+                           " fields, expected " +
+                           std::to_string(table.header.size()),
+                       line_number);
     }
     table.rows.push_back(std::move(fields));
   }
@@ -133,7 +138,7 @@ CsvTable read_csv(std::istream& in) {
 
 CsvTable read_csv_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+  if (!in) throw IoError("cannot open CSV file: " + path);
   return read_csv(in);
 }
 

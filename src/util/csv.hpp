@@ -6,6 +6,12 @@
 // is line-based); the writer rejects them and the reader reports an
 // unterminated quote with its line number. The reader also validates
 // column counts per row and reports the offending line number.
+//
+// Error taxonomy (util/status.hpp): structurally malformed input throws
+// util::ParseError (an InvalidArgument carrying ErrorCode::kParseError and
+// the 1-based line); failures to open a file throw util::IoError (a
+// runtime_error carrying kIoError). Callers can therefore distinguish
+// "the file is corrupt" from "the file is unreachable" programmatically.
 #pragma once
 
 #include <cstddef>

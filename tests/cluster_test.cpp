@@ -90,7 +90,7 @@ EdgeClusterConfig cluster_config() {
 }
 
 TEST(EdgeCluster, RoutesRequestsToCellDevices) {
-  EdgeCluster cluster(cluster_config(), 1);
+  EdgeCluster cluster(cluster_config().with_seed(1));
   cluster.report_location(1, {1000, 1000}, 0);     // cell (0, 0)
   cluster.report_location(1, {15000, 1000}, 1);    // cell (1, 0)
   cluster.report_location(2, {1000, 1000}, 2);     // cell (0, 0)
@@ -101,7 +101,7 @@ TEST(EdgeCluster, RoutesRequestsToCellDevices) {
 }
 
 TEST(EdgeCluster, NegativeCoordinatesGetOwnCells) {
-  EdgeCluster cluster(cluster_config(), 2);
+  EdgeCluster cluster(cluster_config().with_seed(2));
   cluster.report_location(1, {-1000, -1000}, 0);   // cell (-1, -1)
   cluster.report_location(1, {1000, 1000}, 1);     // cell (0, 0)
   EXPECT_EQ(cluster.active_devices(), 2u);
@@ -111,7 +111,7 @@ TEST(EdgeCluster, NegativeCoordinatesGetOwnCells) {
 TEST(EdgeCluster, CellLoadsCoverEveryActiveCell) {
   // Load stats must see devices however far out the population wandered --
   // including cells far outside any fixed scan window like [-4, 4].
-  EdgeCluster cluster(cluster_config(), 7);
+  EdgeCluster cluster(cluster_config().with_seed(7));
   cluster.report_location(1, {1000, 1000}, 0);       // cell (0, 0)
   cluster.report_location(1, {1500, 1200}, 1);       // cell (0, 0)
   cluster.report_location(2, {-95000, 1000}, 2);     // cell (-10, 0)
@@ -134,7 +134,7 @@ TEST(EdgeCluster, CellLoadsCoverEveryActiveCell) {
 }
 
 TEST(EdgeCluster, DeviceForIsStablePerCell) {
-  EdgeCluster cluster(cluster_config(), 3);
+  EdgeCluster cluster(cluster_config().with_seed(3));
   EdgeDevice& a = cluster.device_for({100, 100});
   EdgeDevice& b = cluster.device_for({9000, 9000});  // same 10 km cell
   EdgeDevice& c = cluster.device_for({11000, 100});  // next cell
@@ -145,7 +145,7 @@ TEST(EdgeCluster, DeviceForIsStablePerCell) {
 TEST(EdgeCluster, LocalSlicesMergeIntoGlobalTopSet) {
   // A commuter splits check-ins between two cells; each device only sees
   // its slice. Merging the slices recovers both top locations globally.
-  EdgeCluster cluster(cluster_config(), 4);
+  EdgeCluster cluster(cluster_config().with_seed(4));
   const geo::Point home{1000, 1000};     // cell (0, 0)
   const geo::Point office{15000, 1000};  // cell (1, 0)
 
@@ -173,7 +173,7 @@ TEST(EdgeCluster, LocalSlicesMergeIntoGlobalTopSet) {
 }
 
 TEST(EdgeCluster, FilterAdsMatchesDeviceSemantics) {
-  EdgeCluster cluster(cluster_config(), 5);
+  EdgeCluster cluster(cluster_config().with_seed(5));
   std::vector<adnet::Ad> ads{{1, {1000, 0}, "a", 1.0},
                              {2, {30000, 0}, "b", 1.0}};
   const auto kept = cluster.filter_ads(ads, {0, 0});
@@ -184,7 +184,7 @@ TEST(EdgeCluster, FilterAdsMatchesDeviceSemantics) {
 TEST(EdgeCluster, RejectsBadCellSize) {
   EdgeClusterConfig bad = cluster_config();
   bad.cell_size_m = 0.0;
-  EXPECT_THROW(EdgeCluster(bad, 1), util::InvalidArgument);
+  EXPECT_THROW(EdgeCluster(bad.with_seed(1)), util::InvalidArgument);
 }
 
 }  // namespace

@@ -62,7 +62,7 @@ TEST(Telemetry, EmptyCountersAreSafe) {
 }
 
 TEST(Telemetry, EdgeDeviceCountsReportsAndFilters) {
-  core::EdgeDevice device(fast_config(), 42);
+  core::EdgeDevice device(fast_config().with_seed(42));
   const geo::Point home{0, 0};
   trace::UserTrace history;
   history.user_id = 1;
@@ -142,7 +142,7 @@ TEST(GridAttack, NegativeCoordinatesBinCorrectly) {
 // ---------------------------------------------------------- concurrent edge
 
 TEST(ConcurrentEdge, SingleThreadBehavesLikeEdgeDevice) {
-  core::ConcurrentEdge edge(fast_config(), 4, 42);
+  core::ConcurrentEdge edge(fast_config().with_shards(4).with_seed(42));
   const geo::Point home{0, 0};
   trace::UserTrace history;
   history.user_id = 1;
@@ -156,7 +156,7 @@ TEST(ConcurrentEdge, SingleThreadBehavesLikeEdgeDevice) {
 }
 
 TEST(ConcurrentEdge, UsersStickToOneShard) {
-  core::ConcurrentEdge edge(fast_config(), 4, 42);
+  core::ConcurrentEdge edge(fast_config().with_shards(4).with_seed(42));
   // Two requests from the same user must hit the same per-user state:
   // the second one is counted for the same user, not a duplicate user.
   edge.report_location(7, {0, 0}, 0);
@@ -166,7 +166,7 @@ TEST(ConcurrentEdge, UsersStickToOneShard) {
 }
 
 TEST(ConcurrentEdge, ParallelHammeringKeepsCountsExact) {
-  core::ConcurrentEdge edge(fast_config(), 8, 42);
+  core::ConcurrentEdge edge(fast_config().with_shards(8).with_seed(42));
   constexpr int kThreads = 8;
   constexpr int kRequestsPerThread = 500;
 
@@ -210,12 +210,12 @@ TEST(ConcurrentEdge, BatchServeMatchesSerialTelemetry) {
   }
 
   par::ThreadPool serial_pool(1);
-  core::ConcurrentEdge serial_edge(fast_config(), 8, 42);
+  core::ConcurrentEdge serial_edge(fast_config().with_shards(8).with_seed(42));
   const core::BatchServeStats serial =
       serial_edge.serve_trace_batch(traces, serial_pool);
 
   par::ThreadPool parallel_pool(8);
-  core::ConcurrentEdge parallel_edge(fast_config(), 8, 42);
+  core::ConcurrentEdge parallel_edge(fast_config().with_shards(8).with_seed(42));
   const core::BatchServeStats parallel =
       parallel_edge.serve_trace_batch(traces, parallel_pool);
 
@@ -239,7 +239,7 @@ TEST(ConcurrentEdge, BatchServeMatchesSerialTelemetry) {
 }
 
 TEST(ConcurrentEdge, RejectsZeroShards) {
-  EXPECT_THROW(core::ConcurrentEdge(fast_config(), 0, 1),
+  EXPECT_THROW(core::ConcurrentEdge(fast_config().with_shards(0).with_seed(1)),
                util::InvalidArgument);
 }
 
@@ -258,7 +258,7 @@ TEST(Telemetry, FromRegistryReadsEdgeCounters) {
 }
 
 TEST(EdgeDevice, ServeLatencySamplesOneInStrideRequests) {
-  core::EdgeDevice device(fast_config(), 42);
+  core::EdgeDevice device(fast_config().with_seed(42));
   const std::uint64_t requests = 2 * core::kServeLatencySampleStride + 3;
   for (std::uint64_t i = 0; i < requests; ++i) {
     device.report_location(1 + i % 3, {0, 0},
@@ -273,7 +273,7 @@ TEST(EdgeDevice, ServeLatencySamplesOneInStrideRequests) {
 }
 
 TEST(ConcurrentEdge, RegistryTracksRequestsLatencyAndShardLocks) {
-  core::ConcurrentEdge edge(fast_config(), 4, 42);
+  core::ConcurrentEdge edge(fast_config().with_shards(4).with_seed(42));
   trace::SyntheticConfig synth;
   synth.min_check_ins = 20;
   synth.max_check_ins = 60;

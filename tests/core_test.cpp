@@ -322,13 +322,13 @@ EdgeConfig fast_edge_config() {
 }
 
 TEST(EdgeDevice, NomadicBeforeProfileExists) {
-  EdgeDevice edge(fast_edge_config(), 42);
+  EdgeDevice edge(fast_edge_config().with_seed(42));
   const ReportedLocation r = edge.report_location(1, {0, 0}, 0);
   EXPECT_EQ(r.kind, ReportKind::kNomadic);
 }
 
 TEST(EdgeDevice, TopLocationReportsReplayFrozenCandidates) {
-  EdgeDevice edge(fast_edge_config(), 42);
+  EdgeDevice edge(fast_edge_config().with_seed(42));
   const geo::Point home{100.0, 200.0};
   trace::UserTrace history;
   history.user_id = 1;
@@ -347,7 +347,7 @@ TEST(EdgeDevice, TopLocationReportsReplayFrozenCandidates) {
 }
 
 TEST(EdgeDevice, FarCheckInIsNomadic) {
-  EdgeDevice edge(fast_edge_config(), 42);
+  EdgeDevice edge(fast_edge_config().with_seed(42));
   const geo::Point home{0.0, 0.0};
   trace::UserTrace history;
   history.user_id = 1;
@@ -360,7 +360,7 @@ TEST(EdgeDevice, FarCheckInIsNomadic) {
 }
 
 TEST(EdgeDevice, FilterAdsKeepsOnlyAoi) {
-  EdgeDevice edge(fast_edge_config(), 42);
+  EdgeDevice edge(fast_edge_config().with_seed(42));
   std::vector<adnet::Ad> ads{
       {1, {1000, 0}, "a", 1.0},          // inside 5 km AOI
       {2, {20000, 0}, "b", 1.0},         // outside
@@ -373,7 +373,7 @@ TEST(EdgeDevice, FilterAdsKeepsOnlyAoi) {
 }
 
 TEST(EdgeDevice, UsersAreIsolated) {
-  EdgeDevice edge(fast_edge_config(), 42);
+  EdgeDevice edge(fast_edge_config().with_seed(42));
   const geo::Point home{0.0, 0.0};
   trace::UserTrace history;
   history.user_id = 1;
@@ -393,7 +393,7 @@ TEST(EdgeDevice, SnapshotRestoreSurvivesRestart) {
   for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
 
   // Device A freezes a candidate set, then "crashes".
-  EdgeDevice device_a(fast_edge_config(), 42);
+  EdgeDevice device_a(fast_edge_config().with_seed(42));
   device_a.import_history(1, history);
   const ReportedLocation before = device_a.report_location(1, home, 2000);
   ASSERT_EQ(before.kind, ReportKind::kTopLocation);
@@ -402,7 +402,7 @@ TEST(EdgeDevice, SnapshotRestoreSurvivesRestart) {
 
   // Device B restarts with a different engine seed but restored tables:
   // it must replay the SAME frozen candidates, never fresh noise.
-  EdgeDevice device_b(fast_edge_config(), 777);
+  EdgeDevice device_b(fast_edge_config().with_seed(777));
   device_b.restore_tables(snapshot);
   device_b.import_history(1, history);
   std::set<std::pair<double, double>> replayed;
@@ -427,7 +427,7 @@ TEST(EdgeDevice, RestoreOverLiveEntriesRejected) {
   history.user_id = 1;
   for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
 
-  EdgeDevice device(fast_edge_config(), 42);
+  EdgeDevice device(fast_edge_config().with_seed(42));
   device.import_history(1, history);
   device.prepare_obfuscation(1);
   const TableSnapshot snapshot = device.snapshot_tables();
@@ -440,7 +440,7 @@ TEST(EdgeDevice, AccountantChargesOncePerTopLocation) {
   history.user_id = 1;
   for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
 
-  EdgeDevice device(fast_edge_config(), 42);
+  EdgeDevice device(fast_edge_config().with_seed(42));
   device.import_history(1, history);
   for (int i = 0; i < 100; ++i) {
     const ReportedLocation r = device.report_location(1, home, 2000 + i);
@@ -454,7 +454,7 @@ TEST(EdgeDevice, AccountantChargesOncePerTopLocation) {
 }
 
 TEST(EdgeDevice, AccountantChargesEveryNomadicRelease) {
-  EdgeDevice device(fast_edge_config(), 42);
+  EdgeDevice device(fast_edge_config().with_seed(42));
   for (int i = 0; i < 10; ++i) {
     device.report_location(2, {i * 20000.0, 0.0}, i);
   }
@@ -469,7 +469,7 @@ TEST(EdgeDevice, PersonalizedPrivacyGovernsNewTables) {
   history.user_id = 1;
   for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
 
-  EdgeDevice device(fast_edge_config(), 42);
+  EdgeDevice device(fast_edge_config().with_seed(42));
   // Stricter personal setting before any table exists.
   lppm::BoundedGeoIndParams strict = paper_params(10);
   strict.epsilon = 0.5;
@@ -484,13 +484,13 @@ TEST(EdgeDevice, PersonalizedPrivacyGovernsNewTables) {
 }
 
 TEST(EdgeDevice, PersonalizedPrivacyDefaultsToDeviceConfig) {
-  EdgeDevice device(fast_edge_config(), 42);
+  EdgeDevice device(fast_edge_config().with_seed(42));
   EXPECT_DOUBLE_EQ(device.user_privacy(9).epsilon,
                    fast_edge_config().top_params.epsilon);
 }
 
 TEST(EdgeDevice, PersonalizedPrivacyValidatesParams) {
-  EdgeDevice device(fast_edge_config(), 42);
+  EdgeDevice device(fast_edge_config().with_seed(42));
   lppm::BoundedGeoIndParams bad = paper_params(10);
   bad.epsilon = -1.0;
   EXPECT_THROW(device.set_user_privacy(1, bad), util::InvalidArgument);
@@ -502,7 +502,7 @@ TEST(EdgeDevice, FrozenTablesSurvivePrivacyChanges) {
   history.user_id = 1;
   for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
 
-  EdgeDevice device(fast_edge_config(), 42);
+  EdgeDevice device(fast_edge_config().with_seed(42));
   device.import_history(1, history);
   const ReportedLocation before = device.report_location(1, home, 2000);
   ASSERT_EQ(before.kind, ReportKind::kTopLocation);
@@ -523,7 +523,7 @@ TEST(EdgeDevice, FrozenTablesSurvivePrivacyChanges) {
 }
 
 TEST(EdgeDevice, RiskAssessmentTracksUserBehaviour) {
-  EdgeDevice device(fast_edge_config(), 42);
+  EdgeDevice device(fast_edge_config().with_seed(42));
   // Unknown user: low risk.
   EXPECT_EQ(device.assess_user_risk(99).level, RiskLevel::kLow);
 
@@ -540,7 +540,7 @@ TEST(EdgeDevice, RiskAssessmentTracksUserBehaviour) {
 }
 
 TEST(EdgeDevice, PrepareObfuscationFillsTable) {
-  EdgeDevice edge(fast_edge_config(), 42);
+  EdgeDevice edge(fast_edge_config().with_seed(42));
   trace::UserTrace history;
   history.user_id = 9;
   for (int i = 0; i < 30; ++i) history.check_ins.push_back({{0, 0}, i});

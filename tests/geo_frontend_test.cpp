@@ -26,7 +26,7 @@ std::vector<adnet::Advertiser> campaigns() {
 }
 
 TEST(GeoFrontend, ServesRequestInsideServiceArea) {
-  EdgePrivLocAd system(edge_config(), campaigns(), 5);
+  EdgePrivLocAd system(edge_config().with_seed(5), campaigns());
   GeoFrontend frontend = shanghai_frontend(system);
 
   const geo::LatLon downtown{31.05, 121.5};
@@ -44,14 +44,14 @@ TEST(GeoFrontend, ServesRequestInsideServiceArea) {
 }
 
 TEST(GeoFrontend, RejectsRequestsOutsideServiceArea) {
-  EdgePrivLocAd system(edge_config(), campaigns(), 6);
+  EdgePrivLocAd system(edge_config().with_seed(6), campaigns());
   GeoFrontend frontend = shanghai_frontend(system);
   const geo::LatLon paris{48.85, 2.35};
   EXPECT_THROW(frontend.on_lba_request(1, paris, 0), util::InvalidArgument);
 }
 
 TEST(GeoFrontend, HistoryImportEnablesTopLocationReports) {
-  EdgePrivLocAd system(edge_config(), campaigns(), 7);
+  EdgePrivLocAd system(edge_config().with_seed(7), campaigns());
   GeoFrontend frontend = shanghai_frontend(system);
 
   const geo::LatLon home{31.1, 121.45};
@@ -67,14 +67,14 @@ TEST(GeoFrontend, HistoryImportEnablesTopLocationReports) {
 }
 
 TEST(GeoFrontend, HistoryImportValidatesArea) {
-  EdgePrivLocAd system(edge_config(), campaigns(), 8);
+  EdgePrivLocAd system(edge_config().with_seed(8), campaigns());
   GeoFrontend frontend = shanghai_frontend(system);
   EXPECT_THROW(frontend.import_history(1, {{geo::LatLon{0.0, 0.0}, 0}}),
                util::InvalidArgument);
 }
 
 TEST(GeoFrontend, DeliveredAdsAreGeographicAndRelevant) {
-  EdgePrivLocAd system(edge_config(), campaigns(), 9);
+  EdgePrivLocAd system(edge_config().with_seed(9), campaigns());
   GeoFrontend frontend = shanghai_frontend(system);
 
   const geo::LatLon user{31.05, 121.5};

@@ -36,7 +36,7 @@ std::vector<adnet::Advertiser> test_campaigns(std::uint64_t seed,
 }
 
 TEST(Integration, FullRequestFlowDeliversFilteredAds) {
-  core::EdgePrivLocAd system(test_edge_config(), test_campaigns(1), 7);
+  core::EdgePrivLocAd system(test_edge_config().with_seed(7), test_campaigns(1));
 
   const geo::Point user_location{500.0, -300.0};
   const core::ServedAds served =
@@ -52,7 +52,7 @@ TEST(Integration, FullRequestFlowDeliversFilteredAds) {
 }
 
 TEST(Integration, AdNetworkNeverSeesTrueTopLocation) {
-  core::EdgePrivLocAd system(test_edge_config(), test_campaigns(2), 8);
+  core::EdgePrivLocAd system(test_edge_config().with_seed(8), test_campaigns(2));
   const geo::Point home{1000.0, 2000.0};
 
   // Build the profile through history import, then request repeatedly.
@@ -99,7 +99,7 @@ TEST(Integration, LongitudinalAttackDefeatsOneTimeGeoIndButNotEdgeSystem) {
       << "one-time geo-IND should be breakable";
 
   // --- World B: the same user behind Edge-PrivLocAd.
-  core::EdgePrivLocAd system(test_edge_config(), test_campaigns(3), 12);
+  core::EdgePrivLocAd system(test_edge_config().with_seed(12), test_campaigns(3));
   trace::UserTrace history;
   history.user_id = 1;
   for (int i = 0; i < 60; ++i) {
@@ -125,7 +125,7 @@ TEST(Integration, LongitudinalAttackDefeatsOneTimeGeoIndButNotEdgeSystem) {
 }
 
 TEST(Integration, ProfileRebuildAcrossWindowsKeepsServingTopLocations) {
-  core::EdgePrivLocAd system(test_edge_config(), test_campaigns(4), 13);
+  core::EdgePrivLocAd system(test_edge_config().with_seed(13), test_campaigns(4));
   const geo::Point home{0.0, 0.0};
 
   // Live through 3 windows of organic requests (no import).
@@ -148,7 +148,7 @@ TEST(Integration, ProfileRebuildAcrossWindowsKeepsServingTopLocations) {
 
 TEST(Integration, SyntheticPopulationThroughSystemMatchesReportKinds) {
   core::EdgeConfig config = test_edge_config();
-  core::EdgePrivLocAd system(config, test_campaigns(5), 14);
+  core::EdgePrivLocAd system(config.with_seed(14), test_campaigns(5));
 
   trace::SyntheticConfig synth;
   synth.min_check_ins = 150;

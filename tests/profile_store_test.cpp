@@ -98,7 +98,7 @@ TEST(ProfileStore, RestoredDeviceServesTopLocationsImmediately) {
   for (int i = 0; i < 50; ++i) history.check_ins.push_back({home, i});
 
   // Device A builds state, persists BOTH tables and profiles.
-  EdgeDevice device_a(fast_config(), 42);
+  EdgeDevice device_a(fast_config().with_seed(42));
   device_a.import_history(1, history);
   device_a.prepare_obfuscation(1);
   std::stringstream tables, profiles;
@@ -107,7 +107,7 @@ TEST(ProfileStore, RestoredDeviceServesTopLocationsImmediately) {
 
   // Device B restores: the FIRST request after restart must already be a
   // top-location report from the frozen set -- no warm-up window.
-  EdgeDevice device_b(fast_config(), 777);
+  EdgeDevice device_b(fast_config().with_seed(777));
   device_b.restore_tables(load_tables(tables, 100.0));
   device_b.restore_profiles(load_profiles(profiles));
   const ReportedLocation r = device_b.report_location(1, home, 99999);
@@ -115,7 +115,7 @@ TEST(ProfileStore, RestoredDeviceServesTopLocationsImmediately) {
 }
 
 TEST(ProfileStore, RestoreOverLiveProfileRejected) {
-  EdgeDevice device(fast_config(), 42);
+  EdgeDevice device(fast_config().with_seed(42));
   const geo::Point home{0.0, 0.0};
   trace::UserTrace history;
   history.user_id = 1;
@@ -127,7 +127,7 @@ TEST(ProfileStore, RestoreOverLiveProfileRejected) {
 }
 
 TEST(ProfileStore, SnapshotSkipsUsersWithoutProfiles) {
-  EdgeDevice device(fast_config(), 42);
+  EdgeDevice device(fast_config().with_seed(42));
   device.report_location(9, {0, 0}, 0);  // user exists, no rebuild yet
   EXPECT_TRUE(device.snapshot_profiles().empty());
 }
@@ -139,7 +139,7 @@ TEST(ProfileStore, RestoredTopIndexOutOfRangeRejected) {
   stored.top_indices = {3};  // past the single entry
   bad.emplace(1, std::move(stored));
 
-  EdgeDevice device(fast_config(), 42);
+  EdgeDevice device(fast_config().with_seed(42));
   EXPECT_THROW(device.restore_profiles(bad), util::InvalidArgument);
 }
 

@@ -6,6 +6,7 @@
 
 #include "util/csv.hpp"
 #include "util/logging.hpp"
+#include "util/status.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
 #include "util/validation.hpp"
@@ -96,6 +97,26 @@ TEST(Csv, RejectsRaggedRowWithLineNumber) {
     FAIL() << "expected InvalidArgument";
   } catch (const InvalidArgument& e) {
     EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Csv, RaggedRowIsATypedParseErrorCarryingTheLine) {
+  std::istringstream in("a,b\n1,2\n3\n");
+  try {
+    read_csv(in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParseError);
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(Csv, MissingFileIsATypedIoError) {
+  try {
+    read_csv_file("/nonexistent/path.csv");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
   }
 }
 
