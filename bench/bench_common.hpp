@@ -15,6 +15,7 @@
 #include "lppm/mechanism.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "simd/dispatch.hpp"
 #include "trace/synthetic.hpp"
 
 namespace privlocad::bench {
@@ -82,12 +83,25 @@ inline void add_latency_percentiles(JsonMetrics& metrics,
 /// "BENCH_<name>.json" in the working directory). These records are the
 /// perf trajectory future changes regress against: wall time, throughput,
 /// thread count, and whatever accuracy numbers prove the speedup did not
-/// change the result. Also dumps the process-global metrics registry to
-/// $PRIVLOCAD_METRICS when that variable is set, so one run can leave
-/// both the bench record and the full registry behind. Returns false
-/// (and warns on stderr) on IO failure.
+/// change the result. Every record also carries build provenance --
+/// compiler, flags, detected CPU features, and the active SIMD dispatch
+/// level -- so two baselines that disagree can be told apart by how they
+/// were built, not just when. Also dumps the process-global metrics
+/// registry to $PRIVLOCAD_METRICS when that variable is set, so one run
+/// can leave both the bench record and the full registry behind. Returns
+/// false (and warns on stderr) on IO failure.
 inline bool emit_json(const std::string& path, const JsonMetrics& metrics) {
-  const bool ok = metrics.write_file(path);
+  JsonMetrics stamped = metrics;
+  stamped.add_string("build_compiler", __VERSION__);
+#ifdef PRIVLOCAD_BUILD_FLAGS
+  stamped.add_string("build_flags", PRIVLOCAD_BUILD_FLAGS);
+#else
+  stamped.add_string("build_flags", "unknown");
+#endif
+  stamped.add_string("cpu_features", simd::cpu_features_string());
+  stamped.add_string("simd_dispatch", simd::dispatch_level_name(
+                                          simd::active_dispatch_level()));
+  const bool ok = stamped.write_file(path);
   if (ok) std::printf("perf record -> %s\n", path.c_str());
   obs::MetricsRegistry::global().export_to_env_path();
   return ok;

@@ -12,16 +12,28 @@
 //      per-user latency histogram ("attack.deobfuscation_latency_us")
 //      yields the p50/p95/p99 the workspace refactor is accountable to.
 //
+//   3. SIMD kernel layer. Each vectorized hot kernel (grid distance scan,
+//      connectivity clustering, posterior selection scoring, 2-D noise
+//      apply) timed under forced-scalar and forced-AVX2 dispatch on the
+//      same workload. Because the dispatch contract guarantees
+//      bit-identical results, the scalar/SIMD pairs measure pure
+//      throughput; the recorded per-kernel speedups are the SIMD layer's
+//      accountability numbers.
+//
 // Emits BENCH_hotpaths.json; the perf_guard ctest compares the committed
 // repo-root baseline against a fresh run.
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <vector>
 
+#include "attack/clustering.hpp"
 #include "bench_common.hpp"
 #include "lppm/gaussian.hpp"
 #include "rng/samplers.hpp"
 #include "rng/ziggurat.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/kernels.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -71,6 +83,132 @@ double noise2d_rate(std::uint64_t total_pairs) {
   return static_cast<double>(total_pairs) / seconds;
 }
 
+/// Runs `fn` with the dispatch level forced to `level` and restores the
+/// process default afterwards. When AVX2 is unavailable the "simd" leg
+/// falls back to scalar so every record key still exists; the speedup
+/// then reads ~1.0 and the record's cpu_features field explains why.
+double rate_under(simd::DispatchLevel level,
+                  const std::function<double()>& fn) {
+  const simd::DispatchLevel previous = simd::active_dispatch_level();
+  if (level == simd::DispatchLevel::kAvx2 && !simd::avx2_available()) {
+    level = simd::DispatchLevel::kScalar;
+  }
+  simd::set_dispatch_level(level);
+  const double rate = fn();
+  simd::set_dispatch_level(previous);
+  return rate;
+}
+
+/// Uniform cloud + Gaussian hot spots for the scan/clustering kernels:
+/// dense enough that grid cells hold full SIMD lanes, sparse enough that
+/// clustering does not collapse into one component.
+std::vector<geo::Point> kernel_cloud(std::uint64_t seed, std::size_t n,
+                                     double extent_m) {
+  rng::Engine engine(seed);
+  std::vector<geo::Point> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(
+        {engine.uniform() * extent_m, engine.uniform() * extent_m});
+  }
+  return points;
+}
+
+/// Points scanned/sec through the raw distance-scan kernel
+/// (simd::scan_slots_within) over a resident SoA span with ~10%
+/// tombstones and a radius that accepts roughly a third of the live
+/// points -- the cell-scan shape GridIndex::for_each_within drives.
+double distance_scan_rate(std::uint64_t total_slots) {
+  constexpr std::size_t kSlots = 32768;
+  constexpr std::uint32_t kChunk = 256;
+  rng::Engine engine(31);
+  std::vector<double> xs(kSlots), ys(kSlots);
+  std::vector<std::uint8_t> alive(kSlots);
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    xs[i] = engine.uniform() * 1000.0;
+    ys[i] = engine.uniform() * 1000.0;
+    alive[i] = engine.uniform() < 0.9 ? 1 : 0;
+  }
+  const double r2 = 326.0 * 326.0;  // pi*326^2 / 1000^2 ~ 1/3 hit rate
+  std::uint32_t hit_slots[kChunk];
+  double hit_d2[kChunk];
+  std::uint64_t scanned = 0;
+  std::size_t hits = 0;
+  const util::Timer timer;
+  while (scanned < total_slots) {
+    for (std::uint32_t begin = 0; begin < kSlots; begin += kChunk) {
+      hits += simd::scan_slots_within(xs.data(), ys.data(), alive.data(),
+                                      begin, begin + kChunk, 500.0, 500.0,
+                                      r2, hit_slots, hit_d2);
+    }
+    scanned += kSlots;
+  }
+  const double seconds = timer.elapsed_seconds();
+  if (hits == 0) std::printf("(unlikely) zero scan hits\n");
+  return static_cast<double>(scanned) / seconds;
+}
+
+/// Candidates/sec through the raw posterior log-density kernel
+/// (simd::posterior_log_densities) at Algorithm-4 candidate-set shape.
+double posterior_kernel_rate(std::uint64_t total_candidates) {
+  constexpr std::size_t kCandidates = 4096;
+  rng::Engine engine(33);
+  std::vector<double> xs(kCandidates), ys(kCandidates), out(kCandidates);
+  for (std::size_t i = 0; i < kCandidates; ++i) {
+    xs[i] = engine.uniform() * 1000.0;
+    ys[i] = engine.uniform() * 1000.0;
+  }
+  const double denom = 2.0 * 250.0 * 250.0;
+  double sink = 0.0;
+  std::uint64_t done = 0;
+  const util::Timer timer;
+  while (done < total_candidates) {
+    sink += simd::posterior_log_densities(xs.data(), ys.data(), kCandidates,
+                                          512.0, 481.0, denom, out.data());
+    done += kCandidates;
+  }
+  const double seconds = timer.elapsed_seconds();
+  if (sink == 12345.6789) std::printf("(unlikely) sink=%f\n", sink);
+  return static_cast<double>(done) / seconds;
+}
+
+/// Pairs/sec through the raw noise-apply kernel (simd::apply_noise_pairs)
+/// on a resident pre-sampled buffer: isolates the scale-and-offset stage
+/// the 2-D noise fill runs after ziggurat sampling.
+double noise_apply_rate(std::uint64_t total_pairs) {
+  constexpr std::size_t kPairs = 8192;
+  rng::Engine engine(35);
+  std::vector<double> samples(2 * kPairs), out(2 * kPairs);
+  rng::fill_standard_normal(engine, {samples.data(), samples.size()},
+                            rng::NormalSampler::kZiggurat);
+  std::uint64_t done = 0;
+  const util::Timer timer;
+  while (done < total_pairs) {
+    simd::apply_noise_pairs(samples.data(), kPairs, 250.0, 3021.5, -118.25,
+                            out.data());
+    done += kPairs;
+  }
+  const double seconds = timer.elapsed_seconds();
+  if (out[0] == 12345.6789) std::printf("(unlikely) out=%f\n", out[0]);
+  return static_cast<double>(done) / seconds;
+}
+
+/// Points/sec through full connectivity clustering (index build +
+/// BFS expansion through the scan kernel), repeated `repeats` times.
+double clustering_rate(const std::vector<geo::Point>& points,
+                       double threshold_m, std::uint64_t repeats) {
+  std::size_t total_clusters = 0;
+  const util::Timer timer;
+  for (std::uint64_t r = 0; r < repeats; ++r) {
+    total_clusters +=
+        attack::connectivity_clusters(points, threshold_m).size();
+  }
+  const double seconds = timer.elapsed_seconds();
+  if (total_clusters == 0) std::printf("(unlikely) zero clusters\n");
+  return static_cast<double>(points.size()) *
+         static_cast<double>(repeats) / seconds;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,6 +237,58 @@ int main(int argc, char** argv) {
   std::printf("  inverse CDF  : %12.0f samples/s\n", icdf_rate);
   std::printf("  speedup      : %12.2fx\n", speedup);
   std::printf("  2-D noise    : %12.0f pairs/s\n", pair_rate);
+
+  // ---- 1b. SIMD kernel layer: identical workload under forced-scalar
+  // and forced-AVX2 dispatch. Bit-identical outputs by contract, so each
+  // scalar/simd pair is a pure kernel-throughput ratio. Scan, posterior
+  // and noise-apply time the raw kernels at their production call shapes;
+  // clustering times the full Algorithm-1 connectivity expansion (grid
+  // build + BFS) so the record also shows the end-to-end effect.
+  const std::uint64_t kernel_ops = std::max<std::uint64_t>(samples, 65536);
+  const double scan_scalar = rate_under(simd::DispatchLevel::kScalar, [&] {
+    return distance_scan_rate(kernel_ops * 4);
+  });
+  const double scan_simd = rate_under(simd::DispatchLevel::kAvx2, [&] {
+    return distance_scan_rate(kernel_ops * 4);
+  });
+
+  const std::vector<geo::Point> cluster_cloud = kernel_cloud(41, 4000, 1500.0);
+  const double cluster_threshold = 120.0;
+  const double clustering_scalar =
+      rate_under(simd::DispatchLevel::kScalar, [&] {
+        return clustering_rate(cluster_cloud, cluster_threshold, clusterings);
+      });
+  const double clustering_simd = rate_under(simd::DispatchLevel::kAvx2, [&] {
+    return clustering_rate(cluster_cloud, cluster_threshold, clusterings);
+  });
+
+  const double noise_scalar = rate_under(simd::DispatchLevel::kScalar, [&] {
+    return noise_apply_rate(kernel_ops * 2);
+  });
+  const double noise_simd = rate_under(simd::DispatchLevel::kAvx2, [&] {
+    return noise_apply_rate(kernel_ops * 2);
+  });
+
+  const double selection_scalar =
+      rate_under(simd::DispatchLevel::kScalar, [&] {
+        return posterior_kernel_rate(kernel_ops * 2);
+      });
+  const double selection_simd = rate_under(simd::DispatchLevel::kAvx2, [&] {
+    return posterior_kernel_rate(kernel_ops * 2);
+  });
+
+  std::printf("\nSIMD kernels, scalar vs %s dispatch:\n",
+              simd::avx2_available() ? "avx2" : "scalar (AVX2 unavailable)");
+  std::printf("  distance scan: %12.0f -> %12.0f points/s (%5.2fx)\n",
+              scan_scalar, scan_simd, scan_simd / scan_scalar);
+  std::printf("  clustering   : %12.0f -> %12.0f points/s (%5.2fx)\n",
+              clustering_scalar, clustering_simd,
+              clustering_simd / clustering_scalar);
+  std::printf("  noise apply  : %12.0f -> %12.0f pairs/s  (%5.2fx)\n",
+              noise_scalar, noise_simd, noise_simd / noise_scalar);
+  std::printf("  posterior    : %12.0f -> %12.0f cands/s  (%5.2fx)\n",
+              selection_scalar, selection_simd,
+              selection_simd / selection_scalar);
 
   // ---- 2. repeated clusterings of one observation stream, workspace
   // reused across calls exactly as evaluate_population reuses it.
@@ -177,6 +367,18 @@ int main(int argc, char** argv) {
   record.add("inverse_cdf_samples_per_second", icdf_rate);
   record.add("sampler_speedup", speedup);
   record.add("noise2d_pairs_per_second", pair_rate);
+  record.add("distance_scan_points_per_second_scalar", scan_scalar);
+  record.add("distance_scan_points_per_second_simd", scan_simd);
+  record.add("distance_scan_simd_speedup", scan_simd / scan_scalar);
+  record.add("clustering_points_per_second_scalar", clustering_scalar);
+  record.add("clustering_points_per_second_simd", clustering_simd);
+  record.add("clustering_simd_speedup", clustering_simd / clustering_scalar);
+  record.add("noise_apply_pairs_per_second_scalar", noise_scalar);
+  record.add("noise_apply_pairs_per_second_simd", noise_simd);
+  record.add("noise_apply_simd_speedup", noise_simd / noise_scalar);
+  record.add("selection_candidates_per_second_scalar", selection_scalar);
+  record.add("selection_candidates_per_second_simd", selection_simd);
+  record.add("selection_simd_speedup", selection_simd / selection_scalar);
   record.add("clusterings", clusterings);
   record.add("clusterings_per_second", cluster_rate);
   record.add("users", static_cast<std::uint64_t>(rates.users()));

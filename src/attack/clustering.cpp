@@ -12,6 +12,10 @@ std::vector<Cluster> connectivity_clusters(
   util::require_positive(threshold_m, "clustering threshold");
   if (points.empty()) return {};
 
+  // The connectivity expansion's candidate scans run through the
+  // GridIndex SIMD kernel (4-wide squared-distance/compare lanes over
+  // SoA spans in CSR order); the dispatch contract guarantees identical
+  // cluster assignments at any dispatch level.
   const geo::GridIndex index(points, threshold_m);
   const double threshold2 = threshold_m * threshold_m;
   std::vector<bool> visited(points.size(), false);

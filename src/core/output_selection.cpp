@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "simd/kernels.hpp"
+#include "simd/soa.hpp"
 #include "util/validation.hpp"
 
 namespace privlocad::core {
@@ -14,17 +16,25 @@ std::vector<double> selection_probabilities(
   const geo::Point mean = geo::centroid(candidates);
   // The common 1/(2 pi sigma^2) factor cancels in the normalization; work
   // with the exponent only, shifted by the max for numerical stability.
-  std::vector<double> log_density(candidates.size());
-  double max_log = -1e300;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    log_density[i] = -geo::distance_squared(candidates[i], mean) /
-                     (2.0 * sigma * sigma);
-    max_log = std::max(max_log, log_density[i]);
-  }
+  // The squared-distance/score pass runs through the SIMD kernel layer
+  // over an SoA view of the candidates (thread_local scratch: selection
+  // is per-request, and steady state must not allocate); the kernel's
+  // max reduction is order-independent, so scalar and AVX2 dispatch
+  // yield bit-identical probabilities. The exp/sum normalization below
+  // stays in scalar candidate order -- that summation order is part of
+  // the determinism contract.
+  const std::size_t n = candidates.size();
+  thread_local simd::SoaPoints soa;
+  thread_local std::vector<double> log_density;
+  soa.assign(candidates);
+  log_density.resize(n);
+  const double max_log = simd::posterior_log_densities(
+      soa.xs(), soa.ys(), n, mean.x, mean.y, 2.0 * sigma * sigma,
+      log_density.data());
 
-  std::vector<double> probs(candidates.size());
+  std::vector<double> probs(n);
   double total = 0.0;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     probs[i] = std::exp(log_density[i] - max_log);
     total += probs[i];
   }

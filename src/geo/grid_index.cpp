@@ -35,6 +35,9 @@ void GridIndex::build_cells(double cell_size_m) {
   std::sort(keyed_.begin(), keyed_.end());
 
   order_.resize(n);
+  slot_xs_.resize(n);
+  slot_ys_.resize(n);
+  slot_of_.resize(n);
   keys_.clear();
   starts_.clear();
   keys_.reserve(n / 2 + 1);
@@ -44,10 +47,18 @@ void GridIndex::build_cells(double cell_size_m) {
       keys_.push_back(keyed_[i].first);
       starts_.push_back(static_cast<std::uint32_t>(i));
     }
-    order_[i] = keyed_[i].second;
+    const std::uint32_t idx = keyed_[i].second;
+    order_[i] = idx;
+    // SoA coordinate spans in slot order feed the SIMD scan kernel with
+    // contiguous loads; slot_of_ lets kill() maintain the slot-indexed
+    // tombstones in O(1).
+    slot_xs_[i] = points_[idx].x;
+    slot_ys_[i] = points_[idx].y;
+    slot_of_[idx] = static_cast<std::uint32_t>(i);
   }
   starts_.push_back(static_cast<std::uint32_t>(n));
   alive_.assign(n, 1);
+  slot_alive_.assign(n, 1);
 }
 
 GridIndex::CellKey GridIndex::key_for(Point p) const {

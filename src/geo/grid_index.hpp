@@ -14,6 +14,15 @@
 // pair, and the flat layout removes the per-bucket allocations and hash
 // probing of the previous unordered_map design.
 //
+// The candidate walk itself is vectorized: alongside `order_` the index
+// keeps the point coordinates as SoA spans in CSR slot order
+// (`slot_xs_`/`slot_ys_`, plus a slot-indexed tombstone array), so each
+// cell's scan is a contiguous 4-wide squared-distance/compare kernel
+// (simd/kernels.hpp) instead of a per-point indirect load and an
+// out-of-line distance_squared call. Scalar and AVX2 dispatch levels
+// produce identical visit sets, order, and d2 bits (see the dispatch
+// contract in simd/dispatch.hpp).
+//
 // Two amortization features serve the attack's round structure:
 //   - rebuild() re-indexes a new point set in place, reusing every
 //     internal buffer's capacity (a DeobfuscationWorkspace keeps one
@@ -27,6 +36,7 @@
 #include <vector>
 
 #include "geo/point.hpp"
+#include "simd/kernels.hpp"
 
 namespace privlocad::geo {
 
@@ -58,13 +68,19 @@ class GridIndex {
   void for_each_within(Point query, double radius_m, Fn&& fn) const;
 
   /// Tombstones point `index`: subsequent queries skip it. O(1).
-  void kill(std::size_t index) { alive_[index] = 0; }
+  void kill(std::size_t index) {
+    alive_[index] = 0;
+    slot_alive_[slot_of_[index]] = 0;
+  }
 
   /// True when `index` has not been tombstoned since the last build.
   bool alive(std::size_t index) const { return alive_[index] != 0; }
 
   /// Clears every tombstone (all points queryable again).
-  void revive_all() { alive_.assign(points_.size(), 1); }
+  void revive_all() {
+    alive_.assign(points_.size(), 1);
+    slot_alive_.assign(points_.size(), 1);
+  }
 
   std::size_t size() const { return points_.size(); }
   const std::vector<Point>& points() const { return points_; }
@@ -86,12 +102,23 @@ class GridIndex {
   std::vector<std::uint32_t> starts_;  ///< keys_.size()+1 offsets into order_
   std::vector<std::uint32_t> order_;   ///< point indices grouped by cell
   std::vector<std::uint8_t> alive_;    ///< tombstones: 0 = hidden
+  std::vector<double> slot_xs_;        ///< point x in CSR slot order (SoA)
+  std::vector<double> slot_ys_;        ///< point y in CSR slot order (SoA)
+  std::vector<std::uint8_t> slot_alive_;  ///< tombstones in slot order
+  std::vector<std::uint32_t> slot_of_;    ///< point index -> CSR slot
   /// rebuild() scratch (cell key, point index) kept for capacity reuse.
   std::vector<std::pair<CellKey, std::uint32_t>> keyed_;
 };
 
 template <typename Fn>
 void GridIndex::for_each_within(Point query, double radius_m, Fn&& fn) const {
+  // Hit buffer for one kernel call: cells are scanned in chunks of at
+  // most kScanChunk slots so the buffers stay on the stack. Hits come
+  // back in ascending slot order, which is exactly the visit order of
+  // the pre-SIMD per-point loop.
+  constexpr std::uint32_t kScanChunk = 256;
+  std::uint32_t hit_slots[kScanChunk];
+  double hit_d2[kScanChunk];
   const double r2 = radius_m * radius_m;
   const auto cx = static_cast<std::int32_t>(std::floor(query.x / cell_size_));
   const auto cy = static_cast<std::int32_t>(std::floor(query.y / cell_size_));
@@ -101,12 +128,18 @@ void GridIndex::for_each_within(Point query, double radius_m, Fn&& fn) const {
     for (std::int32_t dy = -reach; dy <= reach; ++dy) {
       const std::size_t cell = find_cell(pack(cx + dx, cy + dy));
       if (cell == keys_.size()) continue;
-      for (std::uint32_t slot = starts_[cell]; slot < starts_[cell + 1];
-           ++slot) {
-        const std::size_t idx = order_[slot];
-        if (!alive_[idx]) continue;
-        const double d2 = distance_squared(points_[idx], query);
-        if (d2 <= r2) fn(idx, d2);
+      std::uint32_t begin = starts_[cell];
+      const std::uint32_t end = starts_[cell + 1];
+      while (begin < end) {
+        const std::uint32_t chunk_end =
+            end - begin > kScanChunk ? begin + kScanChunk : end;
+        const std::size_t hits = simd::scan_slots_within(
+            slot_xs_.data(), slot_ys_.data(), slot_alive_.data(), begin,
+            chunk_end, query.x, query.y, r2, hit_slots, hit_d2);
+        for (std::size_t h = 0; h < hits; ++h) {
+          fn(static_cast<std::size_t>(order_[hit_slots[h]]), hit_d2[h]);
+        }
+        begin = chunk_end;
       }
     }
   }

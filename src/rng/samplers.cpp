@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstddef>
 #include <cstdlib>
 #include <cstring>
 #include <numbers>
+#include <type_traits>
 #include <vector>
 
 #include "rng/lambert_w.hpp"
 #include "rng/ziggurat.hpp"
+#include "simd/kernels.hpp"
 #include "util/validation.hpp"
 
 namespace privlocad::rng {
@@ -154,12 +157,20 @@ void fill_gaussian_noise_2d(Engine& engine, double sigma,
     // Per-thread sample buffer: one flat ziggurat pass produces the 2n
     // variates, then one pairing pass scales and offsets. The buffer
     // grows to the largest batch this thread has seen and is reused.
+    // The pairing pass is the SIMD noise kernel operating on the point
+    // array's interleaved x,y doubles in place; scalar and AVX2
+    // dispatch produce identical bits (see simd/dispatch.hpp).
+    static_assert(std::is_standard_layout_v<geo::Point> &&
+                      sizeof(geo::Point) == 2 * sizeof(double) &&
+                      offsetof(geo::Point, y) == sizeof(double),
+                  "noise kernel assumes Point is two packed doubles");
     thread_local std::vector<double> samples;
     samples.resize(out.size() * 2);
     fill_standard_normal_ziggurat(engine, samples);
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      out[i] = {center.x + sigma * samples[2 * i],
-                center.y + sigma * samples[2 * i + 1]};
+    if (!out.empty()) {
+      simd::apply_noise_pairs(samples.data(), out.size(), sigma, center.x,
+                              center.y,
+                              reinterpret_cast<double*>(out.data()));
     }
     return;
   }

@@ -1,0 +1,123 @@
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "util/status.hpp"
+
+namespace privlocad::simd {
+namespace {
+
+void publish_level(DispatchLevel level) {
+  obs::MetricsRegistry::global()
+      .gauge("simd.dispatch_avx2")
+      .set(level == DispatchLevel::kAvx2 ? 1.0 : 0.0);
+}
+
+/// Parses PRIVLOCAD_SIMD and resolves "auto" against what this binary and
+/// CPU can actually run. Malformed or unsatisfiable requests throw: an
+/// experiment must never silently run a different kernel set than its
+/// environment claims.
+DispatchLevel level_from_env() {
+  const char* env = std::getenv("PRIVLOCAD_SIMD");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) {
+    return avx2_available() ? DispatchLevel::kAvx2 : DispatchLevel::kScalar;
+  }
+  if (std::strcmp(env, "scalar") == 0) return DispatchLevel::kScalar;
+  if (std::strcmp(env, "avx2") == 0) {
+    if (!avx2_compiled_in()) {
+      throw util::StatusError(util::Status::parse_error(
+          "PRIVLOCAD_SIMD: avx2 requested but this binary was built "
+          "without the AVX2 kernel TU (PRIVLOCAD_NATIVE_ARCH=OFF)"));
+    }
+    if (!cpu_supports_avx2()) {
+      throw util::StatusError(util::Status::parse_error(
+          "PRIVLOCAD_SIMD: avx2 requested but the CPU does not report "
+          "AVX2 support"));
+    }
+    return DispatchLevel::kAvx2;
+  }
+  throw util::StatusError(util::Status::parse_error(
+      std::string("PRIVLOCAD_SIMD must be auto | avx2 | scalar, got '") +
+      env + "'"));
+}
+
+std::atomic<DispatchLevel>& level_slot() {
+  static std::atomic<DispatchLevel> slot{[] {
+    const DispatchLevel level = level_from_env();
+    publish_level(level);
+    return level;
+  }()};
+  return slot;
+}
+
+}  // namespace
+
+bool cpu_supports_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  // The builtin folds in the cpuid leaf-7 check and the xgetbv ymm-state
+  // check (OS support), which a raw cpuid probe is easy to get wrong.
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool avx2_compiled_in() {
+#ifdef PRIVLOCAD_HAVE_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx2_available() { return avx2_compiled_in() && cpu_supports_avx2(); }
+
+DispatchLevel active_dispatch_level() {
+  return level_slot().load(std::memory_order_relaxed);
+}
+
+void set_dispatch_level(DispatchLevel level) {
+  if (level == DispatchLevel::kAvx2 && !avx2_available()) {
+    throw util::InvalidArgument(
+        avx2_compiled_in()
+            ? "set_dispatch_level(kAvx2): CPU does not support AVX2"
+            : "set_dispatch_level(kAvx2): AVX2 kernels not compiled in "
+              "(PRIVLOCAD_NATIVE_ARCH=OFF)");
+  }
+  level_slot().store(level, std::memory_order_relaxed);
+  publish_level(level);
+}
+
+const char* dispatch_level_name(DispatchLevel level) {
+  return level == DispatchLevel::kAvx2 ? "avx2" : "scalar";
+}
+
+std::string cpu_features_string() {
+  std::string out;
+#if defined(__x86_64__) || defined(__i386__)
+  const auto append = [&out](bool supported, const char* name) {
+    if (!supported) return;
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+  // __builtin_cpu_supports takes only string literals, hence the unroll.
+  append(__builtin_cpu_supports("sse2") != 0, "sse2");
+  append(__builtin_cpu_supports("sse4.2") != 0, "sse4.2");
+  append(__builtin_cpu_supports("avx") != 0, "avx");
+  append(__builtin_cpu_supports("avx2") != 0, "avx2");
+  append(__builtin_cpu_supports("fma") != 0, "fma");
+  append(__builtin_cpu_supports("avx512f") != 0, "avx512f");
+#endif
+  if (out.empty()) out = "none";
+  return out;
+}
+
+void publish_dispatch_gauge(obs::MetricsRegistry& registry) {
+  registry.gauge("simd.dispatch_avx2")
+      .set(active_dispatch_level() == DispatchLevel::kAvx2 ? 1.0 : 0.0);
+}
+
+}  // namespace privlocad::simd

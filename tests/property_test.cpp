@@ -9,18 +9,25 @@
 
 #include <cmath>
 #include <numeric>
+#include <span>
+#include <utility>
 
+#include "attack/clustering.hpp"
 #include "attack/deobfuscation.hpp"
 #include "attack/profile.hpp"
 #include "core/eta_frequent.hpp"
 #include "core/output_selection.hpp"
 #include "core/profile_merge.hpp"
+#include "geo/grid_index.hpp"
 #include "lppm/baselines.hpp"
 #include "lppm/gaussian.hpp"
 #include "lppm/planar_laplace.hpp"
 #include "opt/simplex.hpp"
 #include "rng/engine.hpp"
 #include "rng/samplers.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/kernels.hpp"
+#include "simd/soa.hpp"
 #include "stats/quantiles.hpp"
 #include "stats/running_stats.hpp"
 #include "utility/metrics.hpp"
@@ -381,6 +388,257 @@ TEST(ProfileMergeProperty, OrderOfSlicesDoesNotChangeTheResult) {
               60.0);
   }
 }
+
+// --------------------------------- scalar vs SIMD kernel bit-agreement
+//
+// The dispatch contract (simd/dispatch.hpp): switching between the
+// scalar and AVX2 kernels changes throughput only -- visit sets, cluster
+// assignments, selection posteriors, and noise streams must agree
+// BIT-for-bit over randomized point sets, radii, and tombstone masks.
+// Every suite below runs the same deterministic workload once per
+// dispatch level and compares results with exact double equality. On
+// machines (or builds) without AVX2 the suites skip: the scalar path is
+// then the only path, and agreement is vacuous.
+
+/// Restores the entry dispatch level on scope exit.
+class DispatchGuard {
+ public:
+  explicit DispatchGuard(simd::DispatchLevel level)
+      : previous_(simd::active_dispatch_level()) {
+    simd::set_dispatch_level(level);
+  }
+  ~DispatchGuard() { simd::set_dispatch_level(previous_); }
+  DispatchGuard(const DispatchGuard&) = delete;
+  DispatchGuard& operator=(const DispatchGuard&) = delete;
+
+ private:
+  simd::DispatchLevel previous_;
+};
+
+#define SKIP_WITHOUT_AVX2()                                              \
+  if (!simd::avx2_available()) {                                         \
+    GTEST_SKIP() << "AVX2 unavailable; scalar is the only dispatch "     \
+                    "level, agreement is vacuous";                       \
+  }
+
+/// Random point cloud with deliberate exact duplicates and exact-tie
+/// spacings (duplicates stress the <=/< boundary semantics the
+/// clustering relies on).
+std::vector<geo::Point> random_cloud(rng::Engine& e, std::size_t n,
+                                     double extent) {
+  std::vector<geo::Point> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i >= 8 && i % 7 == 0) {
+      points.push_back(points[e.uniform_index(points.size())]);  // duplicate
+    } else {
+      points.push_back({e.uniform_in(-extent, extent),
+                        e.uniform_in(-extent, extent)});
+    }
+  }
+  return points;
+}
+
+class SimdAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimdAgreement, ForEachWithinVisitsIdenticalSetsInIdenticalOrder) {
+  SKIP_WITHOUT_AVX2();
+  rng::Engine e(GetParam());
+  const std::size_t n = 64 + e.uniform_index(512);
+  const std::vector<geo::Point> points = random_cloud(e, n, 600.0);
+  const double cell = e.uniform_in(10.0, 120.0);
+  const double radius = e.uniform_in(5.0, 250.0);
+  geo::GridIndex index(points, cell);
+  // Random tombstone mask (~30%), identical for both dispatch levels.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (e.uniform() < 0.3) index.kill(i);
+  }
+  // Queries at random offsets AND at exact point positions (exact d2 = 0
+  // and duplicate handling must agree too).
+  std::vector<geo::Point> queries;
+  for (int q = 0; q < 24; ++q) {
+    queries.push_back({e.uniform_in(-650.0, 650.0),
+                       e.uniform_in(-650.0, 650.0)});
+    queries.push_back(points[e.uniform_index(n)]);
+  }
+
+  using Visit = std::pair<std::size_t, double>;
+  const auto collect = [&](simd::DispatchLevel level) {
+    const DispatchGuard guard(level);
+    std::vector<std::vector<Visit>> per_query;
+    for (const geo::Point& q : queries) {
+      std::vector<Visit> visits;
+      index.for_each_within(q, radius, [&](std::size_t idx, double d2) {
+        visits.emplace_back(idx, d2);
+      });
+      per_query.push_back(std::move(visits));
+    }
+    return per_query;
+  };
+
+  const auto scalar = collect(simd::DispatchLevel::kScalar);
+  const auto avx2 = collect(simd::DispatchLevel::kAvx2);
+  ASSERT_EQ(scalar.size(), avx2.size());
+  for (std::size_t q = 0; q < scalar.size(); ++q) {
+    ASSERT_EQ(scalar[q].size(), avx2[q].size()) << "query " << q;
+    for (std::size_t v = 0; v < scalar[q].size(); ++v) {
+      EXPECT_EQ(scalar[q][v].first, avx2[q][v].first) << "query " << q;
+      // Exact double equality: the d2 bits must match, not just compare
+      // equal within a tolerance.
+      EXPECT_EQ(scalar[q][v].second, avx2[q][v].second) << "query " << q;
+    }
+  }
+}
+
+TEST_P(SimdAgreement, ConnectivityClustersIdenticalAcrossDispatch) {
+  SKIP_WITHOUT_AVX2();
+  rng::Engine e(GetParam() + 1000);
+  const std::size_t n = 64 + e.uniform_index(512);
+  std::vector<geo::Point> points = random_cloud(e, n, 400.0);
+  // Exact-tie pairs: dist == threshold exactly, exercising the strict-<
+  // boundary the clustering filters on.
+  const double threshold = 50.0;
+  points.push_back({0.0, 0.0});
+  points.push_back({threshold, 0.0});
+  points.push_back({threshold / 2, 0.0});
+
+  const auto run = [&](simd::DispatchLevel level) {
+    const DispatchGuard guard(level);
+    return attack::connectivity_clusters(points, threshold);
+  };
+  EXPECT_EQ(run(simd::DispatchLevel::kScalar),
+            run(simd::DispatchLevel::kAvx2));
+}
+
+TEST_P(SimdAgreement, DeobfuscationInferenceIdenticalAcrossDispatch) {
+  SKIP_WITHOUT_AVX2();
+  rng::Engine e(GetParam() + 2000);
+  // Three noisy anchor clusters, the attack's actual input shape.
+  std::vector<geo::Point> observed;
+  const geo::Point anchors[] = {{0, 0}, {900, 300}, {-400, 700}};
+  for (int i = 0; i < 420; ++i) {
+    observed.push_back(anchors[i % 3] + rng::gaussian_noise(e, 60.0));
+  }
+  attack::DeobfuscationConfig config;
+  config.trim_radius_m = 150.0;
+  config.connectivity_threshold_m = 40.0;
+  config.top_n = 3;
+
+  const auto run = [&](simd::DispatchLevel level) {
+    const DispatchGuard guard(level);
+    return attack::deobfuscate_top_locations(observed, config);
+  };
+  const auto scalar = run(simd::DispatchLevel::kScalar);
+  const auto avx2 = run(simd::DispatchLevel::kAvx2);
+  ASSERT_EQ(scalar.size(), avx2.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(scalar[i].location.x, avx2[i].location.x);
+    EXPECT_EQ(scalar[i].location.y, avx2[i].location.y);
+    EXPECT_EQ(scalar[i].support, avx2[i].support);
+  }
+}
+
+TEST_P(SimdAgreement, SelectionPosteriorsIdenticalAcrossDispatch) {
+  SKIP_WITHOUT_AVX2();
+  rng::Engine e(GetParam() + 3000);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + e.uniform_index(33);
+    std::vector<geo::Point> candidates;
+    for (std::size_t i = 0; i < n; ++i) {
+      candidates.push_back({e.uniform_in(-2000.0, 2000.0),
+                            e.uniform_in(-2000.0, 2000.0)});
+    }
+    const double sigma = e.uniform_in(1.0, 400.0);
+    const auto run = [&](simd::DispatchLevel level) {
+      const DispatchGuard guard(level);
+      return core::selection_probabilities(candidates, sigma);
+    };
+    EXPECT_EQ(run(simd::DispatchLevel::kScalar),
+              run(simd::DispatchLevel::kAvx2));
+  }
+}
+
+TEST_P(SimdAgreement, NoiseStreamsIdenticalAcrossDispatch) {
+  SKIP_WITHOUT_AVX2();
+  const std::uint64_t seed = GetParam() + 4000;
+  const auto run = [&](simd::DispatchLevel level) {
+    const DispatchGuard guard(level);
+    rng::Engine engine(seed);
+    // Deliberately odd/pair-unaligned sizes to cover the vector tail.
+    std::vector<geo::Point> out(257);
+    rng::fill_gaussian_noise_2d(engine, 85.0, out, {1234.5, -987.25});
+    out.resize(out.size() + 3);
+    std::span<geo::Point> tail{out.data() + 257, 3};
+    rng::fill_gaussian_noise_2d(engine, 85.0, tail);
+    return std::pair(out, engine());
+  };
+  const auto scalar = run(simd::DispatchLevel::kScalar);
+  const auto avx2 = run(simd::DispatchLevel::kAvx2);
+  EXPECT_EQ(scalar.second, avx2.second);  // engines in lockstep after
+  ASSERT_EQ(scalar.first.size(), avx2.first.size());
+  for (std::size_t i = 0; i < scalar.first.size(); ++i) {
+    EXPECT_EQ(scalar.first[i].x, avx2.first[i].x);
+    EXPECT_EQ(scalar.first[i].y, avx2.first[i].y);
+  }
+}
+
+TEST_P(SimdAgreement, RawScanKernelAgreesAtEveryAlignment) {
+  SKIP_WITHOUT_AVX2();
+  rng::Engine e(GetParam() + 5000);
+  constexpr std::size_t kN = 203;  // not a multiple of 4
+  std::vector<double> xs(kN), ys(kN);
+  std::vector<std::uint8_t> alive(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    xs[i] = e.uniform_in(-100.0, 100.0);
+    ys[i] = e.uniform_in(-100.0, 100.0);
+    alive[i] = e.uniform() < 0.7 ? 1 : 0;
+  }
+  const double qx = e.uniform_in(-100.0, 100.0);
+  const double qy = e.uniform_in(-100.0, 100.0);
+  const double r2 = e.uniform_in(100.0, 10000.0);
+  // Sweep begin offsets so lane alignment and tail lengths all occur.
+  for (std::uint32_t begin = 0; begin < 9; ++begin) {
+    std::vector<std::uint32_t> slots_s(kN), slots_v(kN);
+    std::vector<double> d2_s(kN), d2_v(kN);
+    const std::size_t hits_s = simd::scan_slots_within_scalar(
+        xs.data(), ys.data(), alive.data(), begin, kN, qx, qy, r2,
+        slots_s.data(), d2_s.data());
+    const std::size_t hits_v = simd::scan_slots_within_avx2(
+        xs.data(), ys.data(), alive.data(), begin, kN, qx, qy, r2,
+        slots_v.data(), d2_v.data());
+    ASSERT_EQ(hits_s, hits_v) << "begin " << begin;
+    for (std::size_t h = 0; h < hits_s; ++h) {
+      EXPECT_EQ(slots_s[h], slots_v[h]);
+      EXPECT_EQ(d2_s[h], d2_v[h]);
+    }
+  }
+}
+
+TEST_P(SimdAgreement, RawPosteriorKernelAgreesIncludingMax) {
+  SKIP_WITHOUT_AVX2();
+  rng::Engine e(GetParam() + 6000);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3},
+                              std::size_t{4}, std::size_t{7},
+                              std::size_t{64}, std::size_t{129}}) {
+    std::vector<double> xs(n), ys(n), out_s(n), out_v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      xs[i] = e.uniform_in(-500.0, 500.0);
+      ys[i] = e.uniform_in(-500.0, 500.0);
+    }
+    const double mx = e.uniform_in(-500.0, 500.0);
+    const double my = e.uniform_in(-500.0, 500.0);
+    const double denom = e.uniform_in(1.0, 1e6);
+    const double max_s = simd::posterior_log_densities_scalar(
+        xs.data(), ys.data(), n, mx, my, denom, out_s.data());
+    const double max_v = simd::posterior_log_densities_avx2(
+        xs.data(), ys.data(), n, mx, my, denom, out_v.data());
+    EXPECT_EQ(max_s, max_v);
+    EXPECT_EQ(out_s, out_v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdAgreement,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 // --------------------------------------- efficacy flatness across n (Fig 9)
 
