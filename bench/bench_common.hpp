@@ -107,6 +107,25 @@ inline bool emit_json(const std::string& path, const JsonMetrics& metrics) {
   return ok;
 }
 
+/// Current resident-set size of this process in bytes (VmRSS from
+/// /proc/self/status), or 0 where procfs is unavailable. Memory-footprint
+/// ground truth for the mega-scale benches: heap counters miss allocator
+/// slack and mmap'd snapshot pages, the RSS does not.
+inline std::uint64_t resident_set_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %llu kB",
+                    reinterpret_cast<unsigned long long*>(&kib)) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
 /// Synthetic population matching the paper's dataset shape, at a
 /// configurable scale (users / max check-ins) so benches stay tractable on
 /// one core. Statistical shape is preserved; see DESIGN.md section 2.

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "core/snapshot.hpp"
 #include "par/parallel.hpp"
 #include "util/timer.hpp"
 #include "util/validation.hpp"
@@ -14,23 +15,15 @@ ConcurrentEdge::ConcurrentEdge(EdgeConfig config)
   shards_.reserve(config.shards);
   for (std::size_t i = 0; i < config.shards; ++i) {
     auto shard = std::make_unique<Shard>();
-    shard->device = std::make_unique<EdgeDevice>(
-        config.with_seed(config.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1))),
-        metrics_);
+    // Every shard gets the same seed: per-user streams are split from
+    // (seed, user id) inside the device, so moving a user between shards
+    // (resharding) cannot change their served outputs.
+    shard->device = std::make_unique<EdgeDevice>(config, metrics_);
     shard->lock_acquisitions = &metrics_->counter(
         "edge.shard" + std::to_string(i) + ".lock_acquisitions");
     shards_.push_back(std::move(shard));
   }
 }
-
-// Deprecated forwarding constructor; suppress its self-referential
-// deprecation warning.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-ConcurrentEdge::ConcurrentEdge(EdgeConfig config, std::size_t shards,
-                               std::uint64_t seed)
-    : ConcurrentEdge(config.with_shards(shards).with_seed(seed)) {}
-#pragma GCC diagnostic pop
 
 ConcurrentEdge::Shard& ConcurrentEdge::shard_for(std::uint64_t user_id) {
   // Fibonacci-hash the user id so consecutive ids spread across shards.
@@ -138,6 +131,42 @@ BatchServeStats ConcurrentEdge::serve_trace_batch(
 BatchServeStats ConcurrentEdge::serve_trace_batch(
     const std::vector<trace::UserTrace>& traces) {
   return serve_trace_batch(traces, par::ThreadPool::global());
+}
+
+util::Status ConcurrentEdge::save_snapshot(const std::string& path) {
+  snapshot::Writer writer(path,
+                          static_cast<std::uint32_t>(shards_.size()));
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    ++shard->lock_count;
+    shard->device->write_snapshot_section(writer);
+  }
+  return writer.finish();
+}
+
+util::Status ConcurrentEdge::open_snapshot(const std::string& path) {
+  util::Result<snapshot::OpenedSnapshot> opened =
+      snapshot::open_validated(path);
+  if (!opened.ok()) return opened.status();
+  if (opened.value().shard_count != shards_.size()) {
+    return util::Status::failed_precondition(
+        "snapshot holds " + std::to_string(opened.value().shard_count) +
+        " shard sections but this edge has " +
+        std::to_string(shards_.size()) +
+        " shards; open with a matching shard count: " + path);
+  }
+  snapshot::Reader reader(opened.value().mapping,
+                          opened.value().payload_offset,
+                          opened.value().payload_end);
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    ++shard->lock_count;
+    if (util::Status s = shard->device->read_snapshot_section(reader);
+        !s.ok()) {
+      return s;
+    }
+  }
+  return util::Status();
 }
 
 void ConcurrentEdge::publish_shard_counters() const {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/edge_device.hpp"
@@ -45,16 +46,14 @@ struct BatchServeStats {
 
 class ConcurrentEdge {
  public:
-  /// config.shards internal devices, each seeded from config.seed so the
-  /// whole server is reproducible given a fixed user->request schedule
-  /// per shard. All shards record into ONE metrics registry (sharded
-  /// atomic counters make that safe), so telemetry() and metrics() read
-  /// box-wide totals without touching any shard mutex.
+  /// config.shards internal devices, every shard sharing config.seed:
+  /// per-user RNG streams are split from (seed, user id), so a user's
+  /// served outputs are identical at any shard count -- resharding a box
+  /// is a pure capacity change, never a behavioral one. All shards record
+  /// into ONE metrics registry (sharded atomic counters make that safe),
+  /// so telemetry() and metrics() read box-wide totals without touching
+  /// any shard mutex.
   explicit ConcurrentEdge(EdgeConfig config);
-
-  [[deprecated("pass shards/seed inside EdgeConfig: "
-               "ConcurrentEdge(config.with_shards(n).with_seed(seed))")]]
-  ConcurrentEdge(EdgeConfig config, std::size_t shards, std::uint64_t seed);
 
   /// Thread-safe typed serving; serialized per shard. Never throws (see
   /// EdgeDevice::serve).
@@ -92,6 +91,18 @@ class ConcurrentEdge {
   /// Global-pool convenience (sized by PRIVLOCAD_THREADS / hardware).
   BatchServeStats serve_trace_batch(
       const std::vector<trace::UserTrace>& traces);
+
+  /// Persists every shard's data plane into one snapshot file (one arena
+  /// section per shard, taken under each shard's mutex in turn -- callers
+  /// wanting a globally consistent point-in-time image should quiesce
+  /// traffic first). Returns kIoError when the file cannot be written.
+  util::Status save_snapshot(const std::string& path);
+
+  /// Replaces this (empty) box's data plane with a mapped snapshot.
+  /// Returns kIoError / kParseError on damage, kFailedPrecondition when
+  /// any shard already holds users or the snapshot's shard count differs
+  /// from this box's (the shard hash must agree with the saved layout).
+  util::Status open_snapshot(const std::string& path);
 
   /// Box-wide telemetry snapshot, read lock-free off the shared registry.
   EdgeTelemetry telemetry() const;

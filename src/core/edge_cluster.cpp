@@ -13,17 +13,6 @@ EdgeCluster::EdgeCluster(EdgeClusterConfig config)
   config_.edge.validate();
 }
 
-// Deprecated forwarding constructor; suppress its self-referential
-// deprecation warning.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-EdgeCluster::EdgeCluster(EdgeClusterConfig config, std::uint64_t seed)
-    : EdgeCluster([&] {
-        config.edge.seed = seed;
-        return config;
-      }()) {}
-#pragma GCC diagnostic pop
-
 EdgeCluster::CellKey EdgeCluster::key_for(geo::Point location) const {
   const auto cx = static_cast<std::int32_t>(
       std::floor(location.x / config_.cell_size_m));

@@ -40,9 +40,6 @@ class EdgeCluster {
   /// Per-device seeds derive from config.edge.seed and the cell key.
   explicit EdgeCluster(EdgeClusterConfig config);
 
-  [[deprecated("pass the seed inside EdgeConfig: config.edge.seed")]]
-  EdgeCluster(EdgeClusterConfig config, std::uint64_t seed);
-
   /// Typed serving through the device owning the location's cell. Never
   /// throws (see EdgeDevice::serve).
   ServeResult serve(std::uint64_t user_id, geo::Point true_location,

@@ -1,6 +1,7 @@
 #include "core/edge_device.hpp"
 
 #include "core/output_selection.hpp"
+#include "core/snapshot.hpp"
 #include "util/validation.hpp"
 
 namespace privlocad::core {
@@ -13,6 +14,12 @@ void EdgeConfig::validate() const {
   top_params.validate();
   util::require_positive(nomadic_params.level, "nomadic_params.level");
   util::require_positive(nomadic_params.radius_m, "nomadic_params.radius_m");
+  util::require(management.window_seconds > 0, "window_seconds must be > 0");
+  util::require_positive(management.profiling_threshold_m,
+                         "profiling threshold");
+  util::require(
+      management.eta_fraction > 0.0 && management.eta_fraction <= 1.0,
+      "eta_fraction must be in (0, 1]");
   retry.validate();
 }
 
@@ -35,10 +42,10 @@ EdgeDevice::EdgeDevice(EdgeConfig config,
     : config_(config),
       top_mechanism_(config.top_params),
       nomadic_mechanism_(config.nomadic_params),
-      engine_(config.seed),
       metrics_(std::move(metrics)),
       faults_(config.faults != nullptr ? config.faults
-                                       : &fault::FaultInjector::global()) {
+                                       : &fault::FaultInjector::global()),
+      arena_(rng::Engine(config.seed)) {
   config_.validate();
   util::require(metrics_ != nullptr, "EdgeDevice needs a metrics registry");
   top_reports_total_ = &metrics_->counter(edge_metrics::kTopReports);
@@ -59,42 +66,6 @@ EdgeDevice::EdgeDevice(EdgeConfig config,
       &metrics_->counter(edge_metrics::kDegradedDropped);
   serve_failed_total_ = &metrics_->counter(edge_metrics::kServeFailed);
   serve_latency_ = &metrics_->histogram(edge_metrics::kServeLatencyUs);
-}
-
-// Deprecated forwarding constructors (kept for one release); suppress the
-// self-referential deprecation warnings their definitions would emit.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-EdgeDevice::EdgeDevice(EdgeConfig config, std::uint64_t seed)
-    : EdgeDevice(config.with_seed(seed)) {}
-
-EdgeDevice::EdgeDevice(EdgeConfig config, std::uint64_t seed,
-                       std::shared_ptr<obs::MetricsRegistry> metrics)
-    : EdgeDevice(config.with_seed(seed), std::move(metrics)) {}
-#pragma GCC diagnostic pop
-
-EdgeDevice::UserState& EdgeDevice::state_for(std::uint64_t user_id) {
-  const auto it = users_.find(user_id);
-  if (it != users_.end()) return it->second;
-  return users_
-      .emplace(std::piecewise_construct, std::forward_as_tuple(user_id),
-               std::forward_as_tuple(config_.management,
-                                     config_.table_match_radius_m))
-      .first->second;
-}
-
-const attack::ProfileEntry* EdgeDevice::matching_top(
-    const UserState& state, geo::Point location) const {
-  const attack::ProfileEntry* best = nullptr;
-  double best_distance = config_.top_match_radius_m;
-  for (const attack::ProfileEntry& entry : state.manager.top_locations()) {
-    const double d = geo::distance(entry.location, location);
-    if (d <= best_distance) {
-      best = &entry;
-      best_distance = d;
-    }
-  }
-  return best;
 }
 
 ServeResult EdgeDevice::serve(std::uint64_t user_id,
@@ -121,11 +92,15 @@ ServeResult EdgeDevice::serve_impl(std::uint64_t user_id,
       serve_calls_++ % kServeLatencySampleStride == 0;
   const obs::ScopedLatencyTimer latency_timer(
       time_this_call ? serve_latency_ : nullptr);
-  UserState& state = state_for(user_id);
-  if (state.manager.record(true_location, time)) {
+  const UserArena::Row row = arena_.find_or_create(user_id);
+  if (arena_.record(row, true_location, time, config_.management)) {
     profile_rebuilds_total_->add();
   }
-  const attack::ProfileEntry* top = matching_top(state, true_location);
+  const std::int64_t top =
+      arena_.matching_top(row, true_location, config_.top_match_radius_m);
+  // Row creation is done for this request, so the reference stays valid
+  // across every arena call below (compaction never moves row scalars).
+  rng::Engine& engine = arena_.engine(row);
 
   // Acquire the obfuscation inputs (mechanism/noise backend). This is the
   // serve-path fault seam: transient failures are retried with capped
@@ -136,7 +111,7 @@ ServeResult EdgeDevice::serve_impl(std::uint64_t user_id,
   if (faults_->enabled()) {
     std::size_t retries = 0;
     inputs = fault::retry_with_backoff(
-        config_.retry, engine_,
+        config_.retry, engine,
         [this] { return faults_->check(fault::Site::kServe); }, &retries);
     result.retries = static_cast<std::uint32_t>(retries);
     if (retries > 0) serve_retries_total_->add(retries);
@@ -149,14 +124,18 @@ ServeResult EdgeDevice::serve_impl(std::uint64_t user_id,
     // is the safe fallback. Without one, the request is dropped: a raw
     // location is never a fallback ("fail private").
     result.status = inputs;
-    if (top != nullptr) {
-      if (const std::optional<std::vector<geo::Point>> cached =
-              state.table.lookup(top->location)) {
+    if (top >= 0) {
+      const geo::Point top_location = arena_.top_entry(row, top).location;
+      const std::int64_t entry = arena_.find_entry(
+          row, top_location, config_.table_match_radius_m);
+      if (entry >= 0) {
+        const simd::PointSpan cached = arena_.entry_candidates(row, entry);
         const std::size_t chosen = select_candidate(
-            engine_, *cached, mechanism_for(state).posterior_sigma());
+            engine, cached, mechanism_for(row).posterior_sigma());
         degraded_cached_total_->add();
         result.outcome = ServeOutcome::kDegradedCached;
-        result.reported = {(*cached)[chosen], ReportKind::kTopLocation};
+        result.reported = {{cached.xs[chosen], cached.ys[chosen]},
+                           ReportKind::kTopLocation};
         return result;
       }
     }
@@ -168,22 +147,27 @@ ServeResult EdgeDevice::serve_impl(std::uint64_t user_id,
                                       : ServeOutcome::kServed;
   if (result.retries > 0) served_after_retry_total_->add();
 
-  if (top != nullptr) {
-    const lppm::NFoldGaussianMechanism& mechanism = mechanism_for(state);
-    const std::size_t entries_before = state.table.size();
-    const std::vector<geo::Point>& candidates =
-        state.table.candidates_for(engine_, mechanism, top->location);
-    if (state.table.size() > entries_before) {
+  if (top >= 0) {
+    const lppm::NFoldGaussianMechanism& mechanism = mechanism_for(row);
+    const geo::Point top_location = arena_.top_entry(row, top).location;
+    std::int64_t entry = arena_.find_entry(row, top_location,
+                                           config_.table_match_radius_m);
+    if (entry < 0) {
       // First sight of this top location: the only moment privacy is
       // actually spent on it. Every later request replays the set.
+      entry = static_cast<std::int64_t>(
+          arena_.add_entry(row, top_location, mechanism, engine));
       accountant_.record(user_id, {mechanism.params().epsilon,
                                    mechanism.params().delta});
       tables_generated_total_->add();
     }
-    const std::size_t chosen = select_candidate(
-        engine_, candidates, mechanism.posterior_sigma());
+    // Fetch the span only after add_entry: appending may compact columns.
+    const simd::PointSpan candidates = arena_.entry_candidates(row, entry);
+    const std::size_t chosen =
+        select_candidate(engine, candidates, mechanism.posterior_sigma());
     top_reports_total_->add();
-    result.reported = {candidates[chosen], ReportKind::kTopLocation};
+    result.reported = {{candidates.xs[chosen], candidates.ys[chosen]},
+                       ReportKind::kTopLocation};
     return result;
   }
 
@@ -191,7 +175,7 @@ ServeResult EdgeDevice::serve_impl(std::uint64_t user_id,
   // planar-Laplace level (eps = l, pure DP-style: delta = 0).
   accountant_.record(user_id, {config_.nomadic_params.level, 0.0});
   nomadic_reports_total_->add();
-  result.reported = {nomadic_mechanism_.obfuscate_one(engine_, true_location),
+  result.reported = {nomadic_mechanism_.obfuscate_one(engine, true_location),
                      ReportKind::kNomadic};
   return result;
 }
@@ -221,114 +205,166 @@ std::vector<adnet::Ad> EdgeDevice::filter_ads(
 
 void EdgeDevice::import_history(std::uint64_t user_id,
                                 const trace::UserTrace& trace) {
-  UserState& state = state_for(user_id);
+  const UserArena::Row row = arena_.find_or_create(user_id);
   for (const trace::CheckIn& c : trace.check_ins) {
-    state.manager.record(c.position, c.time);
+    // Window-boundary rebuilds during a bulk import are bookkeeping, not
+    // live traffic; like the legacy path they do not count in telemetry.
+    (void)arena_.record(row, c.position, c.time, config_.management);
   }
-  state.manager.rebuild_now();
+  arena_.rebuild_now(row, config_.management);
 }
 
 void EdgeDevice::prepare_obfuscation(std::uint64_t user_id) {
-  UserState& state = state_for(user_id);
-  const lppm::NFoldGaussianMechanism& mechanism = mechanism_for(state);
-  for (const attack::ProfileEntry& top : state.manager.top_locations()) {
-    const std::size_t entries_before = state.table.size();
-    state.table.candidates_for(engine_, mechanism, top.location);
-    if (state.table.size() > entries_before) {
-      accountant_.record(user_id, {mechanism.params().epsilon,
-                                   mechanism.params().delta});
-      tables_generated_total_->add();
+  const UserArena::Row row = arena_.find_or_create(user_id);
+  const lppm::NFoldGaussianMechanism& mechanism = mechanism_for(row);
+  const std::size_t tops = arena_.top_size(row);
+  for (std::size_t i = 0; i < tops; ++i) {
+    const geo::Point top_location = arena_.top_entry(row, i).location;
+    if (arena_.find_entry(row, top_location, config_.table_match_radius_m) >=
+        0) {
+      continue;
     }
+    arena_.add_entry(row, top_location, mechanism, arena_.engine(row));
+    accountant_.record(user_id, {mechanism.params().epsilon,
+                                 mechanism.params().delta});
+    tables_generated_total_->add();
   }
 }
 
 const lppm::NFoldGaussianMechanism& EdgeDevice::mechanism_for(
-    const UserState& state) const {
-  return state.custom_mechanism ? *state.custom_mechanism : top_mechanism_;
+    UserArena::Row row) const {
+  const auto it = custom_mechanisms_.find(row);
+  return it != custom_mechanisms_.end() ? it->second : top_mechanism_;
 }
 
 void EdgeDevice::set_user_privacy(std::uint64_t user_id,
                                   lppm::BoundedGeoIndParams params) {
   params.validate();
-  state_for(user_id).custom_mechanism.emplace(params);
+  const UserArena::Row row = arena_.find_or_create(user_id);
+  arena_.set_custom_params(row, params);
+  custom_mechanisms_.insert_or_assign(row,
+                                      lppm::NFoldGaussianMechanism(params));
 }
 
 const lppm::BoundedGeoIndParams& EdgeDevice::user_privacy(
     std::uint64_t user_id) {
-  return mechanism_for(state_for(user_id)).params();
+  return mechanism_for(arena_.find_or_create(user_id)).params();
 }
 
 TableSnapshot EdgeDevice::snapshot_tables() const {
   TableSnapshot snapshot;
-  for (const auto& [user_id, state] : users_) {
-    if (state.table.size() == 0) continue;
+  for (UserArena::Row row = 0; row < arena_.size(); ++row) {
+    const std::size_t entries = arena_.entry_count(row);
+    if (entries == 0) continue;
     ObfuscationTable copy(config_.table_match_radius_m);
-    for (const ObfuscationTable::Entry& entry : state.table.entries()) {
-      copy.restore(entry);
+    for (std::size_t i = 0; i < entries; ++i) {
+      ObfuscationTable::Entry entry;
+      entry.top_location = arena_.entry_top(row, i);
+      const simd::PointSpan span = arena_.entry_candidates(row, i);
+      entry.candidates.reserve(span.size);
+      for (std::size_t c = 0; c < span.size; ++c) {
+        entry.candidates.push_back({span.xs[c], span.ys[c]});
+      }
+      copy.restore(std::move(entry));
     }
-    snapshot.emplace(user_id, std::move(copy));
+    snapshot.emplace(arena_.user_id(row), std::move(copy));
   }
   return snapshot;
 }
 
 ProfileSnapshot EdgeDevice::snapshot_profiles() const {
   ProfileSnapshot snapshot;
-  for (const auto& [user_id, state] : users_) {
-    if (!state.manager.profile().has_value()) continue;
+  for (UserArena::Row row = 0; row < arena_.size(); ++row) {
+    if (!arena_.has_profile(row)) continue;
     StoredProfile stored;
-    stored.profile = *state.manager.profile();
-    // Recover which profile entries form the top set (they are copies of
-    // profile entries, so match on location + frequency).
-    const auto& entries = stored.profile.entries();
-    for (const attack::ProfileEntry& top : state.manager.top_locations()) {
-      for (std::size_t i = 0; i < entries.size(); ++i) {
-        if (entries[i].frequency == top.frequency &&
-            geo::distance(entries[i].location, top.location) < 1e-9) {
-          stored.top_indices.push_back(i);
-          break;
-        }
-      }
+    stored.profile = arena_.profile_of(row);
+    const std::size_t tops = arena_.top_size(row);
+    stored.top_indices.reserve(tops);
+    for (std::size_t i = 0; i < tops; ++i) {
+      stored.top_indices.push_back(arena_.top_index(row, i));
     }
-    snapshot.emplace(user_id, std::move(stored));
+    snapshot.emplace(arena_.user_id(row), std::move(stored));
   }
   return snapshot;
 }
 
 void EdgeDevice::restore_profiles(const ProfileSnapshot& snapshot) {
   for (const auto& [user_id, stored] : snapshot) {
-    UserState& state = state_for(user_id);
-    std::vector<attack::ProfileEntry> top;
-    top.reserve(stored.top_indices.size());
-    for (const std::size_t index : stored.top_indices) {
-      util::require(index < stored.profile.size(),
-                    "restored top index out of range");
-      top.push_back(stored.profile.entries()[index]);
-    }
-    state.manager.restore(stored.profile, std::move(top));
+    const UserArena::Row row = arena_.find_or_create(user_id);
+    arena_.restore_profile(row, stored.profile, stored.top_indices);
   }
 }
 
 void EdgeDevice::restore_tables(TableSnapshot snapshot) {
   for (auto& [user_id, table] : snapshot) {
-    UserState& state = state_for(user_id);
-    util::require(state.table.size() == 0,
+    const UserArena::Row row = arena_.find_or_create(user_id);
+    util::require(arena_.entry_count(row) == 0,
                   "cannot restore tables over a user with live entries");
-    state.table = std::move(table);
+    for (const ObfuscationTable::Entry& entry : table.entries()) {
+      arena_.restore_entry(row, entry.top_location, entry.candidates,
+                           config_.table_match_radius_m);
+    }
   }
+}
+
+util::Status EdgeDevice::save_snapshot(const std::string& path) {
+  snapshot::Writer writer(path, 1);
+  write_snapshot_section(writer);
+  return writer.finish();
+}
+
+util::Status EdgeDevice::open_snapshot(const std::string& path) {
+  util::Result<snapshot::OpenedSnapshot> opened =
+      snapshot::open_validated(path);
+  if (!opened.ok()) return opened.status();
+  if (opened.value().shard_count != 1) {
+    return util::Status::failed_precondition(
+        "snapshot holds " + std::to_string(opened.value().shard_count) +
+        " shard sections; a standalone EdgeDevice opens single-shard "
+        "snapshots (use ConcurrentEdge): " + path);
+  }
+  snapshot::Reader reader(opened.value().mapping,
+                          opened.value().payload_offset,
+                          opened.value().payload_end);
+  return read_snapshot_section(reader);
+}
+
+void EdgeDevice::write_snapshot_section(snapshot::Writer& writer) {
+  arena_.save(writer);
+}
+
+util::Status EdgeDevice::read_snapshot_section(snapshot::Reader& reader) {
+  if (arena_.size() != 0) {
+    return util::Status::failed_precondition(
+        "cannot open a snapshot into a device that already holds users");
+  }
+  if (util::Status s = arena_.load(reader); !s.ok()) return s;
+  custom_mechanisms_.clear();
+  for (const auto& [row, params] : arena_.all_custom_params()) {
+    custom_mechanisms_.emplace(row, lppm::NFoldGaussianMechanism(params));
+  }
+  return util::Status();
 }
 
 const std::vector<attack::ProfileEntry>& EdgeDevice::top_locations(
     std::uint64_t user_id) {
-  return state_for(user_id).manager.top_locations();
+  const UserArena::Row row = arena_.find_or_create(user_id);
+  const std::size_t tops = arena_.top_size(row);
+  top_scratch_.clear();
+  top_scratch_.reserve(tops);
+  for (std::size_t i = 0; i < tops; ++i) {
+    top_scratch_.push_back(arena_.top_entry(row, i));
+  }
+  return top_scratch_;
 }
 
 RiskAssessment EdgeDevice::assess_user_risk(std::uint64_t user_id,
                                             const RiskConfig& config) {
-  const UserState& state = state_for(user_id);
-  static const attack::LocationProfile kEmptyProfile;
-  const attack::LocationProfile& profile =
-      state.manager.profile() ? *state.manager.profile() : kEmptyProfile;
-  return assess_risk(profile, state.manager.total_check_ins(),
+  const UserArena::Row row = arena_.find_or_create(user_id);
+  const attack::LocationProfile profile =
+      arena_.has_profile(row) ? arena_.profile_of(row)
+                              : attack::LocationProfile();
+  return assess_risk(profile, arena_.total_check_ins(row),
                      accountant_.spend_for(user_id), config);
 }
 

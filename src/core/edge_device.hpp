@@ -2,8 +2,8 @@
 //
 // Serves nearby mobile users as a privacy firewall between them and the
 // LBA ecosystem. For every LBA request the device:
-//   1. records the raw check-in into the user's location manager (which
-//      periodically rebuilds the profile and top-location set);
+//   1. records the raw check-in into the user's location-management state
+//      (which periodically rebuilds the profile and top-location set);
 //   2. decides whether the present location is one of the user's top
 //      locations (within a match radius);
 //   3. for a top location -- looks up / generates the PERMANENT candidate
@@ -15,21 +15,35 @@
 //   5. after the ad network responds, filters the returned ads down to
 //      those relevant to the user's TRUE location (inside the AOI),
 //      saving client bandwidth.
+//
+// All per-user state lives in one columnar UserArena (core/user_arena.hpp)
+// instead of per-user heap objects: profiles, top sets, obfuscation-table
+// entries, candidate sets, and pending windows are contiguous SoA columns
+// indexed through a compact user directory. Candidate sets are scored by
+// the SIMD posterior kernel directly from the columns, and the whole
+// device state round-trips through an mmap-backed snapshot file
+// (save_snapshot / open_snapshot), so a million-user device loads in
+// O(map), not O(parse).
+//
+// Determinism: each user's randomness is an independent engine split from
+// the config seed by user id, so a user's served outputs depend only on
+// (seed, user id, that user's request stream) -- identical across shard
+// counts, request interleavings, and snapshot save/open cycles.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "adnet/ad_network.hpp"
 #include "core/location_management.hpp"
-#include "core/obfuscation_table.hpp"
 #include "core/profile_store.hpp"
 #include "core/risk.hpp"
 #include "core/table_store.hpp"
 #include "core/telemetry.hpp"
+#include "core/user_arena.hpp"
 #include "fault/fault.hpp"
 #include "fault/retry.hpp"
 #include "lppm/accountant.hpp"
@@ -66,8 +80,10 @@ struct EdgeConfig {
   /// Targeting radius R defining the AOI used for edge-side ad filtering.
   double targeting_radius_m = 5000.0;
 
-  /// Seed for the device RNG (candidate noise, output selection, backoff
-  /// jitter). ConcurrentEdge derives one sub-seed per shard from it.
+  /// Seed for the per-user RNG streams (candidate noise, output
+  /// selection, backoff jitter): user u's engine is split(seed, u), so
+  /// every shard of a ConcurrentEdge shares the same seed and still
+  /// serves each user an independent stream.
   std::uint64_t seed = 1;
 
   /// Internal device count of a ConcurrentEdge (>= 1); ignored by a
@@ -82,8 +98,9 @@ struct EdgeConfig {
   fault::FaultInjector* faults = nullptr;
 
   /// Throws util::InvalidArgument unless every field is in-domain
-  /// (radii > 0, shards >= 1, retry policy valid, privacy params valid).
-  /// Every edge constructor calls this.
+  /// (radii > 0, shards >= 1, management window/eta in-domain, retry
+  /// policy valid, privacy params valid). Every edge constructor calls
+  /// this.
   void validate() const;
 
   /// Fluent copies for call sites that tweak one knob:
@@ -161,15 +178,6 @@ class EdgeDevice {
   /// share it safely.
   EdgeDevice(EdgeConfig config, std::shared_ptr<obs::MetricsRegistry> metrics);
 
-  [[deprecated("pass the seed inside EdgeConfig: "
-               "EdgeDevice(config.with_seed(seed))")]]
-  EdgeDevice(EdgeConfig config, std::uint64_t seed);
-
-  [[deprecated("pass the seed inside EdgeConfig: "
-               "EdgeDevice(config.with_seed(seed), metrics)")]]
-  EdgeDevice(EdgeConfig config, std::uint64_t seed,
-             std::shared_ptr<obs::MetricsRegistry> metrics);
-
   /// Steps 1-4 above, never throwing: returns the typed outcome of the
   /// request. On transient obfuscation-input faults it retries under the
   /// config's policy; once the budget is exhausted it degrades -- replays
@@ -218,6 +226,7 @@ class EdgeDevice {
   /// Copies every user's obfuscation table for persistence. Restarting a
   /// device WITHOUT restoring this state would regenerate fresh noise for
   /// known top locations -- a privacy leak; pair with restore_tables().
+  /// (Binary alternative: save_snapshot persists the whole device state.)
   TableSnapshot snapshot_tables() const;
 
   /// Copies every user's profile + top-location set for persistence; a
@@ -233,6 +242,27 @@ class EdgeDevice {
   /// util::InvalidArgument if any restored user already has table entries
   /// in this device.
   void restore_tables(TableSnapshot snapshot);
+
+  // ------------------------------------------------------------ snapshots
+  /// Persists the entire data plane (every user's profile, top set,
+  /// frozen candidate sets, pending window, RNG stream, and personalized
+  /// parameters) into one binary snapshot file (core/snapshot.hpp).
+  /// Returns kIoError when the file cannot be written.
+  util::Status save_snapshot(const std::string& path);
+
+  /// Replaces this (empty) device's data plane with a mapped snapshot:
+  /// the bulk columns are adopted from the read-only mapping in place, so
+  /// opening is O(map + directory rebuild). Serving then resumes exactly
+  /// where the saved device left off -- bit-identical outputs, because
+  /// the per-user RNG streams are part of the snapshot. Returns
+  /// kIoError / kParseError on damage, kFailedPrecondition when this
+  /// device already holds users or the snapshot is multi-shard.
+  util::Status open_snapshot(const std::string& path);
+
+  /// Section-level halves of save/open, used by ConcurrentEdge to pack
+  /// one section per shard into a single snapshot file.
+  void write_snapshot_section(snapshot::Writer& writer);
+  util::Status read_snapshot_section(snapshot::Reader& reader);
 
   /// Per-user privacy ledger: one charge per nomadic (one-time) release,
   /// one charge per permanent candidate-set generation. Replayed candidates
@@ -256,31 +286,22 @@ class EdgeDevice {
   RiskAssessment assess_user_risk(std::uint64_t user_id,
                                   const RiskConfig& config = {});
 
-  std::size_t user_count() const { return users_.size(); }
+  std::size_t user_count() const { return arena_.size(); }
   const EdgeConfig& config() const { return config_; }
   const lppm::NFoldGaussianMechanism& top_mechanism() const {
     return top_mechanism_;
   }
 
+  /// Heap bytes owned by the data plane / bytes still served straight
+  /// from a mapped snapshot (memory-footprint reporting).
+  std::uint64_t data_plane_owned_bytes() const { return arena_.owned_bytes(); }
+  std::uint64_t data_plane_mapped_bytes() const {
+    return arena_.mapped_bytes();
+  }
+
  private:
-  struct UserState {
-    LocationManager manager;
-    ObfuscationTable table;
-    /// Personalized mechanism; the device default applies when absent.
-    std::optional<lppm::NFoldGaussianMechanism> custom_mechanism;
-    UserState(const LocationManagementConfig& mgmt, double match_radius)
-        : manager(mgmt), table(match_radius) {}
-  };
-
-  /// The mechanism governing `state`'s top-location releases.
-  const lppm::NFoldGaussianMechanism& mechanism_for(
-      const UserState& state) const;
-
-  UserState& state_for(std::uint64_t user_id);
-
-  /// Nearest current top location within top_match_radius_m, or nullptr.
-  const attack::ProfileEntry* matching_top(const UserState& state,
-                                           geo::Point location) const;
+  /// The mechanism governing `row`'s top-location releases.
+  const lppm::NFoldGaussianMechanism& mechanism_for(UserArena::Row row) const;
 
   /// The serving body behind serve()'s try/catch boundary.
   ServeResult serve_impl(std::uint64_t user_id, geo::Point true_location,
@@ -289,7 +310,6 @@ class EdgeDevice {
   EdgeConfig config_;
   lppm::NFoldGaussianMechanism top_mechanism_;
   lppm::PlanarLaplaceMechanism nomadic_mechanism_;
-  rng::Engine engine_;
   lppm::PrivacyAccountant accountant_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   /// The injector serve() consults (config's, or the process-global one).
@@ -312,7 +332,14 @@ class EdgeDevice {
   /// externally synchronized (ConcurrentEdge calls under the shard lock),
   /// so no atomics are needed.
   std::uint64_t serve_calls_ = 0;
-  std::unordered_map<std::uint64_t, UserState> users_;
+  /// The columnar per-user store (directory, profiles, tables, windows).
+  UserArena arena_;
+  /// Constructed mechanisms for users with personalized parameters (the
+  /// parameters themselves live in the arena and persist with it).
+  std::unordered_map<UserArena::Row, lppm::NFoldGaussianMechanism>
+      custom_mechanisms_;
+  /// Scratch backing top_locations()'s by-reference return.
+  std::vector<attack::ProfileEntry> top_scratch_;
 };
 
 }  // namespace privlocad::core

@@ -3,56 +3,88 @@
 #include <cmath>
 
 #include "simd/kernels.hpp"
-#include "simd/soa.hpp"
 #include "util/validation.hpp"
 
 namespace privlocad::core {
 
-std::vector<double> selection_probabilities(
-    const std::vector<geo::Point>& candidates, double sigma) {
-  util::require(!candidates.empty(), "selection over empty candidate set");
+namespace {
+
+/// Centroid of an SoA span, bit-identical to geo::centroid over the same
+/// points in the same order: Point accumulation keeps the x and y chains
+/// independent, so summing each coordinate array in index order produces
+/// the exact same rounding sequence.
+geo::Point span_centroid(simd::PointSpan points) {
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < points.size; ++i) sx += points.xs[i];
+  for (std::size_t i = 0; i < points.size; ++i) sy += points.ys[i];
+  const auto count = static_cast<double>(points.size);
+  return {sx / count, sy / count};
+}
+
+}  // namespace
+
+void selection_probabilities_into(simd::PointSpan candidates, double sigma,
+                                  std::vector<double>& probs) {
+  util::require(candidates.size > 0, "selection over empty candidate set");
   util::require_positive(sigma, "selection sigma");
 
-  const geo::Point mean = geo::centroid(candidates);
+  const geo::Point mean = span_centroid(candidates);
   // The common 1/(2 pi sigma^2) factor cancels in the normalization; work
   // with the exponent only, shifted by the max for numerical stability.
   // The squared-distance/score pass runs through the SIMD kernel layer
-  // over an SoA view of the candidates (thread_local scratch: selection
-  // is per-request, and steady state must not allocate); the kernel's
-  // max reduction is order-independent, so scalar and AVX2 dispatch
-  // yield bit-identical probabilities. The exp/sum normalization below
-  // stays in scalar candidate order -- that summation order is part of
-  // the determinism contract.
-  const std::size_t n = candidates.size();
-  thread_local simd::SoaPoints soa;
-  thread_local std::vector<double> log_density;
-  soa.assign(candidates);
-  log_density.resize(n);
+  // directly over the caller's SoA columns (the arena's candidate store
+  // is already columnar, so there is no conversion edge here); the
+  // kernel's max reduction is order-independent, so scalar and AVX2
+  // dispatch yield bit-identical probabilities. The exp/sum normalization
+  // below stays in scalar candidate order -- that summation order is part
+  // of the determinism contract.
+  const std::size_t n = candidates.size;
+  probs.resize(n);
   const double max_log = simd::posterior_log_densities(
-      soa.xs(), soa.ys(), n, mean.x, mean.y, 2.0 * sigma * sigma,
-      log_density.data());
+      candidates.xs, candidates.ys, n, mean.x, mean.y,
+      2.0 * sigma * sigma, probs.data());
 
-  std::vector<double> probs(n);
   double total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    probs[i] = std::exp(log_density[i] - max_log);
+    probs[i] = std::exp(probs[i] - max_log);
     total += probs[i];
   }
   for (double& p : probs) p /= total;
+}
+
+std::vector<double> selection_probabilities(simd::PointSpan candidates,
+                                            double sigma) {
+  std::vector<double> probs;
+  selection_probabilities_into(candidates, sigma, probs);
   return probs;
 }
 
-std::size_t select_candidate(rng::Engine& engine,
-                             const std::vector<geo::Point>& candidates,
+std::vector<double> selection_probabilities(
+    const std::vector<geo::Point>& candidates, double sigma) {
+  thread_local simd::SoaPoints soa;
+  soa.assign(candidates);
+  return selection_probabilities(soa.span(), sigma);
+}
+
+std::size_t select_candidate(rng::Engine& engine, simd::PointSpan candidates,
                              double sigma) {
-  const std::vector<double> probs =
-      selection_probabilities(candidates, sigma);
+  thread_local std::vector<double> probs;
+  selection_probabilities_into(candidates, sigma, probs);
   double u = engine.uniform();
   for (std::size_t i = 0; i < probs.size(); ++i) {
     u -= probs[i];
     if (u <= 0.0) return i;
   }
   return probs.size() - 1;
+}
+
+std::size_t select_candidate(rng::Engine& engine,
+                             const std::vector<geo::Point>& candidates,
+                             double sigma) {
+  thread_local simd::SoaPoints soa;
+  soa.assign(candidates);
+  return select_candidate(engine, soa.span(), sigma);
 }
 
 std::size_t select_uniform(rng::Engine& engine,

@@ -11,22 +11,45 @@
 //   f(x, y) = exp(-((x - xbar)^2 + (y - ybar)^2) / (2 sigma^2)) / (2 pi sigma^2).
 // Selection is pure post-processing of already-released points: it reads
 // only the candidates, never the true location, so it costs no privacy.
+//
+// The native input is a simd::PointSpan -- the columnar data plane stores
+// candidate sets as SoA columns, so the kernel scores store-resident
+// memory directly with no AoS -> SoA conversion on the serve path. The
+// vector<geo::Point> overloads remain for callers that hold AoS data
+// (benches, tests, examples) and produce bit-identical results.
 #pragma once
 
 #include <vector>
 
 #include "geo/point.hpp"
 #include "rng/engine.hpp"
+#include "simd/soa.hpp"
 
 namespace privlocad::core {
 
-/// Eq. 18 selection distribution over `candidates` with mechanism sigma.
-/// Requires a non-empty candidate set and sigma > 0. Probabilities sum
-/// to 1 exactly (normalized in long-double accumulation).
+/// Eq. 18 selection distribution over `candidates`, written into `probs`
+/// (resized; allocation-free once capacity is warm). Requires a non-empty
+/// candidate span and sigma > 0. Probabilities sum to 1 exactly
+/// (normalized in the scalar candidate order that is part of the
+/// determinism contract).
+void selection_probabilities_into(simd::PointSpan candidates, double sigma,
+                                  std::vector<double>& probs);
+
+/// Eq. 18 selection distribution over an SoA candidate span.
+std::vector<double> selection_probabilities(simd::PointSpan candidates,
+                                            double sigma);
+
+/// AoS convenience overload; bit-identical to the span form.
 std::vector<double> selection_probabilities(
     const std::vector<geo::Point>& candidates, double sigma);
 
 /// Algorithm 4: samples one candidate index from the posterior weights.
+/// Scores the span in place through the SIMD kernel layer; the only
+/// per-call state is a reused thread_local probability buffer.
+std::size_t select_candidate(rng::Engine& engine, simd::PointSpan candidates,
+                             double sigma);
+
+/// AoS convenience overload; bit-identical to the span form.
 std::size_t select_candidate(rng::Engine& engine,
                              const std::vector<geo::Point>& candidates,
                              double sigma);

@@ -1,0 +1,198 @@
+#include "core/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace privlocad::core::snapshot {
+
+std::uint64_t fnv1a64(const void* data, std::size_t n, std::uint64_t state) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    state ^= bytes[i];
+    state *= 0x100000001B3ULL;
+  }
+  return state;
+}
+
+// ------------------------------------------------------------------ Writer
+
+Writer::Writer(const std::string& path, std::uint32_t shard_count)
+    : path_(path), shard_count_(shard_count) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = util::Status::io_error("cannot open snapshot for writing: " +
+                                     path + " (" + std::strerror(errno) + ")");
+    return;
+  }
+  // Header placeholder; finish() seeks back and patches the real one.
+  const char zeros[kHeaderBytes] = {};
+  if (std::fwrite(zeros, 1, kHeaderBytes, file_) != kHeaderBytes) {
+    status_ = util::Status::io_error("cannot write snapshot header: " + path);
+  }
+}
+
+Writer::~Writer() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void Writer::write_bytes(const void* data, std::size_t n) {
+  if (!status_.ok() || n == 0) return;
+  if (std::fwrite(data, 1, n, file_) != n) {
+    status_ = util::Status::io_error("short write to snapshot: " + path_);
+    return;
+  }
+  checksum_ = fnv1a64(data, n, checksum_);
+  payload_bytes_ += n;
+}
+
+void Writer::write_u64(std::uint64_t value) {
+  write_bytes(&value, sizeof(value));
+}
+
+void Writer::pad_to_alignment() {
+  static const char zeros[8] = {};
+  const std::size_t rem = payload_bytes_ % 8;
+  if (rem != 0) write_bytes(zeros, 8 - rem);
+}
+
+util::Status Writer::finish() {
+  if (finished_) return status_;
+  finished_ = true;
+  if (status_.ok()) {
+    std::uint8_t header[kHeaderBytes] = {};
+    std::size_t off = 0;
+    const auto put = [&](const void* v, std::size_t n) {
+      std::memcpy(header + off, v, n);
+      off += n;
+    };
+    const std::uint64_t magic = kMagic;
+    const std::uint32_t version = kFormatVersion;
+    const std::uint32_t endian = kEndianTag;
+    const std::uint32_t reserved = 0;
+    put(&magic, 8);
+    put(&version, 4);
+    put(&endian, 4);
+    put(&shard_count_, 4);
+    put(&reserved, 4);
+    put(&payload_bytes_, 8);
+    put(&checksum_, 8);
+    if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+        std::fwrite(header, 1, kHeaderBytes, file_) != kHeaderBytes) {
+      status_ = util::Status::io_error("cannot patch snapshot header: " +
+                                       path_);
+    }
+  }
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0 && status_.ok()) {
+      status_ = util::Status::io_error("cannot close snapshot: " + path_);
+    }
+    file_ = nullptr;
+  }
+  return status_;
+}
+
+// ----------------------------------------------------------------- Mapping
+
+Mapping::~Mapping() {
+  if (base_ != nullptr && size_ > 0) {
+    ::munmap(const_cast<std::uint8_t*>(base_), size_);
+  }
+}
+
+util::Result<std::shared_ptr<Mapping>> map_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return util::Status::io_error("cannot open snapshot: " + path + " (" +
+                                  std::strerror(errno) + ")");
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return util::Status::io_error("cannot stat snapshot: " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return util::Status::parse_error("snapshot file is empty: " + path);
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the pages
+  if (base == MAP_FAILED) {
+    return util::Status::io_error("cannot mmap snapshot: " + path + " (" +
+                                  std::strerror(errno) + ")");
+  }
+  return std::shared_ptr<Mapping>(
+      new Mapping(static_cast<const std::uint8_t*>(base), size));
+}
+
+util::Result<OpenedSnapshot> open_validated(const std::string& path) {
+  util::Result<std::shared_ptr<Mapping>> mapped = map_file(path);
+  if (!mapped.ok()) return mapped.status();
+  const std::shared_ptr<Mapping>& mapping = mapped.value();
+  if (mapping->size() < kHeaderBytes) {
+    return util::Status::parse_error("snapshot truncated before the header: " +
+                                     path);
+  }
+  const std::uint8_t* h = mapping->data();
+  const auto get_u64 = [&](std::size_t off) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, h + off, 8);
+    return v;
+  };
+  const auto get_u32 = [&](std::size_t off) {
+    std::uint32_t v = 0;
+    std::memcpy(&v, h + off, 4);
+    return v;
+  };
+  if (get_u64(0) != kMagic) {
+    return util::Status::parse_error("not a PrivLocAd snapshot (bad magic): " +
+                                     path);
+  }
+  if (get_u32(8) != kFormatVersion) {
+    return util::Status::parse_error(
+        "unsupported snapshot format version " +
+        std::to_string(get_u32(8)) + " (this build reads version " +
+        std::to_string(kFormatVersion) + "): " + path);
+  }
+  if (get_u32(12) != kEndianTag) {
+    return util::Status::parse_error(
+        "snapshot was written with a different byte order: " + path);
+  }
+  const std::uint32_t shards = get_u32(16);
+  const std::uint64_t payload_bytes = get_u64(24);
+  const std::uint64_t stored_checksum = get_u64(32);
+  if (payload_bytes != mapping->size() - kHeaderBytes) {
+    return util::Status::parse_error(
+        "snapshot payload size disagrees with the file size: " + path);
+  }
+  const std::uint64_t computed =
+      fnv1a64(mapping->data() + kHeaderBytes, payload_bytes);
+  if (computed != stored_checksum) {
+    return util::Status::parse_error(
+        "snapshot checksum mismatch (corrupt payload): " + path);
+  }
+  OpenedSnapshot opened;
+  opened.mapping = mapping;
+  opened.shard_count = shards;
+  opened.payload_offset = kHeaderBytes;
+  opened.payload_end = kHeaderBytes + payload_bytes;
+  return opened;
+}
+
+// ------------------------------------------------------------------ Reader
+
+util::Status Reader::read_u64(std::uint64_t& out) {
+  if (end_ - offset_ < sizeof(out)) {
+    return util::Status::parse_error("snapshot section truncated");
+  }
+  std::memcpy(&out, mapping_->data() + offset_, sizeof(out));
+  offset_ += sizeof(out);
+  return util::Status();
+}
+
+}  // namespace privlocad::core::snapshot

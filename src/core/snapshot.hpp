@@ -1,0 +1,197 @@
+// Versioned mmap-backed snapshot format for the columnar data plane.
+//
+// A snapshot is one file holding the full user-arena state of an edge
+// (one section per shard). The layout is designed so that OPENING a
+// snapshot is O(map + directory rebuild), not O(parse): every column is
+// written as a contiguous 8-byte-aligned extent that the arena can adopt
+// in place from the read-only mapping, with only the small mutable row
+// scalars copied out. A 1M-user population therefore loads in fractions
+// of a second instead of re-parsing gigabytes of CSV.
+//
+// File layout (all integers little-endian, host == file endianness is
+// enforced by the endian tag):
+//
+//   [64-byte header]
+//     u64 magic      "PLADSNAP"
+//     u32 version    kFormatVersion
+//     u32 endian     kEndianTag (0x01020304 as written by the host)
+//     u32 shards     section count
+//     u32 reserved   0
+//     u64 payload    payload byte count (file size - header size)
+//     u64 checksum   FNV-1a 64 over the payload bytes
+//     (zero padding to 64 bytes)
+//   [payload: `shards` back-to-back arena sections]
+//
+// Each section is a fixed sequence of scalars and columns (see
+// user_arena.cpp); a column is `u64 count` followed by `count` raw
+// elements padded to the next 8-byte boundary. Corruption anywhere --
+// bad magic, version, endianness, truncation, checksum mismatch -- is
+// reported as a typed util::Status (kParseError / kIoError), never a
+// crash: per the fail-private contract a damaged snapshot must fail
+// loudly at startup, not silently regenerate fresh noise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace privlocad::core::snapshot {
+
+/// "PLADSNAP" read as a little-endian u64.
+inline constexpr std::uint64_t kMagic = 0x50414E5344414C50ULL;
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kEndianTag = 0x01020304;
+inline constexpr std::size_t kHeaderBytes = 64;
+
+/// FNV-1a 64 over `n` bytes, chained through `state` so the writer can
+/// checksum streaming output without buffering the payload.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
+std::uint64_t fnv1a64(const void* data, std::size_t n,
+                      std::uint64_t state = kFnvOffsetBasis);
+
+/// Streams one snapshot file: header placeholder first, then payload
+/// writes that accumulate the running checksum, then finish() seeks back
+/// and patches the real header. Errors latch: after the first failure
+/// every write is a no-op and finish() returns the latched status.
+class Writer {
+ public:
+  Writer(const std::string& path, std::uint32_t shard_count);
+  ~Writer();
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void write_u64(std::uint64_t value);
+
+  /// One column: u64 count, `count` raw elements, zero padding to the
+  /// next 8-byte boundary.
+  template <typename T>
+  void write_column(const T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "snapshot columns hold raw trivially-copyable elements");
+    write_u64(count);
+    write_bytes(data, count * sizeof(T));
+    pad_to_alignment();
+  }
+  template <typename T>
+  void write_column(const std::vector<T>& column) {
+    write_column(column.data(), column.size());
+  }
+
+  /// Patches the header with the final payload size + checksum and
+  /// closes the file. Returns the first error hit anywhere, if any.
+  util::Status finish();
+
+  const util::Status& status() const { return status_; }
+
+ private:
+  void write_bytes(const void* data, std::size_t n);
+  void pad_to_alignment();
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::uint32_t shard_count_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint64_t checksum_ = kFnvOffsetBasis;
+  bool finished_ = false;
+  util::Status status_;
+};
+
+/// RAII read-only mmap of a whole snapshot file. Shared by every arena
+/// column that adopts an extent from it, so the mapping outlives the
+/// opening scope for as long as any store still reads from it.
+class Mapping {
+ public:
+  ~Mapping();
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+
+  const std::uint8_t* data() const { return base_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  friend util::Result<std::shared_ptr<Mapping>> map_file(
+      const std::string& path);
+  Mapping(const std::uint8_t* base, std::size_t size)
+      : base_(base), size_(size) {}
+
+  const std::uint8_t* base_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Maps `path` read-only; kIoError when it cannot be opened or mapped.
+util::Result<std::shared_ptr<Mapping>> map_file(const std::string& path);
+
+/// A validated, mapped snapshot: header checked (magic, version, endian,
+/// size, checksum) and payload bounds resolved.
+struct OpenedSnapshot {
+  std::shared_ptr<Mapping> mapping;
+  std::uint32_t shard_count = 0;
+  std::uint64_t payload_offset = 0;
+  std::uint64_t payload_end = 0;  ///< one past the last payload byte
+};
+
+/// Maps and validates `path`. kIoError when the file cannot be mapped;
+/// kParseError for any structural damage (truncation, bad magic/version/
+/// endianness, checksum mismatch).
+util::Result<OpenedSnapshot> open_validated(const std::string& path);
+
+/// Bounds-checked cursor over a mapped payload. read_column yields a
+/// zero-copy pointer into the mapping (8-byte aligned by construction);
+/// read_column_copy materializes the extent into an owned vector for the
+/// columns that must stay mutable after open.
+class Reader {
+ public:
+  Reader(std::shared_ptr<Mapping> mapping, std::uint64_t offset,
+         std::uint64_t end)
+      : mapping_(std::move(mapping)), offset_(offset), end_(end) {}
+
+  util::Status read_u64(std::uint64_t& out);
+
+  template <typename T>
+  util::Status read_column(const T*& data, std::uint64_t& count) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "snapshot columns hold raw trivially-copyable elements");
+    std::uint64_t n = 0;
+    if (util::Status s = read_u64(n); !s.ok()) return s;
+    const std::uint64_t bytes = n * sizeof(T);
+    if (bytes / sizeof(T) != n || bytes > end_ - offset_) {
+      return util::Status::parse_error(
+          "snapshot column extent overruns the payload");
+    }
+    data = reinterpret_cast<const T*>(mapping_->data() + offset_);
+    count = n;
+    offset_ += bytes;
+    offset_ = (offset_ + 7) & ~std::uint64_t{7};
+    if (offset_ > end_) {
+      return util::Status::parse_error(
+          "snapshot column padding overruns the payload");
+    }
+    return util::Status();
+  }
+
+  template <typename T>
+  util::Status read_column_copy(std::vector<T>& out) {
+    const T* data = nullptr;
+    std::uint64_t count = 0;
+    if (util::Status s = read_column(data, count); !s.ok()) return s;
+    out.assign(data, data + count);
+    return util::Status();
+  }
+
+  std::uint64_t offset() const { return offset_; }
+  std::uint64_t end() const { return end_; }
+  const std::shared_ptr<Mapping>& mapping() const { return mapping_; }
+
+ private:
+  std::shared_ptr<Mapping> mapping_;
+  std::uint64_t offset_ = 0;
+  std::uint64_t end_ = 0;
+};
+
+}  // namespace privlocad::core::snapshot

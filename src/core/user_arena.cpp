@@ -1,0 +1,665 @@
+#include "core/user_arena.hpp"
+
+#include <algorithm>
+
+#include "core/eta_frequent.hpp"
+#include "core/snapshot.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::core {
+
+namespace {
+
+// The snapshot serializes engines as raw bytes; the format (and the
+// split-stream determinism story) depends on this staying a small POD.
+static_assert(std::is_trivially_copyable_v<rng::Engine>,
+              "rng::Engine must serialize as raw bytes");
+static_assert(std::is_trivially_copyable_v<lppm::BoundedGeoIndParams>,
+              "custom privacy params must serialize as raw bytes");
+
+/// Marks the start of one arena section inside a snapshot payload
+/// ("USERARNA" little-endian) -- a cheap misalignment tripwire when a
+/// future format revision changes the section sequence.
+constexpr std::uint64_t kSectionTag = 0x414E52415245'5355ULL;
+
+std::uint64_t next_pow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+std::uint64_t hash_user(std::uint64_t user_id) {
+  return user_id * 0x9E3779B97F4A7C15ULL;
+}
+
+}  // namespace
+
+UserArena::UserArena(rng::Engine parent) : parent_(parent) {}
+
+// ----------------------------------------------------------------- directory
+
+UserArena::Row UserArena::find(std::uint64_t user_id) const {
+  if (directory_.empty()) return kNoRow;
+  std::uint64_t slot = hash_user(user_id) & directory_mask_;
+  while (true) {
+    const Row row = directory_[slot];
+    if (row == kNoRow) return kNoRow;
+    if (user_ids_[row] == user_id) return row;
+    slot = (slot + 1) & directory_mask_;
+  }
+}
+
+void UserArena::insert_into_directory(Row row) {
+  std::uint64_t slot = hash_user(user_ids_[row]) & directory_mask_;
+  while (directory_[slot] != kNoRow) slot = (slot + 1) & directory_mask_;
+  directory_[slot] = row;
+}
+
+void UserArena::grow_directory(std::size_t min_rows) {
+  // Keep load factor <= 0.5 so linear probes stay short.
+  const std::uint64_t capacity =
+      next_pow2(std::max<std::uint64_t>(16, 2 * min_rows));
+  directory_.assign(capacity, kNoRow);
+  directory_mask_ = capacity - 1;
+  for (Row row = 0; row < user_ids_.size(); ++row) {
+    insert_into_directory(row);
+  }
+}
+
+UserArena::Row UserArena::find_or_create(std::uint64_t user_id) {
+  const Row existing = find(user_id);
+  if (existing != kNoRow) return existing;
+  if (2 * (user_ids_.size() + 1) > directory_.size()) {
+    grow_directory(user_ids_.size() + 1);
+  }
+  const Row row = static_cast<Row>(user_ids_.size());
+  user_ids_.push_back(user_id);
+  engines_.push_back(parent_.split(user_id));
+  window_start_.push_back(kNoWindowStart);
+  total_check_ins_.push_back(0);
+  win_head_.push_back(kNoIndex);
+  win_count_.push_back(0);
+  has_profile_.push_back(0);
+  prof_begin_.push_back(0);
+  prof_count_.push_back(0);
+  top_begin_.push_back(0);
+  top_count_.push_back(0);
+  ent_begin_.push_back(0);
+  ent_count_.push_back(0);
+  insert_into_directory(row);
+  return row;
+}
+
+// ------------------------------------------------------- window / management
+
+bool UserArena::record(Row row, geo::Point position, trace::Timestamp time,
+                       const LocationManagementConfig& config) {
+  bool rebuilt = false;
+  if (window_start_[row] == kNoWindowStart) {
+    window_start_[row] = time;
+  } else if (time - window_start_[row] >= config.window_seconds &&
+             win_count_[row] >= config.min_window_check_ins) {
+    rebuild_now(row, config);
+    window_start_[row] = time;
+    rebuilt = true;
+  }
+  const auto index = static_cast<std::uint32_t>(win_xs_.size());
+  win_xs_.push_back(position.x);
+  win_ys_.push_back(position.y);
+  win_ts_.push_back(time);
+  win_prev_.push_back(win_head_[row]);
+  win_head_[row] = index;
+  ++win_count_[row];
+  ++total_check_ins_[row];
+  return rebuilt;
+}
+
+void UserArena::gather_window(Row row) {
+  scratch_points_.resize(win_count_[row]);
+  // The chain links newest-first; fill back-to-front so the scratch is
+  // chronological, matching the legacy window_points_ insertion order.
+  std::size_t out = win_count_[row];
+  for (std::uint32_t i = win_head_[row]; i != kNoIndex; i = win_prev_[i]) {
+    scratch_points_[--out] = {win_xs_[i], win_ys_[i]};
+  }
+  assert(out == 0 && "window chain shorter than its count");
+}
+
+void UserArena::clear_window(Row row) {
+  win_dead_ += win_count_[row];
+  win_head_[row] = kNoIndex;
+  win_count_[row] = 0;
+}
+
+void UserArena::rebuild_now(Row row, const LocationManagementConfig& config) {
+  // The window restarts at the next recorded check-in (legacy semantics:
+  // a bulk import followed by live traffic must not immediately rebuild
+  // from a nearly-empty window).
+  window_start_[row] = kNoWindowStart;
+  if (win_count_[row] == 0) return;
+  gather_window(row);
+  const attack::LocationProfile profile =
+      attack::build_profile(scratch_points_, config.profiling_threshold_m);
+
+  std::vector<attack::ProfileEntry> top =
+      eta_frequent_set_fraction(profile, config.eta_fraction);
+  std::erase_if(top, [&](const attack::ProfileEntry& e) {
+    return e.frequency < config.min_top_frequency;
+  });
+  // The eta set is a prefix of the frequency-ordered profile, and the
+  // min-frequency filter removes a suffix of that prefix, so the top set
+  // is exactly the first top.size() profile entries.
+  set_rebuilt_profile(row, profile.entries(), top.size());
+  clear_window(row);
+  maybe_compact();
+}
+
+void UserArena::set_rebuilt_profile(
+    Row row, const std::vector<attack::ProfileEntry>& entries,
+    std::size_t top_prefix) {
+  prof_dead_ += prof_count_[row];
+  top_dead_ += top_count_[row];
+  prof_begin_[row] = prof_xs_.size();
+  prof_count_[row] = static_cast<std::uint32_t>(entries.size());
+  for (const attack::ProfileEntry& e : entries) {
+    prof_xs_.push_back(e.location.x);
+    prof_ys_.push_back(e.location.y);
+    prof_freq_.push_back(e.frequency);
+  }
+  top_begin_[row] = top_idx_.size();
+  top_count_[row] = static_cast<std::uint32_t>(top_prefix);
+  for (std::size_t i = 0; i < top_prefix; ++i) {
+    top_idx_.push_back(static_cast<std::uint32_t>(i));
+  }
+  has_profile_[row] = 1;
+}
+
+void UserArena::restore_profile(Row row,
+                                const attack::LocationProfile& profile,
+                                const std::vector<std::size_t>& top_indices) {
+  if (has_profile_[row] != 0) {
+    throw util::PreconditionViolation(
+        "cannot restore a profile over live management state");
+  }
+  for (const std::size_t index : top_indices) {
+    util::require(index < profile.size(), "restored top index out of range");
+  }
+  prof_begin_[row] = prof_xs_.size();
+  prof_count_[row] = static_cast<std::uint32_t>(profile.size());
+  for (const attack::ProfileEntry& e : profile.entries()) {
+    prof_xs_.push_back(e.location.x);
+    prof_ys_.push_back(e.location.y);
+    prof_freq_.push_back(e.frequency);
+  }
+  top_begin_[row] = top_idx_.size();
+  top_count_[row] = static_cast<std::uint32_t>(top_indices.size());
+  for (const std::size_t index : top_indices) {
+    top_idx_.push_back(static_cast<std::uint32_t>(index));
+  }
+  has_profile_[row] = 1;
+}
+
+attack::ProfileEntry UserArena::profile_entry(Row row, std::size_t i) const {
+  assert(i < prof_count_[row]);
+  const std::size_t at = prof_begin_[row] + i;
+  return {{prof_xs_[at], prof_ys_[at]}, prof_freq_[at]};
+}
+
+attack::LocationProfile UserArena::profile_of(Row row) const {
+  std::vector<attack::ProfileEntry> entries;
+  entries.reserve(prof_count_[row]);
+  for (std::size_t i = 0; i < prof_count_[row]; ++i) {
+    entries.push_back(profile_entry(row, i));
+  }
+  return attack::LocationProfile(std::move(entries));
+}
+
+std::uint32_t UserArena::top_index(Row row, std::size_t i) const {
+  assert(i < top_count_[row]);
+  return top_idx_[top_begin_[row] + i];
+}
+
+attack::ProfileEntry UserArena::top_entry(Row row, std::size_t i) const {
+  return profile_entry(row, top_index(row, i));
+}
+
+std::int64_t UserArena::matching_top(Row row, geo::Point location,
+                                     double radius_m) const {
+  std::int64_t best = -1;
+  double best_distance = radius_m;
+  const std::uint32_t count = top_count_[row];
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t at = prof_begin_[row] + top_idx_[top_begin_[row] + i];
+    const double d =
+        geo::distance({prof_xs_[at], prof_ys_[at]}, location);
+    if (d <= best_distance) {
+      best = i;
+      best_distance = d;
+    }
+  }
+  return best;
+}
+
+// --------------------------------------------------------- table entries
+
+geo::Point UserArena::entry_top(Row row, std::size_t i) const {
+  assert(i < ent_count_[row]);
+  const std::size_t at = ent_begin_[row] + i;
+  return {ent_xs_[at], ent_ys_[at]};
+}
+
+simd::PointSpan UserArena::entry_candidates(Row row, std::size_t i) const {
+  assert(i < ent_count_[row]);
+  const std::size_t at = ent_begin_[row] + i;
+  const std::uint64_t begin = ent_cand_begin_[at];
+  const std::uint32_t count = ent_cand_count_[at];
+  return {cand_xs_.range(begin, count), cand_ys_.range(begin, count), count};
+}
+
+std::int64_t UserArena::find_entry(Row row, geo::Point location,
+                                   double radius_m) const {
+  std::int64_t best = -1;
+  double best_distance = radius_m;
+  const std::uint32_t count = ent_count_[row];
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t at = ent_begin_[row] + i;
+    const double d = geo::distance({ent_xs_[at], ent_ys_[at]}, location);
+    if (d <= best_distance) {
+      best = i;
+      best_distance = d;
+    }
+  }
+  return best;
+}
+
+void UserArena::append_entry(Row row, geo::Point top,
+                             std::uint64_t cand_begin,
+                             std::uint32_t cand_count) {
+  const std::uint32_t count = ent_count_[row];
+  const std::uint64_t begin = ent_begin_[row];
+  if (count > 0 && begin + count != ent_xs_.size()) {
+    // Copy-forward: the row's entries are not at the column end, so move
+    // them there (insertion order preserved) and orphan the old range.
+    // Candidate ranges travel by reference -- candidate data is immutable
+    // and never orphaned.
+    const std::uint64_t moved = ent_xs_.size();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::size_t at = begin + i;
+      ent_xs_.push_back(ent_xs_[at]);
+      ent_ys_.push_back(ent_ys_[at]);
+      ent_cand_begin_.push_back(ent_cand_begin_[at]);
+      ent_cand_count_.push_back(ent_cand_count_[at]);
+    }
+    ent_dead_ += count;
+    ent_begin_[row] = moved;
+  } else if (count == 0) {
+    ent_begin_[row] = ent_xs_.size();
+  }
+  ent_xs_.push_back(top.x);
+  ent_ys_.push_back(top.y);
+  ent_cand_begin_.push_back(cand_begin);
+  ent_cand_count_.push_back(cand_count);
+  ++ent_count_[row];
+}
+
+std::size_t UserArena::add_entry(Row row, geo::Point top,
+                                 const lppm::Mechanism& mechanism,
+                                 rng::Engine& engine) {
+  // Same draw order as the legacy ObfuscationTable: candidates are
+  // generated in one batched mechanism release.
+  scratch_points_.clear();
+  mechanism.obfuscate_into(engine, top, scratch_points_);
+  const std::uint64_t cand_begin = cand_xs_.size();
+  for (const geo::Point p : scratch_points_) {
+    cand_xs_.push_back(p.x);
+    cand_ys_.push_back(p.y);
+  }
+  append_entry(row, top,
+               cand_begin, static_cast<std::uint32_t>(scratch_points_.size()));
+  maybe_compact();
+  return ent_count_[row] - 1;
+}
+
+void UserArena::restore_entry(Row row, geo::Point top,
+                              const std::vector<geo::Point>& candidates,
+                              double radius_m) {
+  util::require(!candidates.empty(), "restored entry must have candidates");
+  util::require(find_entry(row, top, radius_m) < 0,
+                "restored entry collides with an existing table entry");
+  const std::uint64_t cand_begin = cand_xs_.size();
+  for (const geo::Point p : candidates) {
+    cand_xs_.push_back(p.x);
+    cand_ys_.push_back(p.y);
+  }
+  append_entry(row, top, cand_begin,
+               static_cast<std::uint32_t>(candidates.size()));
+  maybe_compact();
+}
+
+// -------------------------------------------------------------- compaction
+
+namespace {
+/// Compaction pays one full rewrite; only worth it past this floor.
+constexpr std::uint64_t kMinDeadForCompaction = 4096;
+
+bool garbage_dominates(std::uint64_t dead, std::uint64_t total) {
+  return dead >= kMinDeadForCompaction && 2 * dead > total;
+}
+}  // namespace
+
+void UserArena::maybe_compact() {
+  if (garbage_dominates(prof_dead_, prof_xs_.size()) ||
+      garbage_dominates(top_dead_, top_idx_.size()) ||
+      garbage_dominates(ent_dead_, ent_xs_.size())) {
+    compact_frozen();
+  }
+  if (garbage_dominates(win_dead_, win_xs_.size())) {
+    compact_window();
+  }
+}
+
+void UserArena::compact_frozen() {
+  const std::size_t rows = user_ids_.size();
+  std::vector<double> new_prof_xs, new_prof_ys, new_ent_xs, new_ent_ys,
+      new_cand_xs, new_cand_ys;
+  std::vector<std::uint64_t> new_prof_freq, new_cand_begin;
+  std::vector<std::uint32_t> new_top_idx, new_cand_count;
+  new_prof_xs.reserve(prof_xs_.size() - prof_dead_);
+  new_prof_ys.reserve(prof_xs_.size() - prof_dead_);
+  new_prof_freq.reserve(prof_xs_.size() - prof_dead_);
+  new_top_idx.reserve(top_idx_.size() - top_dead_);
+  new_ent_xs.reserve(ent_xs_.size() - ent_dead_);
+  new_ent_ys.reserve(ent_xs_.size() - ent_dead_);
+  new_cand_begin.reserve(ent_xs_.size() - ent_dead_);
+  new_cand_count.reserve(ent_xs_.size() - ent_dead_);
+  new_cand_xs.reserve(cand_xs_.size());
+  new_cand_ys.reserve(cand_xs_.size());
+
+  for (Row row = 0; row < rows; ++row) {
+    {
+      const std::uint64_t begin = prof_begin_[row];
+      const std::uint32_t count = prof_count_[row];
+      prof_begin_[row] = new_prof_xs.size();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        new_prof_xs.push_back(prof_xs_[begin + i]);
+        new_prof_ys.push_back(prof_ys_[begin + i]);
+        new_prof_freq.push_back(prof_freq_[begin + i]);
+      }
+    }
+    {
+      const std::uint64_t begin = top_begin_[row];
+      const std::uint32_t count = top_count_[row];
+      top_begin_[row] = new_top_idx.size();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        new_top_idx.push_back(top_idx_[begin + i]);
+      }
+    }
+    {
+      const std::uint64_t begin = ent_begin_[row];
+      const std::uint32_t count = ent_count_[row];
+      ent_begin_[row] = new_ent_xs.size();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::size_t at = begin + i;
+        // Candidate data carries no garbage but is rewritten densely in
+        // row-entry order so a following save() serializes it contiguous.
+        const std::uint64_t cbegin = ent_cand_begin_[at];
+        const std::uint32_t ccount = ent_cand_count_[at];
+        new_ent_xs.push_back(ent_xs_[at]);
+        new_ent_ys.push_back(ent_ys_[at]);
+        new_cand_begin.push_back(new_cand_xs.size());
+        new_cand_count.push_back(ccount);
+        const double* cxs = cand_xs_.range(cbegin, ccount);
+        const double* cys = cand_ys_.range(cbegin, ccount);
+        new_cand_xs.insert(new_cand_xs.end(), cxs, cxs + ccount);
+        new_cand_ys.insert(new_cand_ys.end(), cys, cys + ccount);
+      }
+    }
+  }
+
+  prof_xs_.reset_owned(std::move(new_prof_xs));
+  prof_ys_.reset_owned(std::move(new_prof_ys));
+  prof_freq_.reset_owned(std::move(new_prof_freq));
+  top_idx_.reset_owned(std::move(new_top_idx));
+  ent_xs_.reset_owned(std::move(new_ent_xs));
+  ent_ys_.reset_owned(std::move(new_ent_ys));
+  ent_cand_begin_.reset_owned(std::move(new_cand_begin));
+  ent_cand_count_.reset_owned(std::move(new_cand_count));
+  cand_xs_.reset_owned(std::move(new_cand_xs));
+  cand_ys_.reset_owned(std::move(new_cand_ys));
+  prof_dead_ = top_dead_ = ent_dead_ = 0;
+  // Every frozen column is owned again; the window tail and row scalars
+  // always are, so the snapshot pages have no remaining readers.
+  mapping_.reset();
+}
+
+void UserArena::compact_window() {
+  const std::size_t rows = user_ids_.size();
+  const std::size_t live = win_xs_.size() - win_dead_;
+  std::vector<double> new_xs, new_ys;
+  std::vector<std::int64_t> new_ts;
+  std::vector<std::uint32_t> new_prev;
+  new_xs.reserve(live);
+  new_ys.reserve(live);
+  new_ts.reserve(live);
+  new_prev.reserve(live);
+  std::vector<std::uint32_t> chain;
+  for (Row row = 0; row < rows; ++row) {
+    if (win_count_[row] == 0) continue;
+    chain.clear();
+    for (std::uint32_t i = win_head_[row]; i != kNoIndex; i = win_prev_[i]) {
+      chain.push_back(i);
+    }
+    // chain is newest-first; rewrite the records chronologically with a
+    // sequential back-chain so the user's window is contiguous.
+    for (std::size_t k = chain.size(); k-- > 0;) {
+      const std::uint32_t src = chain[k];
+      new_prev.push_back(k + 1 == chain.size()
+                             ? kNoIndex
+                             : static_cast<std::uint32_t>(new_xs.size() - 1));
+      new_xs.push_back(win_xs_[src]);
+      new_ys.push_back(win_ys_[src]);
+      new_ts.push_back(win_ts_[src]);
+    }
+    win_head_[row] = static_cast<std::uint32_t>(new_xs.size() - 1);
+  }
+  win_xs_ = std::move(new_xs);
+  win_ys_ = std::move(new_ys);
+  win_ts_ = std::move(new_ts);
+  win_prev_ = std::move(new_prev);
+  win_dead_ = 0;
+}
+
+void UserArena::compact() {
+  compact_frozen();
+  compact_window();
+}
+
+std::uint64_t UserArena::owned_bytes() const {
+  const auto vec_bytes = [](const auto& v) {
+    return v.capacity() * sizeof(v[0]);
+  };
+  std::uint64_t total = vec_bytes(user_ids_) + vec_bytes(engines_) +
+                        vec_bytes(window_start_) + vec_bytes(total_check_ins_) +
+                        vec_bytes(win_head_) + vec_bytes(win_count_) +
+                        vec_bytes(has_profile_) + vec_bytes(prof_begin_) +
+                        vec_bytes(prof_count_) + vec_bytes(top_begin_) +
+                        vec_bytes(top_count_) + vec_bytes(ent_begin_) +
+                        vec_bytes(ent_count_) + vec_bytes(directory_) +
+                        vec_bytes(win_xs_) + vec_bytes(win_ys_) +
+                        vec_bytes(win_ts_) + vec_bytes(win_prev_);
+  total += prof_xs_.owned_bytes() + prof_ys_.owned_bytes() +
+           prof_freq_.owned_bytes() + top_idx_.owned_bytes() +
+           ent_xs_.owned_bytes() + ent_ys_.owned_bytes() +
+           ent_cand_begin_.owned_bytes() + ent_cand_count_.owned_bytes() +
+           cand_xs_.owned_bytes() + cand_ys_.owned_bytes();
+  return total;
+}
+
+std::uint64_t UserArena::mapped_bytes() const {
+  return prof_xs_.mapped_bytes() + prof_ys_.mapped_bytes() +
+         prof_freq_.mapped_bytes() + top_idx_.mapped_bytes() +
+         ent_xs_.mapped_bytes() + ent_ys_.mapped_bytes() +
+         ent_cand_begin_.mapped_bytes() + ent_cand_count_.mapped_bytes() +
+         cand_xs_.mapped_bytes() + cand_ys_.mapped_bytes();
+}
+
+// --------------------------------------------------------------- snapshots
+
+void UserArena::save(snapshot::Writer& writer) {
+  compact();
+  writer.write_u64(kSectionTag);
+  writer.write_column(user_ids_);
+  writer.write_column(engines_);
+  writer.write_column(window_start_);
+  writer.write_column(total_check_ins_);
+  writer.write_column(win_head_);
+  writer.write_column(win_count_);
+  writer.write_column(has_profile_);
+  writer.write_column(prof_begin_);
+  writer.write_column(prof_count_);
+  writer.write_column(top_begin_);
+  writer.write_column(top_count_);
+  writer.write_column(ent_begin_);
+  writer.write_column(ent_count_);
+  writer.write_column(prof_xs_.owned());
+  writer.write_column(prof_ys_.owned());
+  writer.write_column(prof_freq_.owned());
+  writer.write_column(top_idx_.owned());
+  writer.write_column(ent_xs_.owned());
+  writer.write_column(ent_ys_.owned());
+  writer.write_column(ent_cand_begin_.owned());
+  writer.write_column(ent_cand_count_.owned());
+  writer.write_column(cand_xs_.owned());
+  writer.write_column(cand_ys_.owned());
+  writer.write_column(win_xs_);
+  writer.write_column(win_ys_);
+  writer.write_column(win_ts_);
+  writer.write_column(win_prev_);
+  std::vector<Row> custom_rows;
+  std::vector<lppm::BoundedGeoIndParams> custom_values;
+  custom_rows.reserve(custom_params_.size());
+  for (const auto& [row, params] : custom_params_) custom_rows.push_back(row);
+  std::sort(custom_rows.begin(), custom_rows.end());
+  custom_values.reserve(custom_rows.size());
+  for (const Row row : custom_rows) {
+    custom_values.push_back(custom_params_.at(row));
+  }
+  writer.write_column(custom_rows);
+  writer.write_column(custom_values);
+}
+
+util::Status UserArena::load(snapshot::Reader& reader) {
+  util::require(user_ids_.empty(),
+                "cannot load a snapshot section into a non-empty arena");
+  const auto parse = [](const std::string& what) {
+    return util::Status::parse_error("snapshot arena section: " + what);
+  };
+  std::uint64_t tag = 0;
+  if (util::Status s = reader.read_u64(tag); !s.ok()) return s;
+  if (tag != kSectionTag) return parse("bad section tag");
+
+  util::Status status;
+  const auto copy = [&](auto& vec) {
+    if (status.ok()) status = reader.read_column_copy(vec);
+  };
+  copy(user_ids_);
+  copy(engines_);
+  copy(window_start_);
+  copy(total_check_ins_);
+  copy(win_head_);
+  copy(win_count_);
+  copy(has_profile_);
+  copy(prof_begin_);
+  copy(prof_count_);
+  copy(top_begin_);
+  copy(top_count_);
+  copy(ent_begin_);
+  copy(ent_count_);
+  if (!status.ok()) return status;
+
+  const std::size_t rows = user_ids_.size();
+  const auto row_sized = [&](const auto& vec) { return vec.size() == rows; };
+  if (!row_sized(engines_) || !row_sized(window_start_) ||
+      !row_sized(total_check_ins_) || !row_sized(win_head_) ||
+      !row_sized(win_count_) || !row_sized(has_profile_) ||
+      !row_sized(prof_begin_) || !row_sized(prof_count_) ||
+      !row_sized(top_begin_) || !row_sized(top_count_) ||
+      !row_sized(ent_begin_) || !row_sized(ent_count_)) {
+    return parse("row-scalar columns disagree on the row count");
+  }
+
+  // Frozen columns adopt the mapped extents in place: the O(big) payload
+  // is never copied on open.
+  const auto adopt = [&](auto& column) {
+    using Element = std::decay_t<decltype(column[0])>;
+    const Element* data = nullptr;
+    std::uint64_t count = 0;
+    if (status.ok()) status = reader.read_column(data, count);
+    if (status.ok()) column.adopt(data, count);
+  };
+  adopt(prof_xs_);
+  adopt(prof_ys_);
+  adopt(prof_freq_);
+  adopt(top_idx_);
+  adopt(ent_xs_);
+  adopt(ent_ys_);
+  adopt(ent_cand_begin_);
+  adopt(ent_cand_count_);
+  adopt(cand_xs_);
+  adopt(cand_ys_);
+  copy(win_xs_);
+  copy(win_ys_);
+  copy(win_ts_);
+  copy(win_prev_);
+  std::vector<Row> custom_rows;
+  std::vector<lppm::BoundedGeoIndParams> custom_values;
+  copy(custom_rows);
+  copy(custom_values);
+  if (!status.ok()) return status;
+
+  if (prof_ys_.size() != prof_xs_.size() ||
+      prof_freq_.size() != prof_xs_.size() ||
+      ent_ys_.size() != ent_xs_.size() ||
+      ent_cand_begin_.size() != ent_xs_.size() ||
+      ent_cand_count_.size() != ent_xs_.size() ||
+      cand_ys_.size() != cand_xs_.size() ||
+      win_ys_.size() != win_xs_.size() ||
+      win_ts_.size() != win_xs_.size() ||
+      win_prev_.size() != win_xs_.size() ||
+      custom_values.size() != custom_rows.size()) {
+    return parse("parallel columns disagree on their lengths");
+  }
+
+  // Range validation: every descriptor must stay inside its column.
+  for (std::size_t row = 0; row < rows; ++row) {
+    if (prof_begin_[row] + prof_count_[row] > prof_xs_.size() ||
+        top_begin_[row] + top_count_[row] > top_idx_.size() ||
+        ent_begin_[row] + ent_count_[row] > ent_xs_.size()) {
+      return parse("row range overruns a frozen column");
+    }
+    for (std::uint32_t i = 0; i < top_count_[row]; ++i) {
+      if (top_idx_[top_begin_[row] + i] >= prof_count_[row]) {
+        return parse("top index outside the row's profile");
+      }
+    }
+    if (win_count_[row] > 0 && win_head_[row] >= win_xs_.size()) {
+      return parse("window head outside the window columns");
+    }
+  }
+  for (std::size_t e = 0; e < ent_xs_.size(); ++e) {
+    if (ent_cand_begin_[e] + ent_cand_count_[e] > cand_xs_.size()) {
+      return parse("candidate range overruns the candidate column");
+    }
+  }
+  for (std::size_t i = 0; i < custom_rows.size(); ++i) {
+    if (custom_rows[i] >= rows) return parse("custom-params row out of range");
+    custom_params_[custom_rows[i]] = custom_values[i];
+  }
+
+  grow_directory(rows);
+  prof_dead_ = top_dead_ = ent_dead_ = win_dead_ = 0;
+  mapping_ = reader.mapping();
+  return util::Status();
+}
+
+}  // namespace privlocad::core

@@ -1,0 +1,313 @@
+// Columnar per-shard user storage: the million-user data plane.
+//
+// Replaces the per-user heap objects EdgeDevice used to hold (a
+// LocationManager + ObfuscationTable per user behind an unordered_map)
+// with one contiguous structure-of-arrays arena per shard:
+//
+//   * a compact open-addressing directory maps user id -> dense row;
+//   * row scalars (RNG stream, window state, range descriptors) are
+//     plain parallel vectors indexed by row;
+//   * bulk payloads -- profile entries, top-location index sets,
+//     obfuscation-table entries, candidate points, and the pending
+//     check-in window -- live in shared append-only columns, each user
+//     owning a contiguous [begin, begin+count) range.
+//
+// Mutation is log-structured: a profile rebuild or table-entry append
+// writes a fresh contiguous range at the end of the column and orphans
+// the old one; dead-element counters trigger compaction once garbage
+// exceeds live data. Candidate coordinates are exposed as simd::PointSpan
+// views, so posterior selection scores store-resident columns directly
+// (no AoS->SoA scratch copy on the serve path).
+//
+// The whole arena serializes to the snapshot format (core/snapshot.hpp).
+// On open, the big frozen columns are adopted in place from the read-only
+// mapping -- columns become "mapped base + owned mutable tail" -- and only
+// the small row scalars are copied, so opening a million-user arena costs
+// a map plus a directory rebuild, not a parse. Compaction folds the
+// mapped base back into owned memory, after which the mapping is
+// released.
+//
+// Determinism: every user's randomness comes from a per-user engine
+// derived as parent.split(user_id) at row creation. Serving outputs for
+// a user therefore depend only on (config seed, user id, that user's
+// request stream) -- not on shard count, co-resident users, or arrival
+// interleaving -- which is what makes 1/2/8-shard runs and
+// snapshot-reopened runs bit-identical.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "attack/profile.hpp"
+#include "core/location_management.hpp"
+#include "geo/point.hpp"
+#include "lppm/mechanism.hpp"
+#include "lppm/privacy_params.hpp"
+#include "rng/engine.hpp"
+#include "simd/soa.hpp"
+#include "trace/check_in.hpp"
+#include "util/status.hpp"
+
+namespace privlocad::core {
+
+namespace snapshot {
+class Writer;
+class Reader;
+class Mapping;
+}  // namespace snapshot
+
+/// One logical column that may be split across a read-only mapped base
+/// (adopted from a snapshot) and an owned mutable tail (post-open
+/// appends). Ranges are written atomically to one side, so a user's
+/// [begin, begin+count) range never straddles the seam and range() can
+/// return one contiguous pointer.
+template <typename T>
+class ArenaColumn {
+ public:
+  std::size_t size() const { return base_size_ + tail_.size(); }
+
+  T operator[](std::size_t i) const {
+    return i < base_size_ ? base_[i] : tail_[i - base_size_];
+  }
+
+  void push_back(T value) { tail_.push_back(value); }
+
+  /// Contiguous view of [begin, begin+count). Valid because ranges are
+  /// appended whole to one side of the base/tail seam.
+  const T* range(std::size_t begin, std::size_t count) const {
+    if (begin >= base_size_) return tail_.data() + (begin - base_size_);
+    assert(begin + count <= base_size_ && "range straddles the mapped seam");
+    (void)count;
+    return base_ + begin;
+  }
+
+  /// Adopts a mapped extent as the immutable base; drops any owned data.
+  void adopt(const T* base, std::size_t count) {
+    base_ = base;
+    base_size_ = count;
+    tail_.clear();
+    tail_.shrink_to_fit();
+  }
+
+  /// Replaces everything with an owned compacted vector.
+  void reset_owned(std::vector<T> owned) {
+    base_ = nullptr;
+    base_size_ = 0;
+    tail_ = std::move(owned);
+  }
+
+  bool fully_owned() const { return base_size_ == 0; }
+
+  /// The owned storage; only meaningful after compaction (save path).
+  const std::vector<T>& owned() const {
+    assert(fully_owned() && "serialize only after compaction");
+    return tail_;
+  }
+
+  std::uint64_t owned_bytes() const { return tail_.capacity() * sizeof(T); }
+  std::uint64_t mapped_bytes() const { return base_size_ * sizeof(T); }
+
+ private:
+  const T* base_ = nullptr;
+  std::size_t base_size_ = 0;
+  std::vector<T> tail_;
+};
+
+/// The per-shard columnar store behind EdgeDevice. Row handles are dense
+/// indices valid for the arena's lifetime (rows are never deleted);
+/// pointers/spans into columns are invalidated by any mutating call.
+class UserArena {
+ public:
+  using Row = std::uint32_t;
+  static constexpr Row kNoRow = 0xFFFFFFFFu;
+
+  /// `parent` seeds every per-user stream: row creation derives the
+  /// user's engine as parent.split(user_id).
+  explicit UserArena(rng::Engine parent);
+
+  // ------------------------------------------------------------- directory
+  std::size_t size() const { return user_ids_.size(); }
+  Row find(std::uint64_t user_id) const;
+  Row find_or_create(std::uint64_t user_id);
+  std::uint64_t user_id(Row row) const { return user_ids_[row]; }
+  rng::Engine& engine(Row row) { return engines_[row]; }
+
+  // ---------------------------------------- location management (window)
+  /// Ports LocationManager::record: starts/advances the window, rebuilds
+  /// the profile when a boundary with enough check-ins is crossed, then
+  /// appends the check-in to the window tail. Returns true on rebuild.
+  bool record(Row row, geo::Point position, trace::Timestamp time,
+              const LocationManagementConfig& config);
+
+  /// Ports LocationManager::rebuild_now (forced rebuild from the pending
+  /// window; keeps the previous profile when the window is empty).
+  void rebuild_now(Row row, const LocationManagementConfig& config);
+
+  std::size_t pending_check_ins(Row row) const { return win_count_[row]; }
+  std::uint64_t total_check_ins(Row row) const {
+    return total_check_ins_[row];
+  }
+
+  // --------------------------------------------------- profile + top set
+  bool has_profile(Row row) const { return has_profile_[row] != 0; }
+  std::size_t profile_size(Row row) const { return prof_count_[row]; }
+  attack::ProfileEntry profile_entry(Row row, std::size_t i) const;
+  /// Materializes the row's profile (snapshot/risk paths, not serving).
+  attack::LocationProfile profile_of(Row row) const;
+
+  std::size_t top_size(Row row) const { return top_count_[row]; }
+  /// The i-th top location (a copy of the referenced profile entry).
+  attack::ProfileEntry top_entry(Row row, std::size_t i) const;
+  /// Profile-relative index of the i-th top location.
+  std::uint32_t top_index(Row row, std::size_t i) const;
+
+  /// Index of the nearest top location within `radius_m` of `location`,
+  /// or -1. Ties resolve to the later entry (legacy scan order).
+  std::int64_t matching_top(Row row, geo::Point location,
+                            double radius_m) const;
+
+  /// Restore path: installs a persisted profile + top set. Throws
+  /// util::PreconditionViolation over a live profile, util::InvalidArgument
+  /// on an out-of-range top index.
+  void restore_profile(Row row, const attack::LocationProfile& profile,
+                       const std::vector<std::size_t>& top_indices);
+
+  // ------------------------------------------------- obfuscation entries
+  std::size_t entry_count(Row row) const { return ent_count_[row]; }
+  geo::Point entry_top(Row row, std::size_t i) const;
+  /// SoA view of entry i's frozen candidate set -- the span the posterior
+  /// selection kernel scores directly.
+  simd::PointSpan entry_candidates(Row row, std::size_t i) const;
+
+  /// Index of the entry whose top location lies within `radius_m` of
+  /// `location`, or -1. Insertion-order scan, ties to the later entry
+  /// (legacy ObfuscationTable::find semantics).
+  std::int64_t find_entry(Row row, geo::Point location,
+                          double radius_m) const;
+
+  /// Appends a new entry for `top`, generating its permanent candidates
+  /// through `mechanism` on `engine` (same draw order as the legacy
+  /// table). Returns the new entry's index.
+  std::size_t add_entry(Row row, geo::Point top,
+                        const lppm::Mechanism& mechanism, rng::Engine& engine);
+
+  /// Restore path: installs a persisted entry verbatim. Throws
+  /// util::InvalidArgument on empty candidates or a collision with an
+  /// existing entry inside `radius_m`.
+  void restore_entry(Row row, geo::Point top,
+                     const std::vector<geo::Point>& candidates,
+                     double radius_m);
+
+  // ------------------------------------------------- personalized privacy
+  void set_custom_params(Row row, lppm::BoundedGeoIndParams params) {
+    custom_params_[row] = params;
+  }
+  const lppm::BoundedGeoIndParams* custom_params(Row row) const {
+    const auto it = custom_params_.find(row);
+    return it == custom_params_.end() ? nullptr : &it->second;
+  }
+  const std::unordered_map<Row, lppm::BoundedGeoIndParams>&
+  all_custom_params() const {
+    return custom_params_;
+  }
+
+  // ------------------------------------------------ maintenance / memory
+  /// Rewrites every column dense and owned (drops orphaned ranges and the
+  /// snapshot mapping). Called automatically once garbage exceeds live
+  /// data, and by save() so snapshots serialize dense.
+  void compact();
+
+  std::uint64_t owned_bytes() const;
+  std::uint64_t mapped_bytes() const;
+
+  // ------------------------------------------------------------ snapshots
+  /// Writes this arena as one snapshot section (compacts first).
+  void save(snapshot::Writer& writer);
+
+  /// Loads one snapshot section into this (empty) arena, adopting the
+  /// frozen columns from the mapping in place. Returns kParseError on
+  /// structural damage.
+  util::Status load(snapshot::Reader& reader);
+
+ private:
+  static constexpr std::uint32_t kNoIndex = 0xFFFFFFFFu;
+  /// window_start sentinel (legacy: empty optional). INT64_MIN is not a
+  /// representable check-in time.
+  static constexpr std::int64_t kNoWindowStart =
+      std::numeric_limits<std::int64_t>::min();
+
+  void grow_directory(std::size_t min_rows);
+  void insert_into_directory(Row row);
+  /// Collects the pending window chronologically into scratch_points_.
+  void gather_window(Row row);
+  void clear_window(Row row);
+  /// Installs freshly built profile entries; the top set is the first
+  /// `top_prefix` profile entries (eta prefix after the min-frequency
+  /// suffix filter).
+  void set_rebuilt_profile(Row row,
+                           const std::vector<attack::ProfileEntry>& entries,
+                           std::size_t top_prefix);
+  void append_entry(Row row, geo::Point top, std::uint64_t cand_begin,
+                    std::uint32_t cand_count);
+  void maybe_compact();
+  void compact_frozen();
+  void compact_window();
+
+  rng::Engine parent_;
+
+  // Directory: open addressing, power-of-two capacity, linear probing.
+  std::vector<Row> directory_;
+  std::uint64_t directory_mask_ = 0;
+
+  // Row scalars (dense, one element per user).
+  std::vector<std::uint64_t> user_ids_;
+  std::vector<rng::Engine> engines_;
+  std::vector<std::int64_t> window_start_;
+  std::vector<std::uint64_t> total_check_ins_;
+  std::vector<std::uint32_t> win_head_;
+  std::vector<std::uint32_t> win_count_;
+  std::vector<std::uint8_t> has_profile_;
+  std::vector<std::uint64_t> prof_begin_;
+  std::vector<std::uint32_t> prof_count_;
+  std::vector<std::uint64_t> top_begin_;
+  std::vector<std::uint32_t> top_count_;
+  std::vector<std::uint64_t> ent_begin_;
+  std::vector<std::uint32_t> ent_count_;
+
+  // Frozen columnar arenas (append-only ranges, copy-forward on update).
+  ArenaColumn<double> prof_xs_, prof_ys_;
+  ArenaColumn<std::uint64_t> prof_freq_;
+  ArenaColumn<std::uint32_t> top_idx_;
+  ArenaColumn<double> ent_xs_, ent_ys_;
+  ArenaColumn<std::uint64_t> ent_cand_begin_;
+  ArenaColumn<std::uint32_t> ent_cand_count_;
+  ArenaColumn<double> cand_xs_, cand_ys_;
+
+  // Pending-window tail: per-record columns chained newest-first through
+  // win_prev_ (win_head_[row] is the newest record's index). No per-user
+  // vectors: appends from any user interleave in the shared columns.
+  std::vector<double> win_xs_, win_ys_;
+  std::vector<std::int64_t> win_ts_;
+  std::vector<std::uint32_t> win_prev_;
+
+  std::unordered_map<Row, lppm::BoundedGeoIndParams> custom_params_;
+
+  // Orphaned-element tallies driving compaction.
+  std::uint64_t prof_dead_ = 0;
+  std::uint64_t top_dead_ = 0;
+  std::uint64_t ent_dead_ = 0;
+  std::uint64_t win_dead_ = 0;
+
+  // Reused scratch (window gather, candidate generation).
+  std::vector<geo::Point> scratch_points_;
+
+  /// Keeps the snapshot pages alive while any frozen column still adopts
+  /// extents from them; released by compaction.
+  std::shared_ptr<const snapshot::Mapping> mapping_;
+};
+
+}  // namespace privlocad::core

@@ -305,7 +305,10 @@ TEST(OutputSelection, UniformBaselineIsUniform) {
 
 TEST(OutputSelection, DomainErrors) {
   rng::Engine e(7);
-  EXPECT_THROW(selection_probabilities({}, 1.0), util::InvalidArgument);
+  EXPECT_THROW(selection_probabilities(std::vector<geo::Point>{}, 1.0),
+               util::InvalidArgument);
+  EXPECT_THROW(selection_probabilities(simd::PointSpan{}, 1.0),
+               util::InvalidArgument);
   EXPECT_THROW(selection_probabilities({{0, 0}}, 0.0),
                util::InvalidArgument);
   EXPECT_THROW(select_uniform(e, {}), util::InvalidArgument);

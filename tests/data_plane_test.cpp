@@ -1,0 +1,355 @@
+// Tests for the columnar data plane: UserArena equivalence with the
+// legacy per-user modules, snapshot round-trips (bit-identical serving
+// across save / mmap-open), corruption handling, and shard-count
+// invariance of the per-user RNG streams.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/concurrent_edge.hpp"
+#include "core/edge_device.hpp"
+#include "core/location_management.hpp"
+#include "core/output_selection.hpp"
+#include "core/snapshot.hpp"
+#include "core/user_arena.hpp"
+#include "lppm/gaussian.hpp"
+#include "rng/engine.hpp"
+#include "simd/soa.hpp"
+#include "trace/check_in.hpp"
+#include "util/status.hpp"
+
+namespace privlocad {
+namespace {
+
+core::EdgeConfig fast_config() {
+  core::EdgeConfig c;
+  c.top_params.radius_m = 500.0;
+  c.top_params.epsilon = 1.0;
+  c.top_params.delta = 0.01;
+  c.top_params.n = 10;
+  c.management.window_seconds = 1000;
+  return c;
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+/// A served output reduced to comparable bits: outcome, kind, and the
+/// exact coordinate bit patterns (bit-identity is the contract).
+using ServedBits =
+    std::tuple<int, int, std::uint64_t, std::uint64_t, std::uint32_t>;
+
+ServedBits bits_of(const core::ServeResult& r) {
+  return {static_cast<int>(r.outcome), static_cast<int>(r.reported.kind),
+          std::bit_cast<std::uint64_t>(r.reported.location.x),
+          std::bit_cast<std::uint64_t>(r.reported.location.y), r.retries};
+}
+
+/// One user's deterministic mixed workload: check-ins at home (top after
+/// the import) interleaved with far-away nomadic positions.
+std::vector<trace::CheckIn> probe_stream(std::uint64_t user_id, int n) {
+  std::vector<trace::CheckIn> probes;
+  const geo::Point home{1000.0 * static_cast<double>(user_id % 97), 500.0};
+  for (int i = 0; i < n; ++i) {
+    const trace::Timestamp t = trace::kStudyStart + 2000 + i * 17;
+    if (i % 3 == 2) {
+      probes.push_back({{home.x + 40000.0, home.y - 35000.0 + i}, t});
+    } else {
+      probes.push_back({home, t});
+    }
+  }
+  return probes;
+}
+
+trace::UserTrace history_for(std::uint64_t user_id, int check_ins = 40) {
+  trace::UserTrace history;
+  history.user_id = user_id;
+  const geo::Point home{1000.0 * static_cast<double>(user_id % 97), 500.0};
+  for (int i = 0; i < check_ins; ++i) {
+    history.check_ins.push_back({home, trace::kStudyStart + i * 13});
+  }
+  return history;
+}
+
+// ------------------------------------------------- arena golden equivalence
+
+TEST(UserArena, MatchesLocationManagerThroughManyWindows) {
+  const core::LocationManagementConfig config{
+      .window_seconds = 500, .min_window_check_ins = 5};
+  core::LocationManager manager(config);
+  core::UserArena arena{rng::Engine(7)};
+  const core::UserArena::Row row = arena.find_or_create(42);
+
+  // Two alternating anchors plus drift so rebuilds produce multi-entry
+  // profiles whose top sets actually change across windows.
+  rng::Engine jitter(99);
+  for (int i = 0; i < 4000; ++i) {
+    const bool at_home = i % 3 != 1;
+    const geo::Point p{(at_home ? 0.0 : 5000.0) + jitter.uniform() * 10.0,
+                       (at_home ? 0.0 : -3000.0) + jitter.uniform() * 10.0};
+    const trace::Timestamp t = trace::kStudyStart + i * 40;
+    const bool rebuilt_legacy = manager.record(p, t);
+    const bool rebuilt_arena = arena.record(row, p, t, config);
+    ASSERT_EQ(rebuilt_legacy, rebuilt_arena) << "at check-in " << i;
+  }
+  ASSERT_TRUE(manager.profile().has_value());
+  ASSERT_TRUE(arena.has_profile(row));
+  ASSERT_EQ(manager.profile()->size(), arena.profile_size(row));
+  for (std::size_t i = 0; i < arena.profile_size(row); ++i) {
+    const attack::ProfileEntry& legacy = manager.profile()->entries()[i];
+    const attack::ProfileEntry ours = arena.profile_entry(row, i);
+    EXPECT_EQ(legacy.frequency, ours.frequency);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(legacy.location.x),
+              std::bit_cast<std::uint64_t>(ours.location.x));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(legacy.location.y),
+              std::bit_cast<std::uint64_t>(ours.location.y));
+  }
+  ASSERT_EQ(manager.top_locations().size(), arena.top_size(row));
+  for (std::size_t i = 0; i < arena.top_size(row); ++i) {
+    EXPECT_EQ(manager.top_locations()[i].frequency,
+              arena.top_entry(row, i).frequency);
+  }
+  EXPECT_EQ(manager.pending_check_ins(), arena.pending_check_ins(row));
+  EXPECT_EQ(manager.total_check_ins(), arena.total_check_ins(row));
+
+  // Compaction is a pure storage transform: state must be unchanged.
+  const auto profile_before = arena.profile_of(row);
+  arena.compact();
+  EXPECT_EQ(profile_before.entries().size(), arena.profile_size(row));
+  for (std::size_t i = 0; i < arena.profile_size(row); ++i) {
+    EXPECT_EQ(profile_before.entries()[i].frequency,
+              arena.profile_entry(row, i).frequency);
+  }
+  EXPECT_EQ(manager.pending_check_ins(), arena.pending_check_ins(row));
+}
+
+TEST(UserArena, DirectoryScalesToManyUsers) {
+  core::UserArena arena{rng::Engine(3)};
+  constexpr std::uint64_t kUsers = 10000;
+  for (std::uint64_t u = 0; u < kUsers; ++u) {
+    const core::UserArena::Row row = arena.find_or_create(u * 977 + 5);
+    ASSERT_EQ(arena.user_id(row), u * 977 + 5);
+  }
+  EXPECT_EQ(arena.size(), kUsers);
+  for (std::uint64_t u = 0; u < kUsers; ++u) {
+    const core::UserArena::Row row = arena.find(u * 977 + 5);
+    ASSERT_NE(row, core::UserArena::kNoRow);
+    EXPECT_EQ(arena.user_id(row), u * 977 + 5);
+  }
+  EXPECT_EQ(arena.find(123456789), core::UserArena::kNoRow);
+}
+
+// ------------------------------------------------------ selection span API
+
+TEST(OutputSelectionSpan, SpanAndVectorOverloadsAgreeBitwise) {
+  std::vector<geo::Point> candidates;
+  rng::Engine e(11);
+  for (int i = 0; i < 10; ++i) {
+    candidates.push_back({e.uniform() * 1000.0, e.uniform() * 1000.0});
+  }
+  simd::SoaPoints soa;
+  soa.assign(candidates);
+
+  const std::vector<double> from_vector =
+      core::selection_probabilities(candidates, 300.0);
+  const std::vector<double> from_span =
+      core::selection_probabilities(soa.span(), 300.0);
+  ASSERT_EQ(from_vector.size(), from_span.size());
+  for (std::size_t i = 0; i < from_vector.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(from_vector[i]),
+              std::bit_cast<std::uint64_t>(from_span[i]));
+  }
+
+  rng::Engine ev(21), es(21);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(core::select_candidate(ev, candidates, 300.0),
+              core::select_candidate(es, soa.span(), 300.0));
+  }
+}
+
+// -------------------------------------------------- snapshot round-tripping
+
+TEST(Snapshot, EdgeDeviceRoundTripServesBitIdentically) {
+  const std::string path = temp_path("device_roundtrip.snap");
+  constexpr int kUsers = 30;
+
+  core::EdgeDevice saved(fast_config().with_seed(5));
+  for (int u = 1; u <= kUsers; ++u) {
+    saved.import_history(u, history_for(u));
+    // Warm some frozen candidate sets pre-snapshot.
+    (void)saved.serve(u, probe_stream(u, 1)[0].position,
+                      trace::kStudyStart + 1500);
+  }
+  saved.set_user_privacy(3, {.radius_m = 250.0, .epsilon = 2.0,
+                             .delta = 0.01, .n = 5});
+  ASSERT_TRUE(saved.save_snapshot(path).ok());
+
+  core::EdgeDevice reopened(fast_config().with_seed(5));
+  ASSERT_TRUE(reopened.open_snapshot(path).ok());
+  EXPECT_EQ(reopened.user_count(), saved.user_count());
+  EXPECT_GT(reopened.data_plane_mapped_bytes(), 0u);
+
+  // Same probe streams through both devices: every served output must be
+  // bit-identical, including the personalized-params user.
+  const core::EdgeTelemetry tel_a0 = saved.telemetry();
+  const core::EdgeTelemetry tel_b0 = reopened.telemetry();
+  for (int u = 1; u <= kUsers; ++u) {
+    for (const trace::CheckIn& c : probe_stream(u, 30)) {
+      const core::ServeResult a = saved.serve(u, c.position, c.time);
+      const core::ServeResult b = reopened.serve(u, c.position, c.time);
+      ASSERT_EQ(bits_of(a), bits_of(b)) << "user " << u;
+    }
+  }
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                reopened.user_privacy(3).radius_m),
+            std::bit_cast<std::uint64_t>(saved.user_privacy(3).radius_m));
+
+  // The outcome-counter deltas partition identically too.
+  const core::EdgeTelemetry tel_a = saved.telemetry();
+  const core::EdgeTelemetry tel_b = reopened.telemetry();
+  EXPECT_EQ(tel_a.requests - tel_a0.requests,
+            tel_b.requests - tel_b0.requests);
+  EXPECT_EQ(tel_a.top_reports - tel_a0.top_reports,
+            tel_b.top_reports - tel_b0.top_reports);
+  EXPECT_EQ(tel_a.nomadic_reports - tel_a0.nomadic_reports,
+            tel_b.nomadic_reports - tel_b0.nomadic_reports);
+  EXPECT_EQ(tel_a.tables_generated - tel_a0.tables_generated,
+            tel_b.tables_generated - tel_b0.tables_generated);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, ConcurrentEdgeRoundTripAtEveryShardCount) {
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{8}}) {
+    const std::string path =
+        temp_path("edge_roundtrip_" + std::to_string(shards) + ".snap");
+    core::ConcurrentEdge saved(
+        fast_config().with_seed(9).with_shards(shards));
+    for (int u = 1; u <= 20; ++u) {
+      saved.import_history(u, history_for(u));
+    }
+    ASSERT_TRUE(saved.save_snapshot(path).ok());
+
+    core::ConcurrentEdge reopened(
+        fast_config().with_seed(9).with_shards(shards));
+    ASSERT_TRUE(reopened.open_snapshot(path).ok());
+    EXPECT_EQ(reopened.user_count(), saved.user_count());
+
+    for (int u = 1; u <= 20; ++u) {
+      for (const trace::CheckIn& c : probe_stream(u, 20)) {
+        const core::ServeResult a = saved.serve(u, c.position, c.time);
+        const core::ServeResult b = reopened.serve(u, c.position, c.time);
+        ASSERT_EQ(bits_of(a), bits_of(b))
+            << "user " << u << " at " << shards << " shards";
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Snapshot, ServingIsShardCountInvariant) {
+  // The same population at 1, 2, and 8 shards: every user's served
+  // stream must be bit-identical, because each user's randomness is an
+  // engine split from (seed, user id), never shared shard state.
+  std::vector<std::vector<ServedBits>> per_shard_outputs;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{8}}) {
+    core::ConcurrentEdge edge(
+        fast_config().with_seed(31).with_shards(shards));
+    std::vector<ServedBits> outputs;
+    for (int u = 1; u <= 25; ++u) {
+      edge.import_history(u, history_for(u));
+      for (const trace::CheckIn& c : probe_stream(u, 15)) {
+        outputs.push_back(bits_of(edge.serve(u, c.position, c.time)));
+      }
+    }
+    per_shard_outputs.push_back(std::move(outputs));
+  }
+  EXPECT_EQ(per_shard_outputs[0], per_shard_outputs[1]);
+  EXPECT_EQ(per_shard_outputs[0], per_shard_outputs[2]);
+}
+
+// ---------------------------------------------------- corruption handling
+
+TEST(Snapshot, CorruptedChecksumIsATypedParseError) {
+  const std::string path = temp_path("corrupt.snap");
+  core::EdgeDevice saved(fast_config().with_seed(2));
+  saved.import_history(1, history_for(1));
+  ASSERT_TRUE(saved.save_snapshot(path).ok());
+
+  // Flip one payload byte past the header.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, core::snapshot::kHeaderBytes + 96, SEEK_SET), 0);
+  const int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+  std::fputc(byte ^ 0x40, f);
+  std::fclose(f);
+
+  core::EdgeDevice fresh(fast_config().with_seed(2));
+  const util::Status status = fresh.open_snapshot(path);
+  EXPECT_EQ(status.code(), util::ErrorCode::kParseError);
+  EXPECT_NE(status.message().find("checksum"), std::string::npos);
+  EXPECT_EQ(fresh.user_count(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, TruncationAndBadMagicAreTypedErrors) {
+  const std::string truncated = temp_path("truncated.snap");
+  core::EdgeDevice saved(fast_config().with_seed(2));
+  saved.import_history(1, history_for(1));
+  ASSERT_TRUE(saved.save_snapshot(truncated).ok());
+  ASSERT_EQ(::truncate(truncated.c_str(), 100), 0);
+  core::EdgeDevice fresh(fast_config().with_seed(2));
+  EXPECT_EQ(fresh.open_snapshot(truncated).code(),
+            util::ErrorCode::kParseError);
+  std::remove(truncated.c_str());
+
+  const std::string garbage = temp_path("garbage.snap");
+  std::FILE* f = std::fopen(garbage.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  for (int i = 0; i < 200; ++i) std::fputc(i & 0xFF, f);
+  std::fclose(f);
+  core::EdgeDevice fresh2(fast_config().with_seed(2));
+  EXPECT_EQ(fresh2.open_snapshot(garbage).code(),
+            util::ErrorCode::kParseError);
+  EXPECT_EQ(fresh2.open_snapshot("/nonexistent/dir/missing.snap").code(),
+            util::ErrorCode::kIoError);
+  std::remove(garbage.c_str());
+}
+
+TEST(Snapshot, PreconditionsAreTypedFailures) {
+  const std::string path = temp_path("preconditions.snap");
+  core::ConcurrentEdge saved(fast_config().with_seed(4).with_shards(2));
+  saved.import_history(1, history_for(1));
+  ASSERT_TRUE(saved.save_snapshot(path).ok());
+
+  // Shard-count mismatch.
+  core::ConcurrentEdge wrong_shards(
+      fast_config().with_seed(4).with_shards(4));
+  EXPECT_EQ(wrong_shards.open_snapshot(path).code(),
+            util::ErrorCode::kFailedPrecondition);
+
+  // A standalone device cannot open a multi-shard snapshot.
+  core::EdgeDevice device(fast_config().with_seed(4));
+  EXPECT_EQ(device.open_snapshot(path).code(),
+            util::ErrorCode::kFailedPrecondition);
+
+  // Opening over live users is refused.
+  core::ConcurrentEdge busy(fast_config().with_seed(4).with_shards(2));
+  busy.import_history(9, history_for(9));
+  EXPECT_EQ(busy.open_snapshot(path).code(),
+            util::ErrorCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace privlocad

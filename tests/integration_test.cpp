@@ -99,7 +99,7 @@ TEST(Integration, LongitudinalAttackDefeatsOneTimeGeoIndButNotEdgeSystem) {
       << "one-time geo-IND should be breakable";
 
   // --- World B: the same user behind Edge-PrivLocAd.
-  core::EdgePrivLocAd system(test_edge_config().with_seed(12), test_campaigns(3));
+  core::EdgePrivLocAd system(test_edge_config().with_seed(13), test_campaigns(3));
   trace::UserTrace history;
   history.user_id = 1;
   for (int i = 0; i < 60; ++i) {
