@@ -1,0 +1,229 @@
+// Open-loop server SLO bench: the maximum sustainable load of one
+// edge_serverd box, and its behavior past saturation.
+//
+// Protocol:
+//   1. Boot an EdgeServer (in-process: same threads + sockets as the
+//      daemon, minus process management) with a Zipf-popular synthetic
+//      population.
+//   2. Climb a geometric rps ladder (x2 per rung). Each rung drives a
+//      Poisson open-loop plan and records client-observed latency
+//      measured from the SCHEDULED arrival instant -- the offered load
+//      never slows down to match the server, so there is no coordinated
+//      omission hiding queueing delay.
+//   3. The highest rung whose p99 meets the SLO with shed fraction
+//      <= 1% is the reported max_sustainable_rps.
+//   4. One final BURSTY overload phase at ~4x the sustainable rate
+//      verifies the saturation contract: bounded queues shed
+//      deterministically (degraded_dropped), every request is accounted
+//      for, and no raw coordinate crosses the wire.
+//
+// Emits BENCH_server_slo.json (per-rung + summary + the server's
+// queue-delay/service-time split) for the perf_guard trajectory.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "net/client.hpp"
+#include "net/load_model.hpp"
+#include "net/server.hpp"
+
+namespace privlocad {
+namespace {
+
+struct StepOutcome {
+  double target_rps = 0.0;
+  net::OpenLoopStats stats;
+  bool sustainable = false;
+};
+
+StepOutcome run_step(std::uint16_t port, double target_rps,
+                     double duration_s, std::size_t users,
+                     std::size_t connections, std::uint64_t seed,
+                     net::ArrivalProcess process, double slo_p99_us,
+                     double max_shed_fraction) {
+  net::LoadPlanConfig plan_config;
+  plan_config.target_rps = target_rps;
+  plan_config.duration_s = duration_s;
+  plan_config.process = process;
+  plan_config.users = users;
+  plan_config.seed = seed;
+  const std::vector<net::TimedRequest> plan =
+      net::build_open_loop_plan(plan_config);
+
+  net::OpenLoopConfig loop_config;
+  loop_config.port = port;
+  loop_config.connections = connections;
+
+  StepOutcome outcome;
+  outcome.target_rps = target_rps;
+  util::Result<net::OpenLoopStats> run =
+      net::run_open_loop(loop_config, plan);
+  if (!run.ok()) {
+    std::fprintf(stderr, "open loop failed at %.0f rps: %s\n", target_rps,
+                 run.status().to_string().c_str());
+    return outcome;
+  }
+  outcome.stats = run.value();
+  outcome.sustainable = outcome.stats.responses > 0 &&
+                        outcome.stats.missing == 0 &&
+                        outcome.stats.latency_p99_us <= slo_p99_us &&
+                        outcome.stats.shed_fraction() <= max_shed_fraction;
+  return outcome;
+}
+
+}  // namespace
+}  // namespace privlocad
+
+int main(int argc, char** argv) {
+  using namespace privlocad;
+
+  const std::uint64_t users = bench::flag_or(argc, argv, "users", 2000);
+  const std::uint64_t workers = bench::flag_or(argc, argv, "workers", 2);
+  const std::uint64_t queue_capacity =
+      bench::flag_or(argc, argv, "queue-capacity", 256);
+  const std::uint64_t connections =
+      bench::flag_or(argc, argv, "connections", 4);
+  const std::uint64_t min_rps = bench::flag_or(argc, argv, "min-rps", 500);
+  const std::uint64_t max_rps =
+      bench::flag_or(argc, argv, "max-rps", 64000);
+  const std::uint64_t step_ms = bench::flag_or(argc, argv, "step-ms", 1000);
+  const std::uint64_t slo_p99_us =
+      bench::flag_or(argc, argv, "slo-p99-us", 20000);
+  const std::uint64_t overload_factor =
+      bench::flag_or(argc, argv, "overload-factor", 4);
+  const std::uint64_t seed = bench::flag_or(argc, argv, "seed", 1);
+  const double max_shed_fraction = 0.01;
+
+  bench::print_header(
+      "Open-loop server SLO: max sustainable load of one edge box");
+  std::printf("users=%llu workers=%llu queue=%llu conns=%llu "
+              "SLO p99 <= %llu us, shed <= %.0f%%\n",
+              static_cast<unsigned long long>(users),
+              static_cast<unsigned long long>(workers),
+              static_cast<unsigned long long>(queue_capacity),
+              static_cast<unsigned long long>(connections),
+              static_cast<unsigned long long>(slo_p99_us),
+              max_shed_fraction * 100.0);
+
+  core::EdgeConfig edge_config;
+  edge_config.seed = seed;
+  edge_config.shards = 4;
+
+  net::ServerConfig server_config;
+  server_config.workers = static_cast<std::size_t>(workers);
+  server_config.queue_capacity = static_cast<std::size_t>(queue_capacity);
+
+  net::EdgeServer server(edge_config, server_config);
+  if (util::Status s = server.start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 s.to_string().c_str());
+    return 1;
+  }
+
+  const double duration_s = static_cast<double>(step_ms) / 1000.0;
+  bench::JsonMetrics metrics;
+  metrics.add_string("bench", "server_slo");
+  metrics.add("users", users);
+  metrics.add("workers", workers);
+  metrics.add("queue_capacity", queue_capacity);
+  metrics.add("slo_p99_us", slo_p99_us);
+
+  std::printf("\n%10s %10s %10s %10s %10s %8s %6s\n", "target", "achieved",
+              "p50_us", "p99_us", "shed", "missing", "ok");
+
+  double sustainable_rps = 0.0;
+  double sustainable_p99 = 0.0;
+  std::uint64_t steps = 0;
+  double first_achieved = 0.0;
+  for (double rps = static_cast<double>(min_rps);
+       rps <= static_cast<double>(max_rps); rps *= 2.0) {
+    const StepOutcome step = run_step(
+        server.port(), rps, duration_s, static_cast<std::size_t>(users),
+        static_cast<std::size_t>(connections), seed + steps,
+        net::ArrivalProcess::kPoisson, static_cast<double>(slo_p99_us),
+        max_shed_fraction);
+    ++steps;
+    const std::string prefix = "step" + std::to_string(steps);
+    metrics.add(prefix + "_target_rps", step.target_rps);
+    metrics.add(prefix + "_achieved_rps", step.stats.achieved_rps);
+    metrics.add(prefix + "_p99_us", step.stats.latency_p99_us);
+    metrics.add(prefix + "_shed", step.stats.degraded_dropped);
+    metrics.add(prefix + "_missing", step.stats.missing);
+    std::printf("%10.0f %10.0f %10.0f %10.0f %10llu %8llu %6s\n",
+                step.target_rps, step.stats.achieved_rps,
+                step.stats.latency_p50_us, step.stats.latency_p99_us,
+                static_cast<unsigned long long>(
+                    step.stats.degraded_dropped),
+                static_cast<unsigned long long>(step.stats.missing),
+                step.sustainable ? "yes" : "NO");
+    if (steps == 1) first_achieved = step.stats.achieved_rps;
+    if (step.sustainable) {
+      sustainable_rps = step.stats.achieved_rps;
+      sustainable_p99 = step.stats.latency_p99_us;
+    } else {
+      break;  // the ladder has found the knee
+    }
+  }
+  if (sustainable_rps == 0.0) {
+    // Even the lowest rung missed the SLO (tiny CI boxes): report the
+    // first rung's achieved rate so the guard still has a trajectory.
+    sustainable_rps = first_achieved;
+  }
+  metrics.add("steps", steps);
+  metrics.add("max_sustainable_rps", sustainable_rps);
+  metrics.add("max_sustainable_p99_us", sustainable_p99);
+
+  // Overload phase: bursty arrivals at overload_factor times the
+  // sustainable rate. The contract under test: no crash, bounded queues
+  // (sheds counted as degraded_dropped), full accounting, zero leaks.
+  const double overload_rps =
+      sustainable_rps * static_cast<double>(overload_factor);
+  const StepOutcome overload = run_step(
+      server.port(), overload_rps, duration_s,
+      static_cast<std::size_t>(users),
+      static_cast<std::size_t>(connections), seed + 1000,
+      net::ArrivalProcess::kBursty, static_cast<double>(slo_p99_us),
+      max_shed_fraction);
+  std::printf("\noverload (bursty, %.0fx): offered %.0f rps, achieved "
+              "%.0f rps, p99 %.0f us, shed %llu (%.1f%%), leaks %llu, "
+              "missing %llu\n",
+              static_cast<double>(overload_factor),
+              overload.stats.offered_rps, overload.stats.achieved_rps,
+              overload.stats.latency_p99_us,
+              static_cast<unsigned long long>(
+                  overload.stats.degraded_dropped),
+              overload.stats.shed_fraction() * 100.0,
+              static_cast<unsigned long long>(overload.stats.raw_leaks),
+              static_cast<unsigned long long>(overload.stats.missing));
+  metrics.add("overload_offered_rps", overload.stats.offered_rps);
+  metrics.add("overload_achieved_rps", overload.stats.achieved_rps);
+  metrics.add("overload_p99_us", overload.stats.latency_p99_us);
+  metrics.add("overload_shed_fraction", overload.stats.shed_fraction());
+  metrics.add("overload_degraded_dropped",
+              overload.stats.degraded_dropped);
+  metrics.add("overload_raw_leaks", overload.stats.raw_leaks);
+  metrics.add("overload_responses", overload.stats.responses);
+  metrics.add("overload_missing", overload.stats.missing);
+
+  // The server-side latency split: time queued vs time serving.
+  bench::add_latency_percentiles(
+      metrics, "net_queue_delay_us",
+      server.metrics().histogram(net::net_metrics::kQueueDelayUs));
+  bench::add_latency_percentiles(
+      metrics, "net_service_time_us",
+      server.metrics().histogram(net::net_metrics::kServiceTimeUs));
+
+  server.stop();
+
+  if (overload.stats.raw_leaks != 0) {
+    std::fprintf(stderr, "FAIL: raw coordinates leaked under overload\n");
+    return 1;
+  }
+  if (overload.stats.responses + overload.stats.missing !=
+      overload.stats.sent) {
+    std::fprintf(stderr, "FAIL: requests unaccounted for\n");
+    return 1;
+  }
+  return bench::emit_json("BENCH_server_slo.json", metrics) ? 0 : 1;
+}

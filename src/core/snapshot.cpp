@@ -6,9 +6,93 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 namespace privlocad::core::snapshot {
+
+namespace {
+
+/// The write path buffers this much before hitting the kernel: column
+/// writes arrive as many small u64/extent pieces, and a syscall per piece
+/// would dominate a million-user save.
+constexpr std::size_t kWriterBufferBytes = 256 * 1024;
+
+std::string errno_suffix() {
+  return std::string(" (") + std::strerror(errno) + ")";
+}
+
+/// ::open with the EINTR retry loop POSIX allows it to need.
+int open_retry(const char* path, int flags, mode_t mode = 0) {
+  int fd = -1;
+  do {
+    fd = ::open(path, flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+/// Full-buffer ::write: retries EINTR and continues after short writes.
+bool write_all(int fd, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t written = ::write(fd, bytes, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes += written;
+    n -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+/// Full-buffer ::pwrite at `offset`, with the same retry discipline.
+bool pwrite_all(int fd, const void* data, std::size_t n, off_t offset) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    const ssize_t written = ::pwrite(fd, bytes, n, offset);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes += written;
+    n -= static_cast<std::size_t>(written);
+    offset += written;
+  }
+  return true;
+}
+
+bool fsync_retry(int fd) {
+  int rc = -1;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  return rc == 0;
+}
+
+/// One ::close, checked. On Linux the descriptor is released even when
+/// close reports EINTR, so retrying would race a concurrent open; EINTR
+/// therefore counts as released, any other error is reported.
+bool close_checked(int fd) {
+  const int rc = ::close(fd);
+  return rc == 0 || errno == EINTR;
+}
+
+/// fsyncs the directory holding `path` so a just-renamed entry survives a
+/// crash. Returns false only when the directory opened but would not sync.
+bool fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = open_retry(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return true;  // e.g. search-only dir permissions: best effort
+  const bool synced = fsync_retry(fd);
+  close_checked(fd);  // read-only directory fd: nothing to lose on error
+  return synced;
+}
+
+}  // namespace
 
 std::uint64_t fnv1a64(const void* data, std::size_t n, std::uint64_t state) {
   const auto* bytes = static_cast<const std::uint8_t*>(data);
@@ -22,30 +106,48 @@ std::uint64_t fnv1a64(const void* data, std::size_t n, std::uint64_t state) {
 // ------------------------------------------------------------------ Writer
 
 Writer::Writer(const std::string& path, std::uint32_t shard_count)
-    : path_(path), shard_count_(shard_count) {
-  file_ = std::fopen(path.c_str(), "wb");
-  if (file_ == nullptr) {
-    status_ = util::Status::io_error("cannot open snapshot for writing: " +
-                                     path + " (" + std::strerror(errno) + ")");
+    : path_(path), tmp_path_(path + ".tmp"), shard_count_(shard_count) {
+  fd_ = open_retry(tmp_path_.c_str(),
+                   O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    status_ = util::Status::io_error("cannot open snapshot temp file: " +
+                                     tmp_path_ + errno_suffix());
     return;
   }
-  // Header placeholder; finish() seeks back and patches the real one.
-  const char zeros[kHeaderBytes] = {};
-  if (std::fwrite(zeros, 1, kHeaderBytes, file_) != kHeaderBytes) {
-    status_ = util::Status::io_error("cannot write snapshot header: " + path);
-  }
+  buffer_.reserve(kWriterBufferBytes);
+  // Header placeholder; finish() patches the real one with pwrite.
+  buffer_.assign(kHeaderBytes, 0);
 }
 
 Writer::~Writer() {
-  if (file_ != nullptr) std::fclose(file_);
+  // Abandoned mid-save (caller error path or crash-unwinding): the target
+  // path is untouched by construction; drop the partial temp file.
+  if (!finished_) discard();
+}
+
+void Writer::discard() {
+  if (fd_ >= 0) {
+    close_checked(fd_);
+    fd_ = -1;
+    ::unlink(tmp_path_.c_str());
+  }
+}
+
+void Writer::flush_buffer() {
+  if (!status_.ok() || buffer_.empty()) return;
+  if (!write_all(fd_, buffer_.data(), buffer_.size())) {
+    status_ = util::Status::io_error("cannot write snapshot: " + tmp_path_ +
+                                     errno_suffix());
+  }
+  buffer_.clear();
 }
 
 void Writer::write_bytes(const void* data, std::size_t n) {
   if (!status_.ok() || n == 0) return;
-  if (std::fwrite(data, 1, n, file_) != n) {
-    status_ = util::Status::io_error("short write to snapshot: " + path_);
-    return;
-  }
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), bytes, bytes + n);
+  if (buffer_.size() >= kWriterBufferBytes) flush_buffer();
+  if (!status_.ok()) return;
   checksum_ = fnv1a64(data, n, checksum_);
   payload_bytes_ += n;
 }
@@ -63,6 +165,7 @@ void Writer::pad_to_alignment() {
 util::Status Writer::finish() {
   if (finished_) return status_;
   finished_ = true;
+  flush_buffer();
   if (status_.ok()) {
     std::uint8_t header[kHeaderBytes] = {};
     std::size_t off = 0;
@@ -81,17 +184,38 @@ util::Status Writer::finish() {
     put(&reserved, 4);
     put(&payload_bytes_, 8);
     put(&checksum_, 8);
-    if (std::fseek(file_, 0, SEEK_SET) != 0 ||
-        std::fwrite(header, 1, kHeaderBytes, file_) != kHeaderBytes) {
+    if (!pwrite_all(fd_, header, kHeaderBytes, 0)) {
       status_ = util::Status::io_error("cannot patch snapshot header: " +
-                                       path_);
+                                       tmp_path_ + errno_suffix());
     }
   }
-  if (file_ != nullptr) {
-    if (std::fclose(file_) != 0 && status_.ok()) {
-      status_ = util::Status::io_error("cannot close snapshot: " + path_);
+  // Data must be durable BEFORE the rename makes it visible: rename-then-
+  // sync can surface a complete-looking file whose pages never hit disk.
+  if (status_.ok() && !fsync_retry(fd_)) {
+    status_ = util::Status::io_error("cannot fsync snapshot: " + tmp_path_ +
+                                     errno_suffix());
+  }
+  if (fd_ >= 0) {
+    if (!close_checked(fd_) && status_.ok()) {
+      // A deferred write error can surface only at close; ignoring it
+      // would publish a snapshot whose tail silently never landed.
+      status_ = util::Status::io_error("cannot close snapshot: " +
+                                       tmp_path_ + errno_suffix());
     }
-    file_ = nullptr;
+    fd_ = -1;
+  }
+  if (status_.ok() && ::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    status_ = util::Status::io_error("cannot publish snapshot (rename " +
+                                     tmp_path_ + " -> " + path_ + ")" +
+                                     errno_suffix());
+  }
+  if (!status_.ok()) {
+    ::unlink(tmp_path_.c_str());
+    return status_;
+  }
+  if (!fsync_parent_dir(path_)) {
+    status_ = util::Status::io_error(
+        "cannot fsync snapshot directory for: " + path_ + errno_suffix());
   }
   return status_;
 }
@@ -105,23 +229,25 @@ Mapping::~Mapping() {
 }
 
 util::Result<std::shared_ptr<Mapping>> map_file(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  const int fd = open_retry(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
-    return util::Status::io_error("cannot open snapshot: " + path + " (" +
-                                  std::strerror(errno) + ")");
+    return util::Status::io_error("cannot open snapshot: " + path +
+                                  errno_suffix());
   }
   struct stat st {};
   if (::fstat(fd, &st) != 0) {
-    ::close(fd);
+    close_checked(fd);
     return util::Status::io_error("cannot stat snapshot: " + path);
   }
   const auto size = static_cast<std::size_t>(st.st_size);
   if (size == 0) {
-    ::close(fd);
+    close_checked(fd);
     return util::Status::parse_error("snapshot file is empty: " + path);
   }
   void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);  // the mapping keeps its own reference to the pages
+  // The mapping keeps its own reference to the pages; a read-only close
+  // has no buffered data to lose, so its result is advisory only.
+  close_checked(fd);
   if (base == MAP_FAILED) {
     return util::Status::io_error("cannot mmap snapshot: " + path + " (" +
                                   std::strerror(errno) + ")");

@@ -33,7 +33,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <type_traits>
@@ -56,9 +55,18 @@ std::uint64_t fnv1a64(const void* data, std::size_t n,
                       std::uint64_t state = kFnvOffsetBasis);
 
 /// Streams one snapshot file: header placeholder first, then payload
-/// writes that accumulate the running checksum, then finish() seeks back
-/// and patches the real header. Errors latch: after the first failure
-/// every write is a no-op and finish() returns the latched status.
+/// writes that accumulate the running checksum, then finish() patches the
+/// real header in place. Errors latch: after the first failure every
+/// write is a no-op and finish() returns the latched status.
+///
+/// Crash safety: the stream goes to `path + ".tmp"`, and finish() only
+/// renames it over `path` after the data has been fsync'ed -- so a crash
+/// (or an abandoned Writer) at ANY point leaves either the old complete
+/// file or no file at the final path, never a truncated hybrid. The
+/// rename is followed by an fsync of the containing directory so the new
+/// directory entry itself is durable. All I/O is raw-fd with EINTR and
+/// short-write retry loops, and every ::close on this write path is
+/// checked -- a close error is a late write error and fails the save.
 class Writer {
  public:
   Writer(const std::string& path, std::uint32_t shard_count);
@@ -83,8 +91,10 @@ class Writer {
     write_column(column.data(), column.size());
   }
 
-  /// Patches the header with the final payload size + checksum and
-  /// closes the file. Returns the first error hit anywhere, if any.
+  /// Patches the header with the final payload size + checksum, fsyncs,
+  /// and atomically renames the temp file over the target path. Returns
+  /// the first error hit anywhere, if any; on error the temp file is
+  /// unlinked and the target path is left untouched.
   util::Status finish();
 
   const util::Status& status() const { return status_; }
@@ -92,9 +102,16 @@ class Writer {
  private:
   void write_bytes(const void* data, std::size_t n);
   void pad_to_alignment();
+  /// Drains the in-memory buffer to the temp fd (EINTR/short-write safe).
+  void flush_buffer();
+  /// Closes the temp fd (checked) and unlinks the temp file; used by the
+  /// error paths and the abandoning destructor.
+  void discard();
 
-  std::FILE* file_ = nullptr;
+  int fd_ = -1;
   std::string path_;
+  std::string tmp_path_;
+  std::vector<std::uint8_t> buffer_;
   std::uint32_t shard_count_ = 0;
   std::uint64_t payload_bytes_ = 0;
   std::uint64_t checksum_ = kFnvOffsetBasis;

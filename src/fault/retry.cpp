@@ -20,9 +20,21 @@ void RetryPolicy::validate() const {
 
 double backoff_delay_us(const RetryPolicy& policy, std::size_t retry,
                         rng::Engine& engine) {
+  // Closed-form min(max, initial * multiplier^retry). The obvious
+  // multiply-until-capped loop is O(retry) and, worse, never reaches the
+  // cap when the delay cannot grow (initial == 0, multiplier == 1, or a
+  // multiplier so close to 1 the product creeps): with "retry forever"
+  // policies passing retry counts in the billions that loop spins the
+  // serving thread instead of sleeping. std::pow saturates to +inf rather
+  // than overflowing, and the min() folds the saturation back to the cap,
+  // so the delay is exact for small retry counts (integer powers of the
+  // multiplier are computed exactly) and safely capped for any count.
   double delay = policy.initial_backoff_us;
-  for (std::size_t i = 0; i < retry && delay < policy.max_backoff_us; ++i) {
-    delay *= policy.backoff_multiplier;
+  if (retry > 0 && delay > 0.0 && policy.backoff_multiplier > 1.0) {
+    // Guarded so 0 * inf (a NaN) cannot be formed; growth >= 1 here.
+    const double growth =
+        std::pow(policy.backoff_multiplier, static_cast<double>(retry));
+    delay = std::min(delay * growth, policy.max_backoff_us);
   }
   delay = std::min(delay, policy.max_backoff_us);
   if (policy.jitter > 0.0) {

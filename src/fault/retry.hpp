@@ -42,7 +42,10 @@ struct RetryPolicy {
 };
 
 /// The jittered delay before retry number `retry` (0-based), in
-/// microseconds. Consumes one engine draw iff jitter > 0.
+/// microseconds: min(max, initial * multiplier^retry) scaled by the
+/// jitter factor. Computed in closed form, so it is O(1) and saturates at
+/// max_backoff_us for ANY retry count -- a SIZE_MAX retry index neither
+/// overflows nor spins. Consumes one engine draw iff jitter > 0.
 double backoff_delay_us(const RetryPolicy& policy, std::size_t retry,
                         rng::Engine& engine);
 

@@ -1,0 +1,44 @@
+#include "net/admission.hpp"
+
+#include "util/validation.hpp"
+
+namespace privlocad::net {
+
+BoundedRequestQueue::BoundedRequestQueue(std::size_t capacity)
+    : capacity_(capacity) {
+  util::require(capacity >= 1, "request queue capacity must be >= 1");
+}
+
+bool BoundedRequestQueue::try_push(PendingRequest request) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(request));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+bool BoundedRequestQueue::pop(PendingRequest& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;  // closed and drained
+  out = std::move(items_.front());
+  items_.pop_front();
+  return true;
+}
+
+void BoundedRequestQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t BoundedRequestQueue::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+}  // namespace privlocad::net

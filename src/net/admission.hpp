@@ -1,0 +1,59 @@
+// Admission control for edge_serverd: bounded per-worker request queues.
+//
+// An open-loop arrival process does not slow down when the box saturates
+// (that is the point of the harness), so the server must bound its own
+// queueing or die by memory. The policy is deliberately simple and
+// DETERMINISTIC: a request is shed if and only if its worker's queue is
+// at capacity at admission time. Shed requests get an immediate
+// degraded_dropped response (fail private: nothing is released) and are
+// tallied into the same edge.serve.degraded_dropped counter the fault
+// paths use -- one box-level taxonomy for "dropped rather than leak".
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "net/wire.hpp"
+
+namespace privlocad::net {
+
+/// One admitted request waiting for a worker. `admitted` timestamps the
+/// push so the worker can split queue delay from service time.
+struct PendingRequest {
+  std::uint64_t conn_id = 0;
+  ServeRequestFrame request{};
+  std::chrono::steady_clock::time_point admitted{};
+};
+
+/// MPSC-ish bounded queue (one IO thread pushes, one worker pops; the
+/// bound is what matters, not the concurrency shape). try_push never
+/// blocks -- full means shed, decided at push time.
+class BoundedRequestQueue {
+ public:
+  explicit BoundedRequestQueue(std::size_t capacity);
+
+  /// False iff the queue is at capacity or closed (the shed decision).
+  bool try_push(PendingRequest request);
+
+  /// Blocks until an item or close; false means closed AND drained.
+  bool pop(PendingRequest& out);
+
+  /// Wakes poppers; pop drains the backlog then returns false.
+  void close();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<PendingRequest> items_;
+  bool closed_ = false;
+};
+
+}  // namespace privlocad::net

@@ -1,0 +1,438 @@
+#include "net/server.hpp"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+
+#include "core/telemetry.hpp"
+#include "util/validation.hpp"
+
+namespace privlocad::net {
+
+namespace {
+
+/// Epoll user-data ids below this are reserved (listen socket, wake fd);
+/// connection ids count up from here.
+constexpr std::uint64_t kListenId = 0;
+constexpr std::uint64_t kWakeId = 1;
+constexpr std::uint64_t kFirstConnId = 8;
+
+constexpr int kEpollWaitMs = 50;
+constexpr std::size_t kReadChunkBytes = 64 * 1024;
+
+double us_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
+
+void ServerConfig::validate() const {
+  util::require(workers >= 1, "server needs at least one worker");
+  util::require(queue_capacity >= 1, "queue capacity must be >= 1");
+  util::require(max_outbound_bytes >= kMaxFrameBytes,
+                "outbound budget must hold at least one frame");
+}
+
+/// Per-connection state, owned exclusively by the IO thread. in/out are
+/// head-indexed so framing and flushing never memmove the whole buffer
+/// per event; compaction happens when the head passes half the buffer.
+struct EdgeServer::Connection {
+  UniqueFd fd;
+  std::vector<std::uint8_t> in;
+  std::size_t in_head = 0;
+  std::vector<std::uint8_t> out;
+  std::size_t out_head = 0;
+  bool want_write = false;   ///< EPOLLOUT currently armed
+  bool read_paused = false;  ///< EPOLLIN disarmed by backpressure
+  bool dead = false;         ///< close at the end of this event batch
+
+  std::size_t out_backlog() const { return out.size() - out_head; }
+  void compact_in() {
+    if (in_head > 0 && in_head * 2 >= in.size()) {
+      in.erase(in.begin(),
+               in.begin() + static_cast<std::ptrdiff_t>(in_head));
+      in_head = 0;
+    }
+  }
+  void compact_out() {
+    if (out_head > 0 && out_head * 2 >= out.size()) {
+      out.erase(out.begin(),
+                out.begin() + static_cast<std::ptrdiff_t>(out_head));
+      out_head = 0;
+    }
+  }
+};
+
+EdgeServer::EdgeServer(core::EdgeConfig edge_config,
+                       ServerConfig server_config)
+    : config_(server_config), edge_(std::move(edge_config)) {
+  config_.validate();
+}
+
+EdgeServer::~EdgeServer() { stop(); }
+
+std::size_t EdgeServer::worker_for(std::uint64_t user_id) const {
+  // Same multiply ConcurrentEdge::shard_for uses: a user's requests land
+  // on one worker, so their serve order matches their arrival order.
+  return static_cast<std::size_t>(
+      (user_id * 0x9E3779B97F4A7C15ULL) % config_.workers);
+}
+
+util::Status EdgeServer::start() {
+  util::require(!started_, "EdgeServer::start called twice");
+
+  obs::MetricsRegistry& registry = edge_.metrics();
+  connections_opened_ =
+      &registry.counter(net_metrics::kConnectionsOpened);
+  connections_closed_ =
+      &registry.counter(net_metrics::kConnectionsClosed);
+  requests_ = &registry.counter(net_metrics::kRequests);
+  responses_ = &registry.counter(net_metrics::kResponses);
+  shed_ = &registry.counter(net_metrics::kShed);
+  parse_errors_ = &registry.counter(net_metrics::kParseErrors);
+  backpressure_pauses_ =
+      &registry.counter(net_metrics::kBackpressurePauses);
+  degraded_dropped_ =
+      &registry.counter(core::edge_metrics::kDegradedDropped);
+  queue_delay_us_ = &registry.histogram(net_metrics::kQueueDelayUs);
+  service_time_us_ = &registry.histogram(net_metrics::kServiceTimeUs);
+  queue_depth_ = &registry.gauge(net_metrics::kQueueDepth);
+
+  util::Result<UniqueFd> listen = listen_loopback(config_.port, port_);
+  if (!listen.ok()) return listen.status();
+  listen_fd_ = std::move(listen.value());
+  if (util::Status s = set_nonblocking(listen_fd_.get()); !s.ok()) return s;
+
+  epoll_fd_ = UniqueFd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd_.valid()) {
+    return util::Status::io_error(std::string("epoll_create1 failed: ") +
+                                  std::strerror(errno));
+  }
+  wake_fd_ = UniqueFd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wake_fd_.valid()) {
+    return util::Status::io_error(std::string("eventfd failed: ") +
+                                  std::strerror(errno));
+  }
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(), &ev) !=
+      0) {
+    return util::Status::io_error(std::string("epoll_ctl(listen) failed: ") +
+                                  std::strerror(errno));
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeId;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) !=
+      0) {
+    return util::Status::io_error(std::string("epoll_ctl(wake) failed: ") +
+                                  std::strerror(errno));
+  }
+
+  stopping_.store(false, std::memory_order_relaxed);
+  queues_.clear();
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    queues_.push_back(
+        std::make_unique<BoundedRequestQueue>(config_.queue_capacity));
+  }
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  io_thread_ = std::thread([this] { io_loop(); });
+  started_ = true;
+  return util::Status();
+}
+
+void EdgeServer::stop() {
+  if (!started_) return;
+  // Workers first: closing the queues lets them drain every admitted
+  // request (each still gets a response), then exit.
+  for (auto& queue : queues_) queue->close();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // Then the IO thread: it sees stopping_, drains the completed
+  // responses one last time, flushes best-effort, and exits.
+  stopping_.store(true, std::memory_order_release);
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n =
+      ::write(wake_fd_.get(), &one, sizeof(one));
+  io_thread_.join();
+  queues_.clear();
+  listen_fd_.reset();
+  epoll_fd_.reset();
+  wake_fd_.reset();
+  started_ = false;
+}
+
+void EdgeServer::worker_loop(std::size_t worker_index) {
+  BoundedRequestQueue& queue = *queues_[worker_index];
+  PendingRequest pending;
+  while (queue.pop(pending)) {
+    const auto picked_up = std::chrono::steady_clock::now();
+    queue_delay_us_->record(us_between(pending.admitted, picked_up));
+
+    if (config_.service_delay_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.service_delay_us));
+    }
+    const core::ServeResult result =
+        edge_.serve(pending.request.user_id,
+                    {pending.request.x, pending.request.y},
+                    pending.request.time);
+    service_time_us_->record(
+        us_between(picked_up, std::chrono::steady_clock::now()));
+
+    ServeResponseFrame frame;
+    frame.request_id = pending.request.request_id;
+    frame.outcome = static_cast<std::uint8_t>(result.outcome);
+    frame.kind = static_cast<std::uint8_t>(result.reported.kind);
+    frame.status_code = static_cast<std::uint8_t>(result.status.code());
+    frame.released = result.released() ? 1 : 0;
+    frame.retries = result.retries;
+    if (result.released()) {
+      frame.x = result.reported.location.x;
+      frame.y = result.reported.location.y;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(completed_mutex_);
+      completed_.push_back({pending.conn_id, frame});
+    }
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n =
+        ::write(wake_fd_.get(), &one, sizeof(one));
+  }
+}
+
+void EdgeServer::io_loop() {
+  std::unordered_map<std::uint64_t, Connection> connections;
+  std::uint64_t next_conn_id = kFirstConnId;
+  std::vector<CompletedResponse> drained;
+  std::array<epoll_event, 64> events;
+
+  const auto update_interest = [&](std::uint64_t id, Connection& conn) {
+    epoll_event ev{};
+    ev.events = (conn.read_paused ? 0u : static_cast<unsigned>(EPOLLIN)) |
+                (conn.want_write ? static_cast<unsigned>(EPOLLOUT) : 0u);
+    ev.data.u64 = id;
+    ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev);
+  };
+
+  const auto try_flush = [&](std::uint64_t id, Connection& conn) {
+    while (conn.out_backlog() > 0) {
+      const ssize_t wrote =
+          ::send(conn.fd.get(), conn.out.data() + conn.out_head,
+                 conn.out_backlog(), MSG_NOSIGNAL);
+      if (wrote > 0) {
+        conn.out_head += static_cast<std::size_t>(wrote);
+        continue;
+      }
+      if (wrote < 0 && errno == EINTR) continue;
+      if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      conn.dead = true;  // peer gone; drop the connection
+      return;
+    }
+    conn.compact_out();
+    const bool need_epollout = conn.out_backlog() > 0;
+    const bool resume_reads =
+        conn.read_paused &&
+        conn.out_backlog() < config_.max_outbound_bytes / 2;
+    if (need_epollout != conn.want_write || resume_reads) {
+      conn.want_write = need_epollout;
+      if (resume_reads) conn.read_paused = false;
+      update_interest(id, conn);
+    }
+  };
+
+  const auto shed_response = [](const ServeRequestFrame& request) {
+    ServeResponseFrame frame;
+    frame.request_id = request.request_id;
+    frame.outcome =
+        static_cast<std::uint8_t>(core::ServeOutcome::kDegradedDropped);
+    frame.status_code =
+        static_cast<std::uint8_t>(util::ErrorCode::kResourceExhausted);
+    frame.released = 0;
+    return frame;  // x/y stay zero: nothing leaves the edge on a shed
+  };
+
+  const auto handle_readable = [&](std::uint64_t id, Connection& conn) {
+    while (true) {
+      const std::size_t at = conn.in.size();
+      conn.in.resize(at + kReadChunkBytes);
+      const ssize_t got =
+          ::recv(conn.fd.get(), conn.in.data() + at, kReadChunkBytes, 0);
+      if (got > 0) {
+        conn.in.resize(at + static_cast<std::size_t>(got));
+        if (static_cast<std::size_t>(got) < kReadChunkBytes) break;
+        continue;
+      }
+      conn.in.resize(at);
+      if (got < 0 && errno == EINTR) continue;
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      conn.dead = true;  // EOF or hard error
+      return;
+    }
+
+    // Frame and admit everything buffered.
+    while (!conn.dead) {
+      Frame frame;
+      std::size_t consumed = 0;
+      const util::Status parsed =
+          try_decode(conn.in.data() + conn.in_head,
+                     conn.in.size() - conn.in_head, frame, consumed);
+      if (!parsed.ok()) {
+        parse_errors_->add();
+        conn.dead = true;  // poisoned stream: no resync point
+        return;
+      }
+      if (consumed == 0) break;  // partial frame; wait for more bytes
+      conn.in_head += consumed;
+      if (frame.type != FrameType::kServeRequest) {
+        parse_errors_->add();
+        conn.dead = true;
+        return;
+      }
+      requests_->add();
+      const std::size_t worker = worker_for(frame.request.user_id);
+      PendingRequest pending;
+      pending.conn_id = id;
+      pending.request = frame.request;
+      pending.admitted = std::chrono::steady_clock::now();
+      if (!queues_[worker]->try_push(std::move(pending))) {
+        // Admission shed: immediate degraded_dropped, counted in both
+        // the net layer and the box-level serve taxonomy.
+        shed_->add();
+        degraded_dropped_->add();
+        append_response(conn.out, shed_response(frame.request));
+        responses_->add();
+      }
+    }
+    conn.compact_in();
+
+    if (conn.dead) return;
+    try_flush(id, conn);
+    if (!conn.read_paused &&
+        conn.out_backlog() >= config_.max_outbound_bytes) {
+      conn.read_paused = true;
+      backpressure_pauses_->add();
+      update_interest(id, conn);
+    }
+  };
+
+  const auto accept_all = [&] {
+    while (true) {
+      const int raw = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                                SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (raw < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN or transient accept error: epoll will re-arm
+      }
+      const int one = 1;
+      ::setsockopt(raw, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      const std::uint64_t id = next_conn_id++;
+      Connection& conn = connections[id];
+      conn.fd = UniqueFd(raw);
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = id;
+      ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, raw, &ev);
+      connections_opened_->add();
+    }
+  };
+
+  const auto drain_completed = [&] {
+    {
+      const std::lock_guard<std::mutex> lock(completed_mutex_);
+      drained.swap(completed_);
+    }
+    for (const CompletedResponse& done : drained) {
+      const auto it = connections.find(done.conn_id);
+      if (it == connections.end()) continue;  // peer left; drop it
+      append_response(it->second.out, done.frame);
+      responses_->add();
+    }
+    // Flush after the batch (not per response) so pipelined completions
+    // coalesce into large sends.
+    if (!drained.empty()) {
+      for (auto& [id, conn] : connections) {
+        if (!conn.dead && conn.out_backlog() > 0) try_flush(id, conn);
+      }
+    }
+    drained.clear();
+  };
+
+  const auto reap_dead = [&] {
+    for (auto it = connections.begin(); it != connections.end();) {
+      if (it->second.dead) {
+        ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, it->second.fd.get(),
+                    nullptr);
+        connections_closed_->add();
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  while (true) {
+    const int n = ::epoll_wait(epoll_fd_.get(), events.data(),
+                               static_cast<int>(events.size()),
+                               kEpollWaitMs);
+    if (n < 0 && errno != EINTR) break;  // epoll itself broke: give up
+    for (int i = 0; i < (n > 0 ? n : 0); ++i) {
+      const std::uint64_t id = events[static_cast<std::size_t>(i)].data.u64;
+      const std::uint32_t mask =
+          events[static_cast<std::size_t>(i)].events;
+      if (id == kListenId) {
+        accept_all();
+        continue;
+      }
+      if (id == kWakeId) {
+        std::uint64_t drainv = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(wake_fd_.get(), &drainv, sizeof(drainv));
+        continue;
+      }
+      const auto it = connections.find(id);
+      if (it == connections.end()) continue;  // closed earlier this batch
+      Connection& conn = it->second;
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+        conn.dead = true;
+        continue;
+      }
+      if ((mask & EPOLLOUT) != 0 && !conn.dead) try_flush(id, conn);
+      if ((mask & EPOLLIN) != 0 && !conn.dead) handle_readable(id, conn);
+    }
+    drain_completed();
+    reap_dead();
+    if (queue_depth_ != nullptr) {
+      std::size_t depth = 0;
+      for (const auto& queue : queues_) depth += queue->size();
+      queue_depth_->set(static_cast<double>(depth));
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Workers are already joined, so completed_ is final: one more
+      // drain + best-effort flush, then close everything.
+      drain_completed();
+      for (auto& [id, conn] : connections) {
+        if (!conn.dead) try_flush(id, conn);
+        connections_closed_->add();
+      }
+      connections.clear();
+      return;
+    }
+  }
+}
+
+}  // namespace privlocad::net

@@ -1,0 +1,150 @@
+// edge_serverd's serving core: an epoll IO loop + worker pool wrapping
+// ConcurrentEdge behind the wire format (net/wire.hpp), with bounded
+// admission queues and byte-budgeted backpressure so an open-loop
+// overload degrades into counted sheds instead of unbounded memory.
+//
+// Threading model:
+//   - ONE IO thread owns every socket: accepts, reads, frames, admits,
+//     and writes. No fd is ever touched off that thread, so connection
+//     state needs no locking.
+//   - N worker threads each own one BoundedRequestQueue and call
+//     ConcurrentEdge::serve (itself shard-locked). Users hash to workers
+//     with the SAME fibonacci multiply ConcurrentEdge uses for shards,
+//     so one user's requests stay ordered end to end.
+//   - Workers hand finished responses back through a mutex-swapped
+//     vector + eventfd wakeup; the IO thread serializes them onto the
+//     owning connection (or drops them if it has gone away).
+//
+// Overload behavior (the tentpole contract):
+//   - A request whose worker queue is full is shed AT ADMISSION:
+//     immediate degraded_dropped response, released=0, zero coordinates,
+//     counted in net.shed AND edge.serve.degraded_dropped (the shared
+//     registry), never queued. Deterministic: the decision is purely
+//     queue-size-at-push.
+//   - A connection whose outbound buffer exceeds max_outbound_bytes
+//     stops being read (EPOLLIN disarmed) until the peer drains it below
+//     half the cap -- TCP backpressure propagates to the client instead
+//     of the server buffering without bound.
+//   - net.queue_delay_us / net.service_time_us split every served
+//     request's latency into time-waiting vs time-serving, so a bench
+//     can tell queueing collapse from a slow serving path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/concurrent_edge.hpp"
+#include "net/admission.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace privlocad::net {
+
+/// Registry names for the server-side metrics, alongside edge_metrics in
+/// the SAME registry (ConcurrentEdge's), so one JSON dump shows the whole
+/// box: wire -> queue -> serve.
+namespace net_metrics {
+inline constexpr const char* kConnectionsOpened = "net.connections.opened";
+inline constexpr const char* kConnectionsClosed = "net.connections.closed";
+inline constexpr const char* kRequests = "net.requests";
+inline constexpr const char* kResponses = "net.responses";
+inline constexpr const char* kShed = "net.shed";
+inline constexpr const char* kParseErrors = "net.parse_errors";
+inline constexpr const char* kBackpressurePauses = "net.backpressure_pauses";
+/// Time from admission to worker pickup (microseconds).
+inline constexpr const char* kQueueDelayUs = "net.queue_delay_us";
+/// Time inside ConcurrentEdge::serve (microseconds).
+inline constexpr const char* kServiceTimeUs = "net.service_time_us";
+/// Instantaneous total backlog across worker queues (sampled on admit).
+inline constexpr const char* kQueueDepth = "net.queue_depth";
+}  // namespace net_metrics
+
+struct ServerConfig {
+  /// Listen port; 0 = kernel-assigned (read it back via port()).
+  std::uint16_t port = 0;
+  /// Worker threads, one bounded queue each.
+  std::size_t workers = 2;
+  /// Per-worker queue bound: the admission-control knob.
+  std::size_t queue_capacity = 1024;
+  /// Outbound byte budget per connection before reads pause.
+  std::size_t max_outbound_bytes = 1 << 20;
+  /// Artificial per-request service delay (test hook: makes a tiny
+  /// serve() long enough to force queueing/shedding deterministically).
+  std::uint32_t service_delay_us = 0;
+
+  /// Throws util::InvalidArgument on out-of-domain fields.
+  void validate() const;
+};
+
+/// The server. start() spawns the threads; stop() (or the destructor)
+/// drains and joins them. Between the two, clients connect to
+/// 127.0.0.1:port() and speak the wire format.
+class EdgeServer {
+ public:
+  EdgeServer(core::EdgeConfig edge_config, ServerConfig server_config);
+  ~EdgeServer();
+  EdgeServer(const EdgeServer&) = delete;
+  EdgeServer& operator=(const EdgeServer&) = delete;
+
+  util::Status start();
+
+  /// Idempotent. Closes the admission queues (workers drain their
+  /// backlog -- every admitted request still gets a response), then
+  /// stops the IO thread after it has flushed what it can.
+  void stop();
+
+  /// The bound port; valid after start().
+  std::uint16_t port() const { return port_; }
+
+  core::ConcurrentEdge& edge() { return edge_; }
+  /// The shared registry (edge_metrics + net_metrics).
+  obs::MetricsRegistry& metrics() { return edge_.metrics(); }
+
+ private:
+  struct Connection;
+  struct CompletedResponse {
+    std::uint64_t conn_id = 0;
+    ServeResponseFrame frame{};
+  };
+
+  void io_loop();
+  void worker_loop(std::size_t worker_index);
+  std::size_t worker_for(std::uint64_t user_id) const;
+
+  ServerConfig config_;
+  core::ConcurrentEdge edge_;
+
+  UniqueFd listen_fd_;
+  UniqueFd epoll_fd_;
+  UniqueFd wake_fd_;
+  std::uint16_t port_ = 0;
+
+  std::vector<std::unique_ptr<BoundedRequestQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::thread io_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::mutex completed_mutex_;
+  std::vector<CompletedResponse> completed_;
+
+  // Hot-path metric handles, resolved once in start().
+  obs::Counter* connections_opened_ = nullptr;
+  obs::Counter* connections_closed_ = nullptr;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* responses_ = nullptr;
+  obs::Counter* shed_ = nullptr;
+  obs::Counter* parse_errors_ = nullptr;
+  obs::Counter* backpressure_pauses_ = nullptr;
+  obs::Counter* degraded_dropped_ = nullptr;
+  obs::LatencyHistogram* queue_delay_us_ = nullptr;
+  obs::LatencyHistogram* service_time_us_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+};
+
+}  // namespace privlocad::net

@@ -1,0 +1,112 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+namespace privlocad::net {
+
+namespace {
+
+std::string errno_suffix() {
+  return std::string(": ") + std::strerror(errno);
+}
+
+}  // namespace
+
+void UniqueFd::reset() {
+  if (fd_ < 0) return;
+  // On Linux the fd is released even when close returns EINTR; retrying
+  // would race a reused descriptor, so one close is the whole protocol.
+  ::close(fd_);
+  fd_ = -1;
+}
+
+util::Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return util::Status::io_error("fcntl(O_NONBLOCK) failed" +
+                                  errno_suffix());
+  }
+  return util::Status();
+}
+
+util::Result<UniqueFd> listen_loopback(std::uint16_t port,
+                                       std::uint16_t& bound_port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    return util::Status::io_error("socket() failed" + errno_suffix());
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return util::Status::io_error("bind(127.0.0.1:" + std::to_string(port) +
+                                  ") failed" + errno_suffix());
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) {
+    return util::Status::io_error("listen() failed" + errno_suffix());
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return util::Status::io_error("getsockname() failed" + errno_suffix());
+  }
+  bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+util::Result<UniqueFd> connect_loopback(std::uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    return util::Status::io_error("socket() failed" + errno_suffix());
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return util::Status::io_error("connect(127.0.0.1:" +
+                                  std::to_string(port) + ") failed" +
+                                  errno_suffix());
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+util::Status write_all(int fd, const void* data, std::size_t n) {
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    const ssize_t wrote = ::send(fd, p, remaining, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::io_error("send() failed" + errno_suffix());
+    }
+    p += wrote;
+    remaining -= static_cast<std::size_t>(wrote);
+  }
+  return util::Status();
+}
+
+}  // namespace privlocad::net

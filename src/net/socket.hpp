@@ -1,0 +1,65 @@
+// Thin RAII + typed-Status layer over the POSIX socket calls that
+// edge_serverd and its clients share. Loopback (127.0.0.1) only: the
+// serving surface this PR adds is a bench/test harness, not an exposed
+// daemon, so there is no address configuration to get wrong.
+//
+// All helpers retry EINTR and report failures as util::Status with errno
+// context -- the same taxonomy the rest of the serving stack uses, so a
+// socket failure is programmatically distinguishable from a wire parse
+// error or an admission drop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace privlocad::net {
+
+/// Move-only owning fd. Close is EINTR-aware and swallowed: sockets here
+/// carry no buffered user data at destruction time (flushing is explicit
+/// on the write paths), so a close error has nothing left to lose.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Sets O_NONBLOCK on `fd`.
+util::Status set_nonblocking(int fd);
+
+/// Listening TCP socket bound to 127.0.0.1:`port` (0 = kernel-assigned
+/// ephemeral); the bound port comes back in `bound_port`.
+util::Result<UniqueFd> listen_loopback(std::uint16_t port,
+                                       std::uint16_t& bound_port);
+
+/// Blocking TCP connect to 127.0.0.1:`port` with TCP_NODELAY set (the
+/// request/response frames are far smaller than a segment; Nagle would
+/// serialize the whole bench behind delayed ACKs).
+util::Result<UniqueFd> connect_loopback(std::uint16_t port);
+
+/// Writes all `n` bytes to a BLOCKING fd, retrying EINTR/short writes.
+util::Status write_all(int fd, const void* data, std::size_t n);
+
+}  // namespace privlocad::net

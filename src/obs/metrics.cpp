@@ -99,8 +99,14 @@ double LatencyHistogram::quantile(double q) const {
   for (std::size_t b = 0; b < counts.size(); ++b) {
     if (counts[b] == 0) continue;
     const double next = cumulative + static_cast<double>(counts[b]);
-    if (next >= target || b + 1 == counts.size()) {
-      if (b == bounds_.size()) return bounds_.back();  // overflow clamps
+    if (next >= target) {
+      // Rank lands in the trailing overflow bucket: the histogram only
+      // knows those observations exceed the last finite bound, so the
+      // estimate CLAMPS to that bound instead of interpolating past the
+      // histogram range (there is no upper edge to interpolate toward).
+      // A reported quantile equal to upper_bounds().back() therefore
+      // means ">= the last bound"; widen the bounds to resolve it.
+      if (b == bounds_.size()) return bounds_.back();
       const double lower = b == 0 ? 0.0 : bounds_[b - 1];
       const double upper = bounds_[b];
       const double fraction = std::clamp(
@@ -109,6 +115,9 @@ double LatencyHistogram::quantile(double q) const {
     }
     cumulative = next;
   }
+  // Unreachable for q in [0, 1] (q * n never exceeds n, so the last
+  // non-empty bucket always satisfies next >= target); kept as the
+  // largest value the histogram can attest to, for float pathologies.
   return bounds_.back();
 }
 

@@ -121,8 +121,11 @@ class LatencyHistogram {
   double mean() const noexcept;
 
   /// Estimated q-quantile (q in [0, 1]) of the finite observations,
-  /// interpolated within the owning bucket; 0 when empty. Overflow
-  /// observations clamp to the last bound.
+  /// interpolated within the owning bucket; 0 when empty. A rank landing
+  /// in the overflow bucket CLAMPS to the last finite bound -- the
+  /// histogram cannot attest to anything beyond its range, so a returned
+  /// value equal to upper_bounds().back() reads as ">= last bound" and
+  /// never extrapolates past it.
   double quantile(double q) const;
 
   std::uint64_t invalid() const noexcept;

@@ -276,6 +276,67 @@ TEST(Snapshot, ServingIsShardCountInvariant) {
   EXPECT_EQ(per_shard_outputs[0], per_shard_outputs[2]);
 }
 
+// ------------------------------------------------------- crash safety
+
+// Regression: save_snapshot must be atomic. A writer that dies mid-save
+// (simulated by destroying it without finish()) must leave the previous
+// complete file at the final path and no temp-file debris -- pre-fix the
+// writer streamed straight into the target and a crash left a truncated,
+// unopenable hybrid where a valid snapshot used to be.
+TEST(Snapshot, AbandonedWriterLeavesExistingSnapshotIntact) {
+  const std::string path = temp_path("atomic_overwrite.snap");
+  core::EdgeDevice saved(fast_config().with_seed(7));
+  saved.import_history(1, history_for(1));
+  ASSERT_TRUE(saved.save_snapshot(path).ok());
+
+  {
+    core::snapshot::Writer dying(path, 1);
+    dying.write_u64(0xDEADBEEFULL);
+    const std::vector<std::uint64_t> column(4096, 42);
+    dying.write_column(column);
+    // Scope exit without finish(): the crash-unwinding path.
+  }
+
+  // The original snapshot still opens and validates.
+  core::EdgeDevice fresh(fast_config().with_seed(7));
+  EXPECT_TRUE(fresh.open_snapshot(path).ok());
+  EXPECT_EQ(fresh.user_count(), 1u);
+  // No temp file left behind.
+  EXPECT_NE(::access((path + ".tmp").c_str(), F_OK), 0);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, AbandonedWriterCreatesNothingAtTheFinalPath) {
+  const std::string path = temp_path("atomic_fresh.snap");
+  std::remove(path.c_str());
+  {
+    core::snapshot::Writer dying(path, 1);
+    dying.write_u64(1);
+  }
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+  EXPECT_NE(::access((path + ".tmp").c_str(), F_OK), 0);
+}
+
+TEST(Snapshot, FinishPublishesExactlyOnceAndCleansUp) {
+  const std::string path = temp_path("atomic_publish.snap");
+  core::EdgeDevice saved(fast_config().with_seed(7));
+  saved.import_history(1, history_for(1));
+  ASSERT_TRUE(saved.save_snapshot(path).ok());
+  // The published file is complete and the temp name is gone.
+  EXPECT_EQ(::access(path.c_str(), F_OK), 0);
+  EXPECT_NE(::access((path + ".tmp").c_str(), F_OK), 0);
+  core::EdgeDevice fresh(fast_config().with_seed(7));
+  EXPECT_TRUE(fresh.open_snapshot(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, UnwritableDirectoryIsATypedIoError) {
+  core::snapshot::Writer writer("/nonexistent-dir-privlocad/file.snap", 1);
+  EXPECT_EQ(writer.status().code(), util::ErrorCode::kIoError);
+  writer.write_u64(1);  // latched: a no-op, not a crash
+  EXPECT_EQ(writer.finish().code(), util::ErrorCode::kIoError);
+}
+
 // ---------------------------------------------------- corruption handling
 
 TEST(Snapshot, CorruptedChecksumIsATypedParseError) {

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <vector>
 
 #include "adnet/exchange.hpp"
@@ -228,6 +229,42 @@ TEST(Retry, BackoffGrowsGeometricallyAndCaps) {
   EXPECT_DOUBLE_EQ(fault::backoff_delay_us(policy, 6, engine), 3200.0);
   EXPECT_DOUBLE_EQ(fault::backoff_delay_us(policy, 7, engine), 5000.0);
   EXPECT_DOUBLE_EQ(fault::backoff_delay_us(policy, 20, engine), 5000.0);
+}
+
+// Regression: the capped-exponential delay must stay exact at the cap for
+// ANY retry index -- astronomical counts (a "retry forever" policy passes
+// SIZE_MAX) must neither overflow past the cap nor degenerate into an
+// O(retry) loop. Each case below completes instantly post-fix; the
+// multiplier == 1 case in particular used to spin `retry` iterations.
+TEST(Retry, BackoffCapsAtAstronomicalRetryCounts) {
+  fault::RetryPolicy policy;
+  policy.initial_backoff_us = 50.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_us = 5000.0;
+  policy.jitter = 0.0;
+  rng::Engine engine(1);
+  EXPECT_DOUBLE_EQ(fault::backoff_delay_us(policy, 63, engine), 5000.0);
+  EXPECT_DOUBLE_EQ(fault::backoff_delay_us(policy, 4096, engine), 5000.0);
+  EXPECT_DOUBLE_EQ(
+      fault::backoff_delay_us(
+          policy, std::numeric_limits<std::size_t>::max(), engine),
+      5000.0);
+
+  // A non-growing multiplier keeps the initial delay at any retry index
+  // (and must not iterate its way there).
+  policy.backoff_multiplier = 1.0;
+  EXPECT_DOUBLE_EQ(
+      fault::backoff_delay_us(
+          policy, std::numeric_limits<std::size_t>::max(), engine),
+      50.0);
+
+  // Zero initial backoff stays zero -- and must not form 0 * inf = NaN
+  // through the closed-form growth factor.
+  policy.backoff_multiplier = 2.0;
+  policy.initial_backoff_us = 0.0;
+  const double zero_delay = fault::backoff_delay_us(
+      policy, std::numeric_limits<std::size_t>::max(), engine);
+  EXPECT_DOUBLE_EQ(zero_delay, 0.0);
 }
 
 TEST(Retry, JitterStaysInsideTheDocumentedBand) {

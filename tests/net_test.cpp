@@ -1,0 +1,487 @@
+// Tests for the edge_serverd serving surface: wire framing, bounded
+// admission, the open-loop load models, loopback end-to-end serving,
+// deterministic shedding under a full queue, the queue-delay vs
+// service-time latency split, and the fail-private contract ON THE WIRE
+// under injected faults and under overload.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/edge_device.hpp"
+#include "core/telemetry.hpp"
+#include "fault/fault.hpp"
+#include "net/admission.hpp"
+#include "net/client.hpp"
+#include "net/load_model.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "trace/check_in.hpp"
+
+namespace privlocad {
+namespace {
+
+core::EdgeConfig small_edge_config() {
+  core::EdgeConfig c;
+  c.top_params.radius_m = 500.0;
+  c.top_params.epsilon = 1.0;
+  c.top_params.delta = 0.01;
+  c.top_params.n = 10;
+  c.management.window_seconds = 1000;
+  c.shards = 2;
+  return c;
+}
+
+net::ServeRequestFrame request_frame(std::uint64_t id, std::uint64_t user,
+                                     double x, double y) {
+  net::ServeRequestFrame request;
+  request.request_id = id;
+  request.user_id = user;
+  request.x = x;
+  request.y = y;
+  request.time = trace::kStudyStart + static_cast<std::int64_t>(id);
+  return request;
+}
+
+// ------------------------------------------------------------------ wire
+
+TEST(Wire, RequestRoundTripsThroughEncodeDecode) {
+  std::vector<std::uint8_t> bytes;
+  const net::ServeRequestFrame sent = request_frame(7, 42, 123.5, -9.25);
+  net::append_request(bytes, sent);
+  ASSERT_EQ(bytes.size(),
+            net::kFrameHeaderBytes + net::kServeRequestBodyBytes);
+
+  net::Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_TRUE(
+      net::try_decode(bytes.data(), bytes.size(), frame, consumed).ok());
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(frame.type, net::FrameType::kServeRequest);
+  EXPECT_EQ(frame.request.request_id, 7u);
+  EXPECT_EQ(frame.request.user_id, 42u);
+  EXPECT_DOUBLE_EQ(frame.request.x, 123.5);
+  EXPECT_DOUBLE_EQ(frame.request.y, -9.25);
+  EXPECT_EQ(frame.request.time, sent.time);
+}
+
+TEST(Wire, DecoderHandlesArbitrarySplitPoints) {
+  std::vector<std::uint8_t> bytes;
+  net::append_request(bytes, request_frame(1, 2, 3.0, 4.0));
+  net::append_request(bytes, request_frame(5, 6, 7.0, 8.0));
+
+  // Feed the stream one byte at a time; exactly two frames must emerge.
+  std::vector<std::uint8_t> window;
+  std::vector<std::uint64_t> ids;
+  for (const std::uint8_t byte : bytes) {
+    window.push_back(byte);
+    net::Frame frame;
+    std::size_t consumed = 0;
+    ASSERT_TRUE(
+        net::try_decode(window.data(), window.size(), frame, consumed)
+            .ok());
+    if (consumed > 0) {
+      ASSERT_EQ(consumed, window.size());  // frame ends exactly here
+      ids.push_back(frame.request.request_id);
+      window.clear();
+    }
+  }
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 5}));
+}
+
+TEST(Wire, BadMagicAndBadTypeAreTypedParseErrors) {
+  std::vector<std::uint8_t> bytes;
+  net::append_request(bytes, request_frame(1, 2, 3.0, 4.0));
+  net::Frame frame;
+  std::size_t consumed = 0;
+
+  std::vector<std::uint8_t> bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_EQ(net::try_decode(bad_magic.data(), bad_magic.size(), frame,
+                            consumed)
+                .code(),
+            util::ErrorCode::kParseError);
+
+  std::vector<std::uint8_t> bad_type = bytes;
+  bad_type[3] = 99;
+  EXPECT_EQ(net::try_decode(bad_type.data(), bad_type.size(), frame,
+                            consumed)
+                .code(),
+            util::ErrorCode::kParseError);
+}
+
+TEST(Wire, NonReleasedResponseNeverCarriesCoordinates) {
+  // Even a buggy caller that leaves raw coordinates in a dropped
+  // response's struct cannot push them onto the wire.
+  net::ServeResponseFrame response;
+  response.request_id = 1;
+  response.released = 0;
+  response.x = 777.0;  // must not survive serialization
+  response.y = 888.0;
+  std::vector<std::uint8_t> bytes;
+  net::append_response(bytes, response);
+
+  net::Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_TRUE(
+      net::try_decode(bytes.data(), bytes.size(), frame, consumed).ok());
+  EXPECT_EQ(frame.response.released, 0);
+  EXPECT_DOUBLE_EQ(frame.response.x, 0.0);
+  EXPECT_DOUBLE_EQ(frame.response.y, 0.0);
+}
+
+// ------------------------------------------------------------- admission
+
+TEST(Admission, ShedsDeterministicallyAtCapacity) {
+  net::BoundedRequestQueue queue(3);
+  net::PendingRequest pending;
+  EXPECT_TRUE(queue.try_push(pending));
+  EXPECT_TRUE(queue.try_push(pending));
+  EXPECT_TRUE(queue.try_push(pending));
+  EXPECT_FALSE(queue.try_push(pending));  // full: shed, not block
+  EXPECT_EQ(queue.size(), 3u);
+
+  net::PendingRequest out;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_TRUE(queue.try_push(pending));  // room again
+}
+
+TEST(Admission, CloseDrainsBacklogThenUnblocks) {
+  net::BoundedRequestQueue queue(8);
+  net::PendingRequest pending;
+  pending.conn_id = 17;
+  ASSERT_TRUE(queue.try_push(pending));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(pending));  // closed refuses new work
+
+  net::PendingRequest out;
+  EXPECT_TRUE(queue.pop(out));  // backlog still drains
+  EXPECT_EQ(out.conn_id, 17u);
+  EXPECT_FALSE(queue.pop(out));  // drained + closed
+}
+
+// ------------------------------------------------------------ load model
+
+TEST(LoadModel, PlansAreDeterministicInTheSeed) {
+  net::LoadPlanConfig config;
+  config.target_rps = 500.0;
+  config.duration_s = 0.5;
+  config.users = 50;
+  config.seed = 9;
+  const std::vector<net::TimedRequest> a =
+      net::build_open_loop_plan(config);
+  const std::vector<net::TimedRequest> b =
+      net::build_open_loop_plan(config);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_s, b[i].at_s);
+    EXPECT_EQ(a[i].request.user_id, b[i].request.user_id);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].request.x),
+              std::bit_cast<std::uint64_t>(b[i].request.x));
+  }
+  config.seed = 10;
+  const std::vector<net::TimedRequest> c =
+      net::build_open_loop_plan(config);
+  ASSERT_FALSE(c.empty());
+  EXPECT_NE(a.front().at_s, c.front().at_s);
+}
+
+TEST(LoadModel, PoissonPlanHitsTheTargetRateAndIsSorted) {
+  net::LoadPlanConfig config;
+  config.target_rps = 2000.0;
+  config.duration_s = 4.0;
+  config.users = 100;
+  const std::vector<net::TimedRequest> plan =
+      net::build_open_loop_plan(config);
+  const double achieved =
+      static_cast<double>(plan.size()) / config.duration_s;
+  EXPECT_NEAR(achieved, config.target_rps, config.target_rps * 0.10);
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_LE(plan[i - 1].at_s, plan[i].at_s);
+    EXPECT_LT(plan[i].at_s, config.duration_s);
+  }
+}
+
+TEST(LoadModel, BurstyPlanKeepsTheMeanRate) {
+  net::LoadPlanConfig config;
+  config.target_rps = 2000.0;
+  config.duration_s = 4.0;
+  config.process = net::ArrivalProcess::kBursty;
+  config.users = 100;
+  const std::vector<net::TimedRequest> plan =
+      net::build_open_loop_plan(config);
+  const double achieved =
+      static_cast<double>(plan.size()) / config.duration_s;
+  EXPECT_NEAR(achieved, config.target_rps, config.target_rps * 0.10);
+
+  // The on-phase must be visibly denser than the off-phase.
+  std::size_t on = 0;
+  std::size_t off = 0;
+  for (const net::TimedRequest& timed : plan) {
+    const double phase = std::fmod(timed.at_s, config.burst_period_s);
+    if (phase < config.burst_fraction * config.burst_period_s) {
+      ++on;
+    } else {
+      ++off;
+    }
+  }
+  // On-phase owns burst_fraction of the time but far more of the load.
+  const double on_share =
+      static_cast<double>(on) / static_cast<double>(on + off);
+  EXPECT_GT(on_share, config.burst_fraction * 2.0);
+}
+
+TEST(LoadModel, ZipfSkewsTowardLowRanks) {
+  const net::ZipfSampler zipf(1000, 1.1);
+  rng::Engine engine(4);
+  std::size_t top10 = 0;
+  const std::size_t draws = 20000;
+  for (std::size_t i = 0; i < draws; ++i) {
+    if (zipf.sample(engine) < 10) ++top10;
+  }
+  // Uniform would put ~1% in the top 10; Zipf(1.1) puts a large share.
+  EXPECT_GT(top10, draws / 5);
+}
+
+// ------------------------------------------------------- loopback serving
+
+TEST(EdgeServer, ServesOverLoopbackAndNeverEchoesRawCoordinates) {
+  net::ServerConfig server_config;
+  server_config.workers = 2;
+  net::EdgeServer server(small_edge_config(), server_config);
+  ASSERT_TRUE(server.start().ok());
+
+  util::Result<net::BlockingClient> client =
+      net::BlockingClient::connect(server.port());
+  ASSERT_TRUE(client.ok());
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    const net::ServeRequestFrame request =
+        request_frame(i, 1 + (i % 4), 1000.0, 2000.0);
+    util::Result<net::ServeResponseFrame> response =
+        client->call(request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->request_id, i);
+    ASSERT_EQ(response->released, 1);  // no faults: everything serves
+    // Obfuscated, not echoed.
+    EXPECT_FALSE(response->x == request.x && response->y == request.y);
+  }
+  EXPECT_EQ(server.metrics().counter_value(net::net_metrics::kRequests),
+            32u);
+  EXPECT_EQ(server.metrics().counter_value(net::net_metrics::kResponses),
+            32u);
+  server.stop();
+}
+
+TEST(EdgeServer, PipelinedRequestsAllComeBackMatched) {
+  net::ServerConfig server_config;
+  server_config.workers = 2;
+  net::EdgeServer server(small_edge_config(), server_config);
+  ASSERT_TRUE(server.start().ok());
+
+  util::Result<net::BlockingClient> client =
+      net::BlockingClient::connect(server.port());
+  ASSERT_TRUE(client.ok());
+  const std::uint64_t n = 64;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(client->send(request_frame(i, 1 + (i % 8), 500.0, 500.0))
+                    .ok());
+  }
+  std::vector<bool> seen(n, false);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    util::Result<net::ServeResponseFrame> response = client->receive();
+    ASSERT_TRUE(response.ok());
+    ASSERT_LT(response->request_id, n);
+    EXPECT_FALSE(seen[response->request_id]);  // each id exactly once
+    seen[response->request_id] = true;
+  }
+  server.stop();
+}
+
+TEST(EdgeServer, StopIsCleanAndIdempotent) {
+  net::EdgeServer server(small_edge_config(), net::ServerConfig{});
+  ASSERT_TRUE(server.start().ok());
+  server.stop();
+  server.stop();  // second stop is a no-op
+}
+
+// ------------------------------------------------- shedding and the split
+
+TEST(EdgeServer, FullQueueShedsAsDegradedDroppedAndCountsIt) {
+  // One slow worker + a tiny queue: a pipelined burst must overflow
+  // admission deterministically.
+  net::ServerConfig server_config;
+  server_config.workers = 1;
+  server_config.queue_capacity = 4;
+  server_config.service_delay_us = 2000;
+  net::EdgeServer server(small_edge_config(), server_config);
+  ASSERT_TRUE(server.start().ok());
+
+  util::Result<net::BlockingClient> client =
+      net::BlockingClient::connect(server.port());
+  ASSERT_TRUE(client.ok());
+  const std::uint64_t n = 64;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // Same user: one worker queue takes the whole burst.
+    ASSERT_TRUE(client->send(request_frame(i, 1, 500.0, 500.0)).ok());
+  }
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    util::Result<net::ServeResponseFrame> response = client->receive();
+    ASSERT_TRUE(response.ok());
+    const auto outcome =
+        static_cast<core::ServeOutcome>(response->outcome);
+    if (outcome == core::ServeOutcome::kDegradedDropped) {
+      ++shed;
+      EXPECT_EQ(response->released, 0);
+      EXPECT_EQ(static_cast<util::ErrorCode>(response->status_code),
+                util::ErrorCode::kResourceExhausted);
+      EXPECT_DOUBLE_EQ(response->x, 0.0);  // nothing leaves on a shed
+      EXPECT_DOUBLE_EQ(response->y, 0.0);
+    } else {
+      ++served;
+    }
+  }
+  EXPECT_EQ(served + shed, n);  // every request accounted for
+  EXPECT_GT(shed, 0u);          // the burst really overflowed
+  EXPECT_GT(served, 0u);        // and the queue really drained
+  EXPECT_EQ(server.metrics().counter_value(net::net_metrics::kShed), shed);
+  // Admission sheds land in the box-level fail-private taxonomy too.
+  EXPECT_GE(server.metrics().counter_value(
+                core::edge_metrics::kDegradedDropped),
+            shed);
+  server.stop();
+}
+
+TEST(EdgeServer, SplitsQueueDelayFromServiceTime) {
+  net::ServerConfig server_config;
+  server_config.workers = 1;
+  server_config.queue_capacity = 256;
+  server_config.service_delay_us = 1000;
+  net::EdgeServer server(small_edge_config(), server_config);
+  ASSERT_TRUE(server.start().ok());
+
+  util::Result<net::BlockingClient> client =
+      net::BlockingClient::connect(server.port());
+  ASSERT_TRUE(client.ok());
+  const std::uint64_t n = 16;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(client->send(request_frame(i, 1, 500.0, 500.0)).ok());
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(client->receive().ok());
+  }
+  const obs::LatencyHistogram& queue_delay =
+      server.metrics().histogram(net::net_metrics::kQueueDelayUs);
+  const obs::LatencyHistogram& service_time =
+      server.metrics().histogram(net::net_metrics::kServiceTimeUs);
+  EXPECT_EQ(queue_delay.count(), n);
+  EXPECT_EQ(service_time.count(), n);
+  // Every request sleeps 1ms in service, so the mean must reflect it.
+  EXPECT_GE(service_time.mean(), 1000.0);
+  // A pipelined burst into one worker queues: the LAST requests wait for
+  // all earlier 1ms services, so mean queue delay well exceeds a single
+  // service time.
+  EXPECT_GE(queue_delay.mean(), 1000.0);
+  server.stop();
+}
+
+// -------------------------------------------- fail private over the wire
+
+TEST(EdgeServer, InjectedFaultsNeverLeakRawCoordinatesOnTheWire) {
+  // Heavy unavailability at the serve site, no retries: many requests
+  // degrade to dropped. The wire contract: dropped frames carry nothing.
+  util::Result<fault::FaultPlan> plan = fault::FaultPlan::parse(
+      "seed=5;serve:p=0.5,code=unavailable");
+  ASSERT_TRUE(plan.ok());
+  fault::FaultInjector injector(plan.value());
+
+  core::EdgeConfig edge_config = small_edge_config();
+  edge_config.faults = &injector;
+  edge_config.retry.max_attempts = 1;  // no retries: faults degrade fast
+
+  net::ServerConfig server_config;
+  server_config.workers = 2;
+  net::EdgeServer server(edge_config, server_config);
+  ASSERT_TRUE(server.start().ok());
+
+  util::Result<net::BlockingClient> client =
+      net::BlockingClient::connect(server.port());
+  ASSERT_TRUE(client.ok());
+  std::uint64_t dropped = 0;
+  std::uint64_t released = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const net::ServeRequestFrame request =
+        request_frame(i, 1 + (i % 8), 1000.0, 2000.0);
+    util::Result<net::ServeResponseFrame> response =
+        client->call(request);
+    ASSERT_TRUE(response.ok());
+    if (response->released == 0) {
+      ++dropped;
+      EXPECT_DOUBLE_EQ(response->x, 0.0);
+      EXPECT_DOUBLE_EQ(response->y, 0.0);
+    } else {
+      ++released;
+      EXPECT_FALSE(response->x == request.x && response->y == request.y);
+    }
+  }
+  EXPECT_GT(dropped, 0u);   // the plan really fired
+  EXPECT_GT(released, 0u);  // and service still flowed
+  server.stop();
+}
+
+// ---------------------------------------------------- open-loop overload
+
+TEST(OpenLoop, OverloadStaysBoundedAccountedAndLeakFree) {
+  // Offered >> capacity: one slow worker, a small queue, a 4x-capacity
+  // bursty plan. The server must answer or shed EVERY request, never
+  // crash, and never leak a raw coordinate.
+  net::ServerConfig server_config;
+  server_config.workers = 1;
+  server_config.queue_capacity = 16;
+  server_config.service_delay_us = 500;
+  net::EdgeServer server(small_edge_config(), server_config);
+  ASSERT_TRUE(server.start().ok());
+
+  net::LoadPlanConfig plan_config;
+  plan_config.target_rps = 4000.0;  // capacity is ~2000/s at 500us each
+  plan_config.duration_s = 0.5;
+  plan_config.process = net::ArrivalProcess::kBursty;
+  plan_config.users = 64;
+  plan_config.seed = 11;
+  const std::vector<net::TimedRequest> plan =
+      net::build_open_loop_plan(plan_config);
+  ASSERT_FALSE(plan.empty());
+
+  net::OpenLoopConfig loop_config;
+  loop_config.port = server.port();
+  loop_config.connections = 2;
+  util::Result<net::OpenLoopStats> run =
+      net::run_open_loop(loop_config, plan);
+  ASSERT_TRUE(run.ok());
+  const net::OpenLoopStats& stats = run.value();
+
+  EXPECT_EQ(stats.sent, stats.offered);
+  EXPECT_EQ(stats.responses + stats.missing, stats.sent);
+  EXPECT_EQ(stats.missing, 0u);  // every admitted or shed answer arrived
+  EXPECT_EQ(stats.raw_leaks, 0u);
+  EXPECT_EQ(stats.wire_errors, 0u);
+  EXPECT_GT(stats.degraded_dropped, 0u);  // overload really shed
+  EXPECT_GT(stats.served, 0u);            // but service continued
+  // The queue bound held: the backlog gauge can never have exceeded
+  // capacity, so queue delay is bounded by capacity * service time
+  // (plus scheduling slack -- generous factor below).
+  const obs::LatencyHistogram& queue_delay =
+      server.metrics().histogram(net::net_metrics::kQueueDelayUs);
+  EXPECT_LE(queue_delay.quantile(0.99),
+            static_cast<double>(server_config.queue_capacity) *
+                static_cast<double>(server_config.service_delay_us) * 4.0);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace privlocad

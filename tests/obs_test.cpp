@@ -266,6 +266,33 @@ TEST(MetricsRegistry, ExactUnderThreadPoolHammering) {
             std::string::npos);
 }
 
+// Regression: a quantile rank landing in the trailing overflow bucket
+// must CLAMP to the last finite bound, never report a value past the
+// histogram range (there is no upper edge to interpolate toward).
+TEST(LatencyHistogram, QuantileInOverflowBucketClampsToLastBound) {
+  LatencyHistogram h({1.0, 10.0});
+  h.record(250.0);
+  h.record(1e6);
+  h.record(1e9);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(LatencyHistogram, QuantileMixedFiniteAndOverflowRanks) {
+  LatencyHistogram h({1.0, 10.0});
+  for (int i = 0; i < 9; ++i) h.record(0.5);  // first bucket
+  h.record(1e9);                              // overflow
+  // Rank 9/10 still lands in the finite first bucket: interpolation stays
+  // inside (0, 1].
+  EXPECT_LE(h.quantile(0.9), 1.0);
+  // Ranks past the finite mass clamp to the last bound -- and are never
+  // extrapolated beyond it.
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
 // -------------------------------------------------------------- json writer
 
 TEST(JsonWriter, PreservesOrderAndEscapes) {
