@@ -1,0 +1,185 @@
+#include "lppm/spanner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <string>
+#include <utility>
+
+#include "util/validation.hpp"
+
+namespace privlocad::lppm {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Adjacency list mirror of the edge set, kept incrementally during the
+/// greedy scan so each candidate test runs Dijkstra on the current graph.
+struct Graph {
+  explicit Graph(std::size_t n) : adjacency(n) {}
+
+  void add_edge(std::uint32_t a, std::uint32_t b, double length) {
+    adjacency[a].push_back({b, length});
+    adjacency[b].push_back({a, length});
+  }
+
+  struct Arc {
+    std::uint32_t to;
+    double length;
+  };
+  std::vector<std::vector<Arc>> adjacency;
+};
+
+/// Dijkstra from `source`, stopping early once `target` is settled or
+/// every frontier distance exceeds `bound`. Returns dist(source, target)
+/// or +inf. `dist` is caller-owned scratch (resized and reset here).
+double bounded_distance(const Graph& graph, std::uint32_t source,
+                        std::uint32_t target, double bound,
+                        std::vector<double>& dist) {
+  dist.assign(graph.adjacency.size(), kInf);
+  using Item = std::pair<double, std::uint32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  dist[source] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    if (u == target) return d;
+    if (d > bound) return kInf;
+    for (const Graph::Arc& arc : graph.adjacency[u]) {
+      const double nd = d + arc.length;
+      if (nd < dist[arc.to]) {
+        dist[arc.to] = nd;
+        queue.push({nd, arc.to});
+      }
+    }
+  }
+  return dist[target];
+}
+
+/// Full single-source shortest paths (no early exit), for certification.
+void all_distances(const Graph& graph, std::uint32_t source,
+                   std::vector<double>& dist) {
+  dist.assign(graph.adjacency.size(), kInf);
+  using Item = std::pair<double, std::uint32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  dist[source] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    for (const Graph::Arc& arc : graph.adjacency[u]) {
+      const double nd = d + arc.length;
+      if (nd < dist[arc.to]) {
+        dist[arc.to] = nd;
+        queue.push({nd, arc.to});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Spanner Spanner::build(const std::vector<geo::Point>& nodes,
+                       const SpannerConfig& config) {
+  util::require(nodes.size() >= 2, "spanner needs at least 2 nodes, got " +
+                                       std::to_string(nodes.size()));
+  util::require(config.target_dilation > 1.0,
+                "spanner target dilation must exceed 1");
+  util::require_non_negative(config.candidate_radius_factor,
+                             "spanner candidate radius factor");
+  const std::size_t n = nodes.size();
+  util::require(n <= std::numeric_limits<std::uint32_t>::max(),
+                "spanner node count overflows 32-bit indices");
+
+  // Pairwise distances double as the duplicate check: a zero-length pair
+  // has no finite dilation.
+  double min_distance = kInf;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = geo::distance(nodes[i], nodes[j]);
+      util::require(d > 0.0, "spanner nodes " + std::to_string(i) + " and " +
+                                 std::to_string(j) + " coincide");
+      min_distance = std::min(min_distance, d);
+    }
+  }
+
+  const double candidate_radius =
+      config.candidate_radius_factor == 0.0
+          ? kInf
+          : config.candidate_radius_factor * min_distance;
+
+  struct Candidate {
+    double length;
+    std::uint32_t a;
+    std::uint32_t b;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = geo::distance(nodes[i], nodes[j]);
+      if (d <= candidate_radius) {
+        candidates.push_back({d, static_cast<std::uint32_t>(i),
+                              static_cast<std::uint32_t>(j)});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              if (x.length != y.length) return x.length < y.length;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+
+  Spanner spanner;
+  spanner.target_dilation_ = config.target_dilation;
+  spanner.node_count_ = n;
+  Graph graph(n);
+  std::vector<double> dist;
+  for (const Candidate& c : candidates) {
+    const double bound = config.target_dilation * c.length;
+    if (bounded_distance(graph, c.a, c.b, bound, dist) > bound) {
+      graph.add_edge(c.a, c.b, c.length);
+      spanner.edges_.push_back({c.a, c.b, c.length});
+    }
+  }
+
+  // Certification-and-repair: measure the true dilation over ALL pairs
+  // (the greedy pass only saw candidates within the radius) and patch any
+  // violation with a direct edge. A direct edge drops that pair's ratio
+  // to 1, so one extra pass always certifies.
+  for (int pass = 0; pass < 2; ++pass) {
+    double worst = 1.0;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> violations;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      all_distances(graph, u, dist);
+      for (std::uint32_t v = u + 1; v < n; ++v) {
+        const double euclid = geo::distance(nodes[u], nodes[v]);
+        const double ratio = dist[v] / euclid;
+        if (ratio > config.target_dilation) {
+          violations.emplace_back(u, v);
+        } else {
+          worst = std::max(worst, ratio);
+        }
+      }
+    }
+    if (violations.empty()) {
+      spanner.dilation_ = worst;
+      return spanner;
+    }
+    for (const auto& [u, v] : violations) {
+      const double d = geo::distance(nodes[u], nodes[v]);
+      graph.add_edge(u, v, d);
+      spanner.edges_.push_back({u, v, d});
+    }
+  }
+  // Unreachable: the repair pass leaves no violations.
+  spanner.dilation_ = config.target_dilation;
+  return spanner;
+}
+
+}  // namespace privlocad::lppm

@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
 #include "util/validation.hpp"
 
 namespace privlocad::opt {
@@ -10,26 +13,42 @@ namespace privlocad::opt {
 Matrix::Matrix(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
 
-double& Matrix::at(std::size_t r, std::size_t c) {
-  return data_[r * cols_ + c];
-}
-
-double Matrix::at(std::size_t r, std::size_t c) const {
-  return data_[r * cols_ + c];
-}
-
 void LpProblem::validate() const {
   util::require(!objective.empty(), "LP needs at least one variable");
   const std::size_t n = objective.size();
   util::require(eq_lhs.rows() == eq_rhs.size(),
-                "A_eq rows and b_eq size differ");
+                "A_eq has " + std::to_string(eq_lhs.rows()) +
+                    " rows but b_eq has " + std::to_string(eq_rhs.size()) +
+                    " entries");
   util::require(ub_lhs.rows() == ub_rhs.size(),
-                "A_ub rows and b_ub size differ");
+                "A_ub has " + std::to_string(ub_lhs.rows()) +
+                    " rows but b_ub has " + std::to_string(ub_rhs.size()) +
+                    " entries");
   util::require(eq_lhs.rows() == 0 || eq_lhs.cols() == n,
-                "A_eq column count must match the variable count");
+                "A_eq has " + std::to_string(eq_lhs.cols()) +
+                    " columns but the LP has " + std::to_string(n) +
+                    " variables");
   util::require(ub_lhs.rows() == 0 || ub_lhs.cols() == n,
-                "A_ub column count must match the variable count");
+                "A_ub has " + std::to_string(ub_lhs.cols()) +
+                    " columns but the LP has " + std::to_string(n) +
+                    " variables");
 }
+
+namespace detail {
+
+// Shared by the dense and revised solvers: publish one solve's iteration
+// counts and wall time as opt.* metrics (satisfies the LP observability
+// contract in docs/API.md).
+void record_solve_metrics(const SolveStats& stats, double seconds) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("opt.solves").add(1);
+  registry.counter("opt.pivots").add(stats.pivots);
+  registry.counter("opt.phase1_iterations").add(stats.phase1_iterations);
+  registry.counter("opt.phase2_iterations").add(stats.phase2_iterations);
+  registry.histogram("opt.solve_us").record(seconds * 1e6);
+}
+
+}  // namespace detail
 
 namespace {
 
@@ -81,7 +100,7 @@ class Tableau {
 /// speed, falling back to Bland's rule after a stretch of degenerate
 /// pivots so cycling cannot occur (Bland guarantees termination).
 LpStatus run_phase(Tableau& tableau, const std::vector<bool>& allowed,
-                   const SimplexOptions& options) {
+                   const SimplexOptions& options, std::size_t* iterations) {
   constexpr std::size_t kStallThreshold = 64;
   std::size_t degenerate_streak = 0;
 
@@ -121,6 +140,7 @@ LpStatus run_phase(Tableau& tableau, const std::vector<bool>& allowed,
 
     degenerate_streak =
         best_ratio <= options.tolerance ? degenerate_streak + 1 : 0;
+    ++*iterations;
     tableau.pivot(leaving, entering);
   }
   return LpStatus::kIterationLimit;
@@ -130,6 +150,16 @@ LpStatus run_phase(Tableau& tableau, const std::vector<bool>& allowed,
 
 LpSolution solve(const LpProblem& problem, const SimplexOptions& options) {
   problem.validate();
+  const util::Timer timer;
+  SolveStats stats;
+  std::size_t drive_out_pivots = 0;
+  const auto finish = [&](LpSolution solution) {
+    stats.pivots = stats.phase1_iterations + stats.phase2_iterations +
+                   drive_out_pivots;
+    solution.stats = stats;
+    detail::record_solve_metrics(stats, timer.elapsed_seconds());
+    return solution;
+  };
   const std::size_t n = problem.objective.size();
   const std::size_t m_eq = problem.eq_lhs.rows();
   const std::size_t m_ub = problem.ub_lhs.rows();
@@ -206,15 +236,17 @@ LpSolution solve(const LpProblem& problem, const SimplexOptions& options) {
       }
     }
     std::vector<bool> allowed(total_cols, true);
-    const LpStatus phase1 = run_phase(tableau, allowed, options);
+    const LpStatus phase1 =
+        run_phase(tableau, allowed, options, &stats.phase1_iterations);
     if (phase1 != LpStatus::kOptimal) {
-      return {phase1 == LpStatus::kUnbounded ? LpStatus::kInfeasible
-                                             : phase1,
-              {},
-              0.0};
+      return finish({phase1 == LpStatus::kUnbounded ? LpStatus::kInfeasible
+                                                    : phase1,
+                     {},
+                     0.0,
+                     {}});
     }
     if (-tableau.cost_rhs() > 1e-6) {
-      return {LpStatus::kInfeasible, {}, 0.0};
+      return finish({LpStatus::kInfeasible, {}, 0.0, {}});
     }
     // Drive surviving artificial basics out where possible.
     for (std::size_t r = 0; r < m; ++r) {
@@ -222,6 +254,7 @@ LpSolution solve(const LpProblem& problem, const SimplexOptions& options) {
       for (std::size_t c = 0; c < art_base; ++c) {
         if (std::abs(tableau.at(r, c)) > options.tolerance) {
           tableau.pivot(r, c);
+          ++drive_out_pivots;
           break;
         }
       }
@@ -243,8 +276,9 @@ LpSolution solve(const LpProblem& problem, const SimplexOptions& options) {
 
   std::vector<bool> allowed(total_cols, true);
   for (std::size_t c = art_base; c < total_cols; ++c) allowed[c] = false;
-  const LpStatus phase2 = run_phase(tableau, allowed, options);
-  if (phase2 != LpStatus::kOptimal) return {phase2, {}, 0.0};
+  const LpStatus phase2 =
+      run_phase(tableau, allowed, options, &stats.phase2_iterations);
+  if (phase2 != LpStatus::kOptimal) return finish({phase2, {}, 0.0, {}});
 
   LpSolution solution;
   solution.status = LpStatus::kOptimal;
@@ -258,7 +292,7 @@ LpSolution solve(const LpProblem& problem, const SimplexOptions& options) {
   for (std::size_t c = 0; c < n; ++c) {
     solution.objective += problem.objective[c] * solution.x[c];
   }
-  return solution;
+  return finish(std::move(solution));
 }
 
 }  // namespace privlocad::opt

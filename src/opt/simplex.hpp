@@ -10,22 +10,33 @@
 // of a stochastic matrix, with per-row simplex constraints (equalities)
 // and geo-IND density-ratio constraints (inequalities). Problem sizes are
 // small (hundreds of variables, thousands of constraints), so a dense
-// tableau with Bland's anti-cycling rule is simple and fast enough.
+// tableau with Bland's anti-cycling rule is simple and fast enough; it is
+// kept as the reference implementation that the sparse revised simplex
+// (opt/revised_simplex.hpp) is checked against.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <vector>
 
 namespace privlocad::opt {
 
-/// Row-major dense matrix, sized rows x cols at construction.
+/// Row-major dense matrix, sized rows x cols at construction. Index
+/// bounds are asserted in debug builds (NDEBUG off); release builds
+/// elide the check to keep the pivot inner loop branch-free.
 class Matrix {
  public:
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols);
 
-  double& at(std::size_t r, std::size_t c);
-  double at(std::size_t r, std::size_t c) const;
+  double& at(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_ && "opt::Matrix::at index out of range");
+    return data_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_ && "opt::Matrix::at index out of range");
+    return data_[r * cols_ + c];
+  }
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -47,14 +58,24 @@ struct LpProblem {
   Matrix ub_lhs;                  ///< A_ub (may have 0 rows)
   std::vector<double> ub_rhs;     ///< b_ub
 
-  /// Validates dimensional consistency; throws InvalidArgument.
+  /// Validates dimensional consistency; throws util::InvalidArgument with
+  /// a message naming the offending block and the mismatched sizes.
   void validate() const;
+};
+
+/// Iteration accounting for one or more simplex solves; also published
+/// to the global metrics registry as `opt.*` counters on every solve.
+struct SolveStats {
+  std::size_t phase1_iterations = 0;
+  std::size_t phase2_iterations = 0;
+  std::size_t pivots = 0;  ///< all basis changes, drive-out pivots included
 };
 
 struct LpSolution {
   LpStatus status = LpStatus::kIterationLimit;
   std::vector<double> x;      ///< primal solution (valid when optimal)
   double objective = 0.0;     ///< c^T x (valid when optimal)
+  SolveStats stats;           ///< iteration counts of this solve
 };
 
 struct SimplexOptions {
@@ -65,8 +86,17 @@ struct SimplexOptions {
   /// `perturbation * (r + 1)` added to its rhs. Massively degenerate
   /// problems (e.g. the geo-IND LP, whose ratio constraints all have
   /// rhs 0) stall the simplex at ties; a graded perturbation makes every
-  /// vertex unique so Dantzig pricing runs freely. The returned solution
-  /// is off by O(perturbation * rows); callers that need exact feasibility
+  /// vertex unique so Dantzig pricing runs freely.
+  ///
+  /// Error bound: by LP duality the optimal objective is b^T y* at the
+  /// optimal duals y*, so shifting inequality rhs r by perturbation*(r+1)
+  /// moves the optimum by at most
+  ///     sum_r |y*_r| * perturbation * (r + 1)
+  ///       <= perturbation * rows * sum_r |y*_r|,
+  /// i.e. O(perturbation * rows) for bounded duals (the geo-IND duals are
+  /// bounded by the prior-weighted cell distances). The property test
+  /// SimplexTest.PerturbationObjectiveErrorIsLinearlyBounded pins this on
+  /// known LPs for both solvers. Callers that need exact feasibility
   /// should post-process (the optimal mechanism renormalizes its rows).
   /// Zero disables.
   double degeneracy_perturbation = 0.0;
@@ -74,5 +104,11 @@ struct SimplexOptions {
 
 /// Solves the LP with the two-phase method.
 LpSolution solve(const LpProblem& problem, const SimplexOptions& options = {});
+
+namespace detail {
+/// Publishes one solve's iteration counts and wall time as `opt.*`
+/// metrics in the global registry (internal, shared by both solvers).
+void record_solve_metrics(const SolveStats& stats, double seconds);
+}  // namespace detail
 
 }  // namespace privlocad::opt

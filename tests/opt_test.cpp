@@ -1,21 +1,29 @@
-// Tests for the dense two-phase simplex solver and the LP-based optimal
-// geo-IND mechanism built on it.
+// Tests for the simplex solvers (dense tableau and sparse revised), the
+// CSR constraint representation, and the LP-based optimal geo-IND
+// mechanism built on them.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "lppm/optimal_mechanism.hpp"
 #include "lppm/planar_laplace.hpp"
+#include "opt/revised_simplex.hpp"
 #include "opt/simplex.hpp"
+#include "opt/sparse.hpp"
 #include "rng/engine.hpp"
 #include "util/validation.hpp"
 
 namespace privlocad {
 namespace {
 
+using opt::CsrMatrix;
 using opt::LpProblem;
 using opt::LpStatus;
 using opt::Matrix;
+using opt::SparseLpProblem;
 
 // ------------------------------------------------------------------ simplex
 
@@ -121,6 +129,355 @@ TEST(Simplex, ValidatesDimensions) {
   EXPECT_THROW(opt::solve(p), util::InvalidArgument);
   LpProblem empty;
   EXPECT_THROW(opt::solve(empty), util::InvalidArgument);
+}
+
+TEST(Simplex, DimensionErrorsNameTheMismatch) {
+  // The error text carries both sizes so a bad LP is diagnosable from the
+  // exception alone.
+  LpProblem p;
+  p.objective = {1.0, 1.0};
+  p.eq_lhs = Matrix(2, 2);
+  p.eq_rhs = {1.0};  // 2 rows vs 1 rhs entry
+  try {
+    opt::solve(p);
+    FAIL() << "expected util::InvalidArgument";
+  } catch (const util::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("A_eq has 2 rows"), std::string::npos) << what;
+    EXPECT_NE(what.find("b_eq has 1 entries"), std::string::npos) << what;
+  }
+
+  LpProblem q;
+  q.objective = {1.0, 1.0};
+  q.ub_lhs = Matrix(1, 3);
+  q.ub_rhs = {1.0};  // 3 columns vs 2 variables
+  try {
+    opt::solve(q);
+    FAIL() << "expected util::InvalidArgument";
+  } catch (const util::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("A_ub has 3 columns"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 variables"), std::string::npos) << what;
+  }
+}
+
+TEST(Simplex, ReportsIterationLimit) {
+  // One iteration cannot reach the Dantzig-example optimum.
+  LpProblem p;
+  p.objective = {-3.0, -5.0};
+  p.ub_lhs = Matrix(3, 2);
+  p.ub_lhs.at(0, 0) = 1.0;
+  p.ub_lhs.at(1, 1) = 2.0;
+  p.ub_lhs.at(2, 0) = 3.0;
+  p.ub_lhs.at(2, 1) = 2.0;
+  p.ub_rhs = {4.0, 12.0, 18.0};
+  opt::SimplexOptions options;
+  options.max_iterations = 1;
+  EXPECT_EQ(opt::solve(p, options).status, LpStatus::kIterationLimit);
+}
+
+TEST(Simplex, CountsPivotsInSolveStats) {
+  LpProblem p;
+  p.objective = {-3.0, -5.0};
+  p.ub_lhs = Matrix(3, 2);
+  p.ub_lhs.at(0, 0) = 1.0;
+  p.ub_lhs.at(1, 1) = 2.0;
+  p.ub_lhs.at(2, 0) = 3.0;
+  p.ub_lhs.at(2, 1) = 2.0;
+  p.ub_rhs = {4.0, 12.0, 18.0};
+  const auto solution = opt::solve(p);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  // All-positive rhs: phase 1 is skipped outright, phase 2 must move.
+  EXPECT_EQ(solution.stats.phase1_iterations, 0u);
+  EXPECT_GE(solution.stats.phase2_iterations, 2u);
+  EXPECT_EQ(solution.stats.pivots, solution.stats.phase1_iterations +
+                                       solution.stats.phase2_iterations);
+}
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST) && GTEST_HAS_DEATH_TEST
+TEST(MatrixDeathTest, OutOfRangeAccessAssertsInDebugBuilds) {
+  Matrix m(2, 3);
+  EXPECT_DEATH(m.at(2, 0), "out of range");
+  EXPECT_DEATH(m.at(0, 3), "out of range");
+}
+#endif
+
+// ------------------------------------------------------------ sparse (CSR)
+
+TEST(CsrMatrix, BuildsIncrementallyAndRoundTripsFromDense) {
+  CsrMatrix m(4);
+  m.append(0, 1.0);
+  m.append(3, -2.0);
+  m.finish_row();
+  m.finish_row();  // empty row
+  m.append(2, 5.0);
+  m.finish_row();
+  ASSERT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nonzeros(), 3u);
+  EXPECT_EQ(m.row_end(0) - m.row_begin(0), 2u);
+  EXPECT_EQ(m.row_end(1) - m.row_begin(1), 0u);
+  EXPECT_EQ(m.col_index(m.row_begin(2)), 2u);
+  EXPECT_DOUBLE_EQ(m.value(m.row_begin(2)), 5.0);
+
+  Matrix dense(3, 4);
+  dense.at(0, 0) = 1.0;
+  dense.at(0, 3) = -2.0;
+  dense.at(2, 2) = 5.0;
+  const CsrMatrix converted = CsrMatrix::from_dense(dense);
+  ASSERT_EQ(converted.rows(), m.rows());
+  ASSERT_EQ(converted.nonzeros(), m.nonzeros());
+  for (std::size_t nz = 0; nz < m.nonzeros(); ++nz) {
+    EXPECT_EQ(converted.col_index(nz), m.col_index(nz));
+    EXPECT_DOUBLE_EQ(converted.value(nz), m.value(nz));
+  }
+}
+
+TEST(CsrMatrix, FromDenseDropsSmallEntriesWithTolerance) {
+  Matrix dense(1, 3);
+  dense.at(0, 0) = 1.0;
+  dense.at(0, 1) = 1e-15;
+  const CsrMatrix kept = CsrMatrix::from_dense(dense);
+  const CsrMatrix pruned = CsrMatrix::from_dense(dense, 1e-12);
+  EXPECT_EQ(kept.nonzeros(), 2u);
+  EXPECT_EQ(pruned.nonzeros(), 1u);
+}
+
+// ------------------------------------------------------- revised simplex
+
+SparseLpProblem sparse_dantzig() {
+  // Same LP as Simplex.SolvesTextbookMaximization.
+  SparseLpProblem p;
+  p.objective = {-3.0, -5.0};
+  p.ub_lhs = CsrMatrix(2);
+  p.ub_lhs.append(0, 1.0);
+  p.ub_lhs.finish_row();
+  p.ub_lhs.append(1, 2.0);
+  p.ub_lhs.finish_row();
+  p.ub_lhs.append(0, 3.0);
+  p.ub_lhs.append(1, 2.0);
+  p.ub_lhs.finish_row();
+  p.ub_rhs = {4.0, 12.0, 18.0};
+  return p;
+}
+
+TEST(RevisedSimplex, SolvesTextbookMaximization) {
+  const auto solution = opt::solve_sparse(sparse_dantzig());
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(solution.x[1], 6.0, 1e-9);
+  EXPECT_NEAR(solution.objective, -36.0, 1e-9);
+  EXPECT_GE(solution.stats.pivots, 2u);
+}
+
+TEST(RevisedSimplex, HandlesEqualityAndNegativeRhs) {
+  // -x - y = -10 (normalized to x + y = 10), min x + 2y, y <= 7.
+  SparseLpProblem p;
+  p.objective = {1.0, 2.0};
+  p.eq_lhs = CsrMatrix(2);
+  p.eq_lhs.append(0, -1.0);
+  p.eq_lhs.append(1, -1.0);
+  p.eq_lhs.finish_row();
+  p.eq_rhs = {-10.0};
+  p.ub_lhs = CsrMatrix(2);
+  p.ub_lhs.append(1, 1.0);
+  p.ub_lhs.finish_row();
+  p.ub_rhs = {7.0};
+  const auto solution = opt::solve_sparse(p);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 10.0, 1e-9);
+}
+
+TEST(RevisedSimplex, DetectsInfeasibility) {
+  SparseLpProblem p;
+  p.objective = {1.0};
+  p.eq_lhs = CsrMatrix(1);
+  p.eq_lhs.append(0, 1.0);
+  p.eq_lhs.finish_row();
+  p.eq_rhs = {5.0};
+  p.ub_lhs = CsrMatrix(1);
+  p.ub_lhs.append(0, 1.0);
+  p.ub_lhs.finish_row();
+  p.ub_rhs = {3.0};
+  EXPECT_EQ(opt::solve_sparse(p).status, LpStatus::kInfeasible);
+}
+
+TEST(RevisedSimplex, DetectsUnboundedness) {
+  // min -x with only a lower-bounding style constraint (x >= 1 written as
+  // -x <= -1): x can grow without limit. Exercises the flipped-ub path
+  // too (negative rhs row gets an artificial).
+  SparseLpProblem p;
+  p.objective = {-1.0};
+  p.ub_lhs = CsrMatrix(1);
+  p.ub_lhs.append(0, -1.0);
+  p.ub_lhs.finish_row();
+  p.ub_rhs = {-1.0};
+  EXPECT_EQ(opt::solve_sparse(p).status, LpStatus::kUnbounded);
+}
+
+TEST(RevisedSimplex, HandlesEmptyConstraintBlocks) {
+  // Only equalities (no ub rows): min x + y s.t. x + y = 4.
+  SparseLpProblem eq_only;
+  eq_only.objective = {1.0, 1.0};
+  eq_only.eq_lhs = CsrMatrix(2);
+  eq_only.eq_lhs.append(0, 1.0);
+  eq_only.eq_lhs.append(1, 1.0);
+  eq_only.eq_lhs.finish_row();
+  eq_only.eq_rhs = {4.0};
+  auto solution = opt::solve_sparse(eq_only);
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 4.0, 1e-9);
+
+  // Only inequalities (no eq rows) is the Dantzig example above; empty
+  // everything is unbounded below at cost -x.
+  SparseLpProblem free_var;
+  free_var.objective = {-1.0};
+  free_var.eq_lhs = CsrMatrix(1);
+  free_var.ub_lhs = CsrMatrix(1);
+  EXPECT_EQ(opt::solve_sparse(free_var).status, LpStatus::kUnbounded);
+}
+
+TEST(RevisedSimplex, ReportsIterationLimit) {
+  opt::SimplexOptions options;
+  options.max_iterations = 1;
+  EXPECT_EQ(opt::solve_sparse(sparse_dantzig(), options).status,
+            LpStatus::kIterationLimit);
+}
+
+TEST(RevisedSimplex, ValidatesSparseStructure) {
+  SparseLpProblem p;
+  p.objective = {1.0, 1.0};
+  p.ub_lhs = CsrMatrix(3);  // wrong column count
+  p.ub_lhs.append(0, 1.0);
+  p.ub_lhs.finish_row();
+  p.ub_rhs = {1.0};
+  try {
+    opt::solve_sparse(p);
+    FAIL() << "expected util::InvalidArgument";
+  } catch (const util::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("A_ub has 3 columns"), std::string::npos) << what;
+  }
+
+  SparseLpProblem rows;
+  rows.objective = {1.0};
+  rows.ub_lhs = CsrMatrix(1);
+  rows.ub_lhs.append(0, 1.0);
+  rows.ub_lhs.finish_row();
+  rows.ub_rhs = {1.0, 2.0};  // extra rhs entry
+  try {
+    opt::solve_sparse(rows);
+    FAIL() << "expected util::InvalidArgument";
+  } catch (const util::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("A_ub has 1 rows"), std::string::npos) << what;
+    EXPECT_NE(what.find("b_ub has 2 entries"), std::string::npos) << what;
+  }
+}
+
+TEST(RevisedSimplex, WarmResolveMatchesColdSolve) {
+  opt::RevisedSimplex solver(sparse_dantzig());
+  const auto first = solver.solve();
+  ASSERT_EQ(first.status, LpStatus::kOptimal);
+  EXPECT_NEAR(first.objective, -36.0, 1e-9);
+
+  // New objective, same constraints: warm phase-2 restart must agree with
+  // a cold solve of the modified problem.
+  const std::vector<double> tilted = {-5.0, -3.0};
+  const auto warm = solver.resolve(tilted);
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+
+  SparseLpProblem cold_problem = sparse_dantzig();
+  cold_problem.objective = tilted;
+  const auto cold = opt::solve_sparse(cold_problem);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  ASSERT_EQ(warm.x.size(), cold.x.size());
+  for (std::size_t i = 0; i < warm.x.size(); ++i) {
+    EXPECT_NEAR(warm.x[i], cold.x[i], 1e-9);
+  }
+  // Cumulative stats keep growing across calls.
+  EXPECT_GE(solver.stats().pivots, first.stats.pivots);
+}
+
+// The documented O(perturbation * rows) error bound on the anti-degeneracy
+// rhs perturbation (see SimplexOptions::degeneracy_perturbation): by
+// duality the objective shift is at most sum_r |y*_r| * pert * (r + 1).
+// For the Dantzig example the optimal duals are (0, 3/2, 1), so the shift
+// is bounded by pert * (2 * 1.5 + 3 * 1) = 6 * pert; assert with slack.
+TEST(SimplexTest, PerturbationObjectiveErrorIsLinearlyBounded) {
+  for (const double pert : {1e-8, 1e-6, 1e-4, 1e-2}) {
+    opt::SimplexOptions options;
+    options.degeneracy_perturbation = pert;
+    const double bound = 10.0 * pert * 3.0;  // slack * pert * rows
+
+    LpProblem dense;
+    dense.objective = {-3.0, -5.0};
+    dense.ub_lhs = Matrix(3, 2);
+    dense.ub_lhs.at(0, 0) = 1.0;
+    dense.ub_lhs.at(1, 1) = 2.0;
+    dense.ub_lhs.at(2, 0) = 3.0;
+    dense.ub_lhs.at(2, 1) = 2.0;
+    dense.ub_rhs = {4.0, 12.0, 18.0};
+    const auto dense_solution = opt::solve(dense, options);
+    ASSERT_EQ(dense_solution.status, LpStatus::kOptimal);
+    EXPECT_NEAR(dense_solution.objective, -36.0, bound) << "pert=" << pert;
+
+    const auto sparse_solution = opt::solve_sparse(sparse_dantzig(), options);
+    ASSERT_EQ(sparse_solution.status, LpStatus::kOptimal);
+    EXPECT_NEAR(sparse_solution.objective, -36.0, bound) << "pert=" << pert;
+  }
+}
+
+// --------------------------------------- sparse vs dense on the geo-IND LP
+
+TEST(RevisedSimplex, AgreesWithDenseOnGeoIndLp) {
+  // Assemble the same geo-IND channel LP through both builders and check
+  // the two solvers land on the same optimum (tie-broken vertices can
+  // differ; the objective cannot).
+  for (const std::size_t side : {2u, 3u}) {
+    const std::size_t k = side * side;
+    std::vector<geo::Point> centers;
+    for (std::size_t r = 0; r < side; ++r) {
+      for (std::size_t c = 0; c < side; ++c) {
+        centers.push_back({static_cast<double>(c) * 250.0,
+                           static_cast<double>(r) * 250.0});
+      }
+    }
+    const std::vector<double> prior(k, 1.0 / static_cast<double>(k));
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        if (i != j) edges.emplace_back(i, j);  // all pairs: dilation 1
+      }
+    }
+    const double edge_epsilon = std::log(4.0) / 200.0;
+
+    const LpProblem dense =
+        lppm::build_geo_ind_lp_dense(centers, prior, edges, edge_epsilon);
+    const SparseLpProblem sparse =
+        lppm::build_geo_ind_lp_sparse(centers, prior, edges, edge_epsilon);
+
+    // Structural agreement: the sparse assembly is exactly the nonzero
+    // pattern of the dense one.
+    const CsrMatrix from_dense_ub = CsrMatrix::from_dense(dense.ub_lhs);
+    ASSERT_EQ(from_dense_ub.nonzeros(), sparse.ub_lhs.nonzeros());
+    for (std::size_t nz = 0; nz < from_dense_ub.nonzeros(); ++nz) {
+      EXPECT_EQ(from_dense_ub.col_index(nz), sparse.ub_lhs.col_index(nz));
+      EXPECT_DOUBLE_EQ(from_dense_ub.value(nz), sparse.ub_lhs.value(nz));
+    }
+
+    opt::SimplexOptions options;
+    options.degeneracy_perturbation = 1e-8;
+    options.max_iterations = 200000;
+    const auto dense_solution = opt::solve(dense, options);
+    const auto sparse_solution = opt::solve_sparse(sparse, options);
+    ASSERT_EQ(dense_solution.status, LpStatus::kOptimal) << "side=" << side;
+    ASSERT_EQ(sparse_solution.status, LpStatus::kOptimal) << "side=" << side;
+    EXPECT_NEAR(sparse_solution.objective, dense_solution.objective,
+                1e-7 * (1.0 + std::abs(dense_solution.objective)))
+        << "side=" << side;
+  }
 }
 
 // ------------------------------------------------------- optimal mechanism
