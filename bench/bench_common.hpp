@@ -33,6 +33,18 @@ inline std::uint64_t flag_or(int argc, char** argv, const std::string& name,
   return fallback;
 }
 
+/// Parses "--name=value" string flags; returns `fallback` when absent.
+inline std::string string_flag_or(int argc, char** argv,
+                                  const std::string& name,
+                                  const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
 /// Prints a separator + header line for a paper artifact.
 inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");

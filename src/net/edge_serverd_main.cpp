@@ -4,6 +4,9 @@
 // modes:
 //   edge_serverd [--port N] [--shards N] [--workers N]
 //                [--queue-capacity N] [--seed N]
+//                [--backend=auto|epoll|io_uring]
+//                [--admission=queue_capacity|latency_budget]
+//                [--latency-budget-us N]
 //     Runs until SIGINT/SIGTERM, then stops cleanly and dumps the
 //     metrics registry to stdout.
 //   edge_serverd --selftest[=N]
@@ -15,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -41,6 +45,18 @@ std::uint64_t flag_or(int argc, char** argv, const char* name,
     if (arg == name && i + 1 < argc) {
       return std::strtoull(argv[i + 1], nullptr, 10);
     }
+  }
+  return fallback;
+}
+
+/// `--name=V` or `--name V` as a string; `fallback` when absent.
+std::string string_flag_or(int argc, char** argv, const char* name,
+                           const char* fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    if (arg == name && i + 1 < argc) return argv[i + 1];
   }
   return fallback;
 }
@@ -122,15 +138,48 @@ int main(int argc, char** argv) {
   edge_config.shards =
       static_cast<std::size_t>(flag_or(argc, argv, "--shards", 4));
 
-  net::ServerConfig server_config;
-  server_config.port =
-      static_cast<std::uint16_t>(flag_or(argc, argv, "--port", 0));
-  server_config.workers =
-      static_cast<std::size_t>(flag_or(argc, argv, "--workers", 2));
-  server_config.queue_capacity = static_cast<std::size_t>(
-      flag_or(argc, argv, "--queue-capacity", 1024));
+  const std::string backend_name =
+      string_flag_or(argc, argv, "--backend", "auto");
+  util::Result<net::IoBackendKind> backend =
+      net::parse_io_backend_kind(backend_name.c_str());
+  if (!backend.ok()) {
+    std::fprintf(stderr, "edge_serverd: %s\n",
+                 backend.status().to_string().c_str());
+    return 1;
+  }
+  const std::string admission_name =
+      string_flag_or(argc, argv, "--admission", "queue_capacity");
+  util::Result<net::AdmissionPolicy> admission =
+      net::parse_admission_policy(admission_name.c_str());
+  if (!admission.ok()) {
+    std::fprintf(stderr, "edge_serverd: %s\n",
+                 admission.status().to_string().c_str());
+    return 1;
+  }
 
-  net::EdgeServer server(edge_config, server_config);
+  const net::ServerConfig server_config =
+      net::ServerConfig{}
+          .with_port(
+              static_cast<std::uint32_t>(flag_or(argc, argv, "--port", 0)))
+          .with_workers(
+              static_cast<std::size_t>(flag_or(argc, argv, "--workers", 2)))
+          .with_queue_capacity(static_cast<std::size_t>(
+              flag_or(argc, argv, "--queue-capacity", 1024)))
+          .with_backend(backend.value())
+          .with_admission(admission.value())
+          .with_latency_budget_us(static_cast<std::uint32_t>(
+              flag_or(argc, argv, "--latency-budget-us", 20000)));
+
+  // No exceptions to catch: every failure (bad port, bind failure, an
+  // unsatisfiable backend request) comes back as a typed Status.
+  util::Result<std::unique_ptr<net::EdgeServer>> created =
+      net::EdgeServer::create(edge_config, server_config);
+  if (!created.ok()) {
+    std::fprintf(stderr, "edge_serverd: create failed: %s\n",
+                 created.status().to_string().c_str());
+    return 1;
+  }
+  net::EdgeServer& server = *created.value();
   if (util::Status s = server.start(); !s.ok()) {
     std::fprintf(stderr, "edge_serverd: start failed: %s\n",
                  s.to_string().c_str());
@@ -146,8 +195,11 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
-  std::printf("edge_serverd listening on 127.0.0.1:%u\n",
-              static_cast<unsigned>(server.port()));
+  std::printf("edge_serverd listening on 127.0.0.1:%u (%s backend, %s "
+              "admission)\n",
+              static_cast<unsigned>(server.port()),
+              net::io_backend_kind_name(server.backend_kind()),
+              net::admission_policy_name(server_config.admission));
   std::fflush(stdout);
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));

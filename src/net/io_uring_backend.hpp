@@ -1,0 +1,41 @@
+// io_uring serving backend: completion-based IO through one raw-syscall
+// ring (no liburing dependency -- the container bakes in only the
+// kernel headers).
+//
+// Submission shape, per the IoBackend contract:
+//   - multishot accept on the listen socket (one standing submission
+//     produces a CQE per connection; re-armed if the kernel ends the
+//     multishot, degraded to single-shot re-arm on pre-5.19 kernels);
+//   - one buffered recv in flight per connection, into a per-connection
+//     owned buffer, re-armed on completion unless the sink holds reads
+//     paused;
+//   - at most one send in flight per connection covering the current
+//     backlog head; completions advance the head and chain the next
+//     send, then report on_writable_resume so the sink can re-evaluate
+//     backpressure. An uncongested flush() short-circuits the ring with
+//     one direct non-blocking send();
+//   - the worker-completion eventfd is a standing 8-byte read;
+//   - the tick is the EXT_ARG timeout on io_uring_enter (no timer SQEs).
+//
+// Close protocol: a dying connection is shutdown(2) first, which forces
+// any in-flight recv/send to complete; the fd closes and the state
+// drops only when the in-flight count reaches zero, so the kernel never
+// writes into freed buffers.
+//
+// This TU compiles to the real backend only under PRIVLOCAD_HAVE_IO_URING
+// (the configure probe); otherwise to a loud stub whose availability
+// check reports false and whose factory returns a typed error.
+#pragma once
+
+#include <memory>
+
+#include "net/io_backend.hpp"
+
+namespace privlocad::net {
+
+/// Real backend when compiled in and the kernel cooperates; typed
+/// kFailedPrecondition otherwise. Use make_io_backend / resolve first --
+/// this is the implementation hook, exposed for the conformance tests.
+util::Result<std::unique_ptr<IoBackend>> make_io_uring_backend();
+
+}  // namespace privlocad::net

@@ -1,18 +1,14 @@
 #include "net/server.hpp"
 
 #include <errno.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <string.h>
-#include <sys/epoll.h>
 #include <sys/eventfd.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
-#include <array>
 #include <chrono>
 #include <cstring>
-#include <unordered_map>
+#include <string>
+#include <utility>
 
 #include "core/telemetry.hpp"
 #include "util/validation.hpp"
@@ -21,63 +17,127 @@ namespace privlocad::net {
 
 namespace {
 
-/// Epoll user-data ids below this are reserved (listen socket, wake fd);
-/// connection ids count up from here.
-constexpr std::uint64_t kListenId = 0;
-constexpr std::uint64_t kWakeId = 1;
-constexpr std::uint64_t kFirstConnId = 8;
-
-constexpr int kEpollWaitMs = 50;
-constexpr std::size_t kReadChunkBytes = 64 * 1024;
+constexpr int kPollWaitMs = 50;
 
 double us_between(std::chrono::steady_clock::time_point a,
                   std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double, std::micro>(b - a).count();
 }
 
-}  // namespace
-
-void ServerConfig::validate() const {
-  util::require(workers >= 1, "server needs at least one worker");
-  util::require(queue_capacity >= 1, "queue capacity must be >= 1");
-  util::require(max_outbound_bytes >= kMaxFrameBytes,
-                "outbound budget must hold at least one frame");
+/// The immediate degraded_dropped response a shed request gets: nothing
+/// leaves the edge, x/y stay zero.
+ServeResponseFrame shed_response(const ServeRequestFrame& request) {
+  ServeResponseFrame frame;
+  frame.request_id = request.request_id;
+  frame.outcome =
+      static_cast<std::uint8_t>(core::ServeOutcome::kDegradedDropped);
+  frame.status_code =
+      static_cast<std::uint8_t>(util::ErrorCode::kResourceExhausted);
+  frame.released = 0;
+  return frame;
 }
 
-/// Per-connection state, owned exclusively by the IO thread. in/out are
-/// head-indexed so framing and flushing never memmove the whole buffer
-/// per event; compaction happens when the head passes half the buffer.
-struct EdgeServer::Connection {
-  UniqueFd fd;
-  std::vector<std::uint8_t> in;
-  std::size_t in_head = 0;
-  std::vector<std::uint8_t> out;
-  std::size_t out_head = 0;
-  bool want_write = false;   ///< EPOLLOUT currently armed
-  bool read_paused = false;  ///< EPOLLIN disarmed by backpressure
-  bool dead = false;         ///< close at the end of this event batch
+}  // namespace
 
-  std::size_t out_backlog() const { return out.size() - out_head; }
-  void compact_in() {
-    if (in_head > 0 && in_head * 2 >= in.size()) {
-      in.erase(in.begin(),
-               in.begin() + static_cast<std::ptrdiff_t>(in_head));
-      in_head = 0;
-    }
+util::Status ServerConfig::validated() const {
+  if (port > 65535) {
+    return util::Status::invalid_argument(
+        "ServerConfig.port must fit a TCP port (0..65535), got " +
+        std::to_string(port));
   }
-  void compact_out() {
-    if (out_head > 0 && out_head * 2 >= out.size()) {
-      out.erase(out.begin(),
-                out.begin() + static_cast<std::ptrdiff_t>(out_head));
-      out_head = 0;
-    }
+  if (workers < 1) {
+    return util::Status::invalid_argument(
+        "ServerConfig.workers: server needs at least one worker");
   }
-};
+  if (queue_capacity < 1) {
+    return util::Status::invalid_argument(
+        "ServerConfig.queue_capacity must be >= 1");
+  }
+  if (max_outbound_bytes < kMaxFrameBytes) {
+    return util::Status::invalid_argument(
+        "ServerConfig.max_outbound_bytes must hold at least one frame (" +
+        std::to_string(kMaxFrameBytes) + " bytes)");
+  }
+  if (admission == AdmissionPolicy::kLatencyBudget &&
+      latency_budget_us < 1) {
+    return util::Status::invalid_argument(
+        "ServerConfig.latency_budget_us must be >= 1 under the "
+        "latency_budget admission policy");
+  }
+  return util::Status();
+}
+
+void EdgeServer::ConnState::compact_in() {
+  if (in_head > 0 && in_head * 2 >= in.size()) {
+    in.erase(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(in_head));
+    in_head = 0;
+  }
+}
 
 EdgeServer::EdgeServer(core::EdgeConfig edge_config,
-                       ServerConfig server_config)
-    : config_(server_config), edge_(std::move(edge_config)) {
-  config_.validate();
+                       ServerConfig server_config,
+                       IoBackendKind backend_kind,
+                       std::unique_ptr<IoBackend> backend)
+    : config_(server_config),
+      edge_(std::move(edge_config)),
+      backend_kind_(backend_kind),
+      backend_(std::move(backend)) {}
+
+util::Result<std::unique_ptr<EdgeServer>> EdgeServer::create(
+    core::EdgeConfig edge_config, ServerConfig server_config) {
+  if (util::Status s = server_config.validated(); !s.ok()) return s;
+
+  util::Result<IoBackendKind> resolved =
+      resolve_io_backend(server_config.backend);
+  if (!resolved.ok()) return resolved.status();
+  util::Result<std::unique_ptr<IoBackend>> backend =
+      make_io_backend(resolved.value());
+  if (!backend.ok()) return backend.status();
+
+  std::unique_ptr<EdgeServer> server(
+      new EdgeServer(std::move(edge_config), server_config,
+                     resolved.value(), std::move(backend.value())));
+
+  obs::MetricsRegistry& registry = server->edge_.metrics();
+  server->connections_opened_ =
+      &registry.counter(net_metrics::kConnectionsOpened);
+  server->connections_closed_ =
+      &registry.counter(net_metrics::kConnectionsClosed);
+  server->requests_ = &registry.counter(net_metrics::kRequests);
+  server->responses_ = &registry.counter(net_metrics::kResponses);
+  server->shed_ = &registry.counter(net_metrics::kShed);
+  server->parse_errors_ = &registry.counter(net_metrics::kParseErrors);
+  server->backpressure_pauses_ =
+      &registry.counter(net_metrics::kBackpressurePauses);
+  server->degraded_dropped_ =
+      &registry.counter(core::edge_metrics::kDegradedDropped);
+  server->queue_delay_us_ =
+      &registry.histogram(net_metrics::kQueueDelayUs);
+  server->service_time_us_ =
+      &registry.histogram(net_metrics::kServiceTimeUs);
+  server->queue_depth_ = &registry.gauge(net_metrics::kQueueDepth);
+  registry.gauge(net_metrics::kBackend)
+      .set(static_cast<double>(resolved.value()));
+
+  util::Result<UniqueFd> listen = listen_loopback(
+      static_cast<std::uint16_t>(server->config_.port), server->port_);
+  if (!listen.ok()) return listen.status();
+  server->listen_fd_ = std::move(listen.value());
+  if (util::Status s = set_nonblocking(server->listen_fd_.get()); !s.ok()) {
+    return s;
+  }
+  server->wake_fd_ = UniqueFd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!server->wake_fd_.valid()) {
+    return util::Status::io_error(std::string("eventfd failed: ") +
+                                  std::strerror(errno));
+  }
+  if (util::Status s = server->backend_->init(server->listen_fd_.get(),
+                                              server->wake_fd_.get(),
+                                              *server);
+      !s.ok()) {
+    return s;
+  }
+  return server;
 }
 
 EdgeServer::~EdgeServer() { stop(); }
@@ -90,62 +150,16 @@ std::size_t EdgeServer::worker_for(std::uint64_t user_id) const {
 }
 
 util::Status EdgeServer::start() {
-  util::require(!started_, "EdgeServer::start called twice");
-
-  obs::MetricsRegistry& registry = edge_.metrics();
-  connections_opened_ =
-      &registry.counter(net_metrics::kConnectionsOpened);
-  connections_closed_ =
-      &registry.counter(net_metrics::kConnectionsClosed);
-  requests_ = &registry.counter(net_metrics::kRequests);
-  responses_ = &registry.counter(net_metrics::kResponses);
-  shed_ = &registry.counter(net_metrics::kShed);
-  parse_errors_ = &registry.counter(net_metrics::kParseErrors);
-  backpressure_pauses_ =
-      &registry.counter(net_metrics::kBackpressurePauses);
-  degraded_dropped_ =
-      &registry.counter(core::edge_metrics::kDegradedDropped);
-  queue_delay_us_ = &registry.histogram(net_metrics::kQueueDelayUs);
-  service_time_us_ = &registry.histogram(net_metrics::kServiceTimeUs);
-  queue_depth_ = &registry.gauge(net_metrics::kQueueDepth);
-
-  util::Result<UniqueFd> listen = listen_loopback(config_.port, port_);
-  if (!listen.ok()) return listen.status();
-  listen_fd_ = std::move(listen.value());
-  if (util::Status s = set_nonblocking(listen_fd_.get()); !s.ok()) return s;
-
-  epoll_fd_ = UniqueFd(::epoll_create1(EPOLL_CLOEXEC));
-  if (!epoll_fd_.valid()) {
-    return util::Status::io_error(std::string("epoll_create1 failed: ") +
-                                  std::strerror(errno));
+  if (started_) {
+    return util::Status::failed_precondition(
+        "EdgeServer::start called twice");
   }
-  wake_fd_ = UniqueFd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
-  if (!wake_fd_.valid()) {
-    return util::Status::io_error(std::string("eventfd failed: ") +
-                                  std::strerror(errno));
-  }
-
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kListenId;
-  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(), &ev) !=
-      0) {
-    return util::Status::io_error(std::string("epoll_ctl(listen) failed: ") +
-                                  std::strerror(errno));
-  }
-  ev.events = EPOLLIN;
-  ev.data.u64 = kWakeId;
-  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) !=
-      0) {
-    return util::Status::io_error(std::string("epoll_ctl(wake) failed: ") +
-                                  std::strerror(errno));
-  }
-
   stopping_.store(false, std::memory_order_relaxed);
   queues_.clear();
   for (std::size_t i = 0; i < config_.workers; ++i) {
-    queues_.push_back(
-        std::make_unique<BoundedRequestQueue>(config_.queue_capacity));
+    queues_.push_back(std::make_unique<BoundedRequestQueue>(
+        config_.queue_capacity, config_.admission,
+        config_.latency_budget_us));
   }
   for (std::size_t i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -166,12 +180,10 @@ void EdgeServer::stop() {
   // responses one last time, flushes best-effort, and exits.
   stopping_.store(true, std::memory_order_release);
   std::uint64_t one = 1;
-  [[maybe_unused]] ssize_t n =
-      ::write(wake_fd_.get(), &one, sizeof(one));
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
   io_thread_.join();
   queues_.clear();
   listen_fd_.reset();
-  epoll_fd_.reset();
   wake_fd_.reset();
   started_ = false;
 }
@@ -181,7 +193,9 @@ void EdgeServer::worker_loop(std::size_t worker_index) {
   PendingRequest pending;
   while (queue.pop(pending)) {
     const auto picked_up = std::chrono::steady_clock::now();
-    queue_delay_us_->record(us_between(pending.admitted, picked_up));
+    const double delay_us = us_between(pending.admitted, picked_up);
+    queue_delay_us_->record(delay_us);
+    queue.observe_queue_delay_us(delay_us, pending.depth_at_admit);
 
     if (config_.service_delay_us > 0) {
       std::this_thread::sleep_for(
@@ -215,207 +229,128 @@ void EdgeServer::worker_loop(std::size_t worker_index) {
   }
 }
 
-void EdgeServer::io_loop() {
-  std::unordered_map<std::uint64_t, Connection> connections;
-  std::uint64_t next_conn_id = kFirstConnId;
-  std::vector<CompletedResponse> drained;
-  std::array<epoll_event, 64> events;
+void EdgeServer::queue_response(std::uint64_t conn_id,
+                                const ServeResponseFrame& frame) {
+  encode_scratch_.clear();
+  append_response(encode_scratch_, frame);
+  backend_->queue_send(conn_id, encode_scratch_.data(),
+                       encode_scratch_.size());
+  responses_->add();
+}
 
-  const auto update_interest = [&](std::uint64_t id, Connection& conn) {
-    epoll_event ev{};
-    ev.events = (conn.read_paused ? 0u : static_cast<unsigned>(EPOLLIN)) |
-                (conn.want_write ? static_cast<unsigned>(EPOLLOUT) : 0u);
-    ev.data.u64 = id;
-    ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev);
-  };
+void EdgeServer::close_and_forget(std::uint64_t conn_id) {
+  backend_->close_connection(conn_id);
+  connections_closed_->add();
+  conn_states_.erase(conn_id);
+}
 
-  const auto try_flush = [&](std::uint64_t id, Connection& conn) {
-    while (conn.out_backlog() > 0) {
-      const ssize_t wrote =
-          ::send(conn.fd.get(), conn.out.data() + conn.out_head,
-                 conn.out_backlog(), MSG_NOSIGNAL);
-      if (wrote > 0) {
-        conn.out_head += static_cast<std::size_t>(wrote);
-        continue;
-      }
-      if (wrote < 0 && errno == EINTR) continue;
-      if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      conn.dead = true;  // peer gone; drop the connection
-      return;
-    }
-    conn.compact_out();
-    const bool need_epollout = conn.out_backlog() > 0;
-    const bool resume_reads =
-        conn.read_paused &&
-        conn.out_backlog() < config_.max_outbound_bytes / 2;
-    if (need_epollout != conn.want_write || resume_reads) {
-      conn.want_write = need_epollout;
-      if (resume_reads) conn.read_paused = false;
-      update_interest(id, conn);
-    }
-  };
+void EdgeServer::reevaluate_backpressure(std::uint64_t conn_id) {
+  const auto it = conn_states_.find(conn_id);
+  if (it == conn_states_.end()) return;
+  ConnState& conn = it->second;
+  const std::size_t backlog = backend_->outbound_bytes(conn_id);
+  if (!conn.read_paused && backlog >= config_.max_outbound_bytes) {
+    conn.read_paused = true;
+    backpressure_pauses_->add();
+    backend_->pause_reads(conn_id);
+  } else if (conn.read_paused &&
+             backlog < config_.max_outbound_bytes / 2) {
+    conn.read_paused = false;
+    backend_->resume_reads(conn_id);
+  }
+}
 
-  const auto shed_response = [](const ServeRequestFrame& request) {
-    ServeResponseFrame frame;
-    frame.request_id = request.request_id;
-    frame.outcome =
-        static_cast<std::uint8_t>(core::ServeOutcome::kDegradedDropped);
-    frame.status_code =
-        static_cast<std::uint8_t>(util::ErrorCode::kResourceExhausted);
-    frame.released = 0;
-    return frame;  // x/y stay zero: nothing leaves the edge on a shed
-  };
+void EdgeServer::on_accept(std::uint64_t conn_id) {
+  conn_states_[conn_id];  // default ConnState
+  connections_opened_->add();
+}
 
-  const auto handle_readable = [&](std::uint64_t id, Connection& conn) {
-    while (true) {
-      const std::size_t at = conn.in.size();
-      conn.in.resize(at + kReadChunkBytes);
-      const ssize_t got =
-          ::recv(conn.fd.get(), conn.in.data() + at, kReadChunkBytes, 0);
-      if (got > 0) {
-        conn.in.resize(at + static_cast<std::size_t>(got));
-        if (static_cast<std::size_t>(got) < kReadChunkBytes) break;
-        continue;
-      }
-      conn.in.resize(at);
-      if (got < 0 && errno == EINTR) continue;
-      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      conn.dead = true;  // EOF or hard error
-      return;
-    }
+void EdgeServer::on_closed(std::uint64_t conn_id) {
+  // Backend-detected close (peer EOF/error); the backend already dropped
+  // its side.
+  if (conn_states_.erase(conn_id) > 0) connections_closed_->add();
+}
 
-    // Frame and admit everything buffered.
-    while (!conn.dead) {
-      Frame frame;
-      std::size_t consumed = 0;
-      const util::Status parsed =
-          try_decode(conn.in.data() + conn.in_head,
-                     conn.in.size() - conn.in_head, frame, consumed);
-      if (!parsed.ok()) {
-        parse_errors_->add();
-        conn.dead = true;  // poisoned stream: no resync point
-        return;
-      }
-      if (consumed == 0) break;  // partial frame; wait for more bytes
-      conn.in_head += consumed;
-      if (frame.type != FrameType::kServeRequest) {
-        parse_errors_->add();
-        conn.dead = true;
-        return;
-      }
-      requests_->add();
-      const std::size_t worker = worker_for(frame.request.user_id);
-      PendingRequest pending;
-      pending.conn_id = id;
-      pending.request = frame.request;
-      pending.admitted = std::chrono::steady_clock::now();
-      if (!queues_[worker]->try_push(std::move(pending))) {
-        // Admission shed: immediate degraded_dropped, counted in both
-        // the net layer and the box-level serve taxonomy.
-        shed_->add();
-        degraded_dropped_->add();
-        append_response(conn.out, shed_response(frame.request));
-        responses_->add();
-      }
-    }
-    conn.compact_in();
+void EdgeServer::on_writable_resume(std::uint64_t conn_id) {
+  reevaluate_backpressure(conn_id);
+}
 
-    if (conn.dead) return;
-    try_flush(id, conn);
-    if (!conn.read_paused &&
-        conn.out_backlog() >= config_.max_outbound_bytes) {
-      conn.read_paused = true;
-      backpressure_pauses_->add();
-      update_interest(id, conn);
-    }
-  };
+void EdgeServer::on_data(std::uint64_t conn_id, const std::uint8_t* data,
+                         std::size_t n) {
+  const auto it = conn_states_.find(conn_id);
+  if (it == conn_states_.end()) return;  // already forgotten
+  ConnState& conn = it->second;
+  conn.in.insert(conn.in.end(), data, data + n);
 
-  const auto accept_all = [&] {
-    while (true) {
-      const int raw = ::accept4(listen_fd_.get(), nullptr, nullptr,
-                                SOCK_NONBLOCK | SOCK_CLOEXEC);
-      if (raw < 0) {
-        if (errno == EINTR) continue;
-        break;  // EAGAIN or transient accept error: epoll will re-arm
-      }
-      const int one = 1;
-      ::setsockopt(raw, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      const std::uint64_t id = next_conn_id++;
-      Connection& conn = connections[id];
-      conn.fd = UniqueFd(raw);
-      epoll_event ev{};
-      ev.events = EPOLLIN;
-      ev.data.u64 = id;
-      ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, raw, &ev);
-      connections_opened_->add();
-    }
-  };
-
-  const auto drain_completed = [&] {
-    {
-      const std::lock_guard<std::mutex> lock(completed_mutex_);
-      drained.swap(completed_);
-    }
-    for (const CompletedResponse& done : drained) {
-      const auto it = connections.find(done.conn_id);
-      if (it == connections.end()) continue;  // peer left; drop it
-      append_response(it->second.out, done.frame);
-      responses_->add();
-    }
-    // Flush after the batch (not per response) so pipelined completions
-    // coalesce into large sends.
-    if (!drained.empty()) {
-      for (auto& [id, conn] : connections) {
-        if (!conn.dead && conn.out_backlog() > 0) try_flush(id, conn);
-      }
-    }
-    drained.clear();
-  };
-
-  const auto reap_dead = [&] {
-    for (auto it = connections.begin(); it != connections.end();) {
-      if (it->second.dead) {
-        ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, it->second.fd.get(),
-                    nullptr);
-        connections_closed_->add();
-        it = connections.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-
+  // Frame and admit everything buffered.
   while (true) {
-    const int n = ::epoll_wait(epoll_fd_.get(), events.data(),
-                               static_cast<int>(events.size()),
-                               kEpollWaitMs);
-    if (n < 0 && errno != EINTR) break;  // epoll itself broke: give up
-    for (int i = 0; i < (n > 0 ? n : 0); ++i) {
-      const std::uint64_t id = events[static_cast<std::size_t>(i)].data.u64;
-      const std::uint32_t mask =
-          events[static_cast<std::size_t>(i)].events;
-      if (id == kListenId) {
-        accept_all();
-        continue;
-      }
-      if (id == kWakeId) {
-        std::uint64_t drainv = 0;
-        [[maybe_unused]] ssize_t r =
-            ::read(wake_fd_.get(), &drainv, sizeof(drainv));
-        continue;
-      }
-      const auto it = connections.find(id);
-      if (it == connections.end()) continue;  // closed earlier this batch
-      Connection& conn = it->second;
-      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
-        conn.dead = true;
-        continue;
-      }
-      if ((mask & EPOLLOUT) != 0 && !conn.dead) try_flush(id, conn);
-      if ((mask & EPOLLIN) != 0 && !conn.dead) handle_readable(id, conn);
+    Frame frame;
+    std::size_t consumed = 0;
+    const util::Status parsed =
+        try_decode(conn.in.data() + conn.in_head,
+                   conn.in.size() - conn.in_head, frame, consumed);
+    if (!parsed.ok() ||
+        (consumed > 0 && frame.type != FrameType::kServeRequest)) {
+      parse_errors_->add();
+      close_and_forget(conn_id);  // poisoned stream: no resync point
+      return;
     }
+    if (consumed == 0) break;  // partial frame; wait for more bytes
+    conn.in_head += consumed;
+    requests_->add();
+    const std::size_t worker = worker_for(frame.request.user_id);
+    PendingRequest pending;
+    pending.conn_id = conn_id;
+    pending.request = frame.request;
+    pending.admitted = std::chrono::steady_clock::now();
+    if (!queues_[worker]->try_push(std::move(pending))) {
+      // Admission shed: immediate degraded_dropped, counted in both the
+      // net layer and the box-level serve taxonomy.
+      shed_->add();
+      degraded_dropped_->add();
+      queue_response(conn_id, shed_response(frame.request));
+    }
+  }
+  conn.compact_in();
+
+  backend_->flush(conn_id);
+  // flush() may have discovered a dead peer and fired on_closed, which
+  // erased the state; re-evaluate against the map, not the stale ref.
+  reevaluate_backpressure(conn_id);
+}
+
+void EdgeServer::drain_completed() {
+  {
+    const std::lock_guard<std::mutex> lock(completed_mutex_);
+    drain_scratch_.swap(completed_);
+  }
+  if (drain_scratch_.empty()) return;
+  for (const CompletedResponse& done : drain_scratch_) {
+    if (conn_states_.find(done.conn_id) == conn_states_.end()) {
+      continue;  // peer left; drop it
+    }
+    queue_response(done.conn_id, done.frame);
+  }
+  drain_scratch_.clear();
+  // Flush after the batch (not per response) so pipelined completions
+  // coalesce into large sends. Ids are collected first: a flush that
+  // discovers a dead peer erases from conn_states_ via on_closed.
+  flush_scratch_.clear();
+  for (const auto& [id, conn] : conn_states_) {
+    if (backend_->outbound_bytes(id) > 0) flush_scratch_.push_back(id);
+  }
+  for (const std::uint64_t id : flush_scratch_) {
+    if (conn_states_.find(id) == conn_states_.end()) continue;
+    backend_->flush(id);
+    reevaluate_backpressure(id);
+  }
+}
+
+void EdgeServer::io_loop() {
+  while (true) {
+    const util::Status polled = backend_->poll(kPollWaitMs);
+    if (!polled.ok()) return;  // the engine itself broke: give up
     drain_completed();
-    reap_dead();
     if (queue_depth_ != nullptr) {
       std::size_t depth = 0;
       for (const auto& queue : queues_) depth += queue->size();
@@ -425,11 +360,9 @@ void EdgeServer::io_loop() {
       // Workers are already joined, so completed_ is final: one more
       // drain + best-effort flush, then close everything.
       drain_completed();
-      for (auto& [id, conn] : connections) {
-        if (!conn.dead) try_flush(id, conn);
-        connections_closed_->add();
-      }
-      connections.clear();
+      connections_closed_->add(backend_->open_connection_count());
+      backend_->shutdown_flush();
+      conn_states_.clear();
       return;
     }
   }

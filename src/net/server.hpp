@@ -1,12 +1,17 @@
-// edge_serverd's serving core: an epoll IO loop + worker pool wrapping
-// ConcurrentEdge behind the wire format (net/wire.hpp), with bounded
-// admission queues and byte-budgeted backpressure so an open-loop
-// overload degrades into counted sheds instead of unbounded memory.
+// edge_serverd's serving core: ONE protocol state machine (framing,
+// admission, worker hashing, byte-budget backpressure, metrics) written
+// against the backend-neutral net::IoBackend contract, plus a worker
+// pool wrapping ConcurrentEdge behind the wire format (net/wire.hpp).
+// The IO engine underneath -- epoll readiness or io_uring completions --
+// is a ServerConfig choice; see net/io_backend.hpp for the contract and
+// the selection rules (PRIVLOCAD_NET_BACKEND, loud failure on an
+// unsatisfiable explicit request).
 //
 // Threading model:
-//   - ONE IO thread owns every socket: accepts, reads, frames, admits,
-//     and writes. No fd is ever touched off that thread, so connection
-//     state needs no locking.
+//   - ONE IO thread owns the backend and every connection: accepts,
+//     reads, frames, admits, and writes all happen in IoSink callbacks
+//     or between poll() batches on that thread, so connection state
+//     needs no locking.
 //   - N worker threads each own one BoundedRequestQueue and call
 //     ConcurrentEdge::serve (itself shard-locked). Users hash to workers
 //     with the SAME fibonacci multiply ConcurrentEdge uses for shards,
@@ -15,16 +20,18 @@
 //     vector + eventfd wakeup; the IO thread serializes them onto the
 //     owning connection (or drops them if it has gone away).
 //
-// Overload behavior (the tentpole contract):
-//   - A request whose worker queue is full is shed AT ADMISSION:
-//     immediate degraded_dropped response, released=0, zero coordinates,
-//     counted in net.shed AND edge.serve.degraded_dropped (the shared
-//     registry), never queued. Deterministic: the decision is purely
-//     queue-size-at-push.
+// Overload behavior:
+//   - A request is shed AT ADMISSION -- immediate degraded_dropped
+//     response, released=0, zero coordinates, counted in net.shed AND
+//     edge.serve.degraded_dropped (the shared registry), never queued.
+//     Which arrivals shed is the AdmissionPolicy: queue_capacity (full
+//     queue, PR 8 semantics) or latency_budget (projected queue delay
+//     over budget; see net/admission.hpp). Either way the decision is
+//     made at push, so served + shed == sent holds exactly.
 //   - A connection whose outbound buffer exceeds max_outbound_bytes
-//     stops being read (EPOLLIN disarmed) until the peer drains it below
-//     half the cap -- TCP backpressure propagates to the client instead
-//     of the server buffering without bound.
+//     stops being read (backend pause_reads) until the peer drains it
+//     below half the cap -- TCP backpressure propagates to the client
+//     instead of the server buffering without bound.
 //   - net.queue_delay_us / net.service_time_us split every served
 //     request's latency into time-waiting vs time-serving, so a bench
 //     can tell queueing collapse from a slow serving path.
@@ -36,10 +43,12 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/concurrent_edge.hpp"
 #include "net/admission.hpp"
+#include "net/io_backend.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 
@@ -62,35 +71,100 @@ inline constexpr const char* kQueueDelayUs = "net.queue_delay_us";
 inline constexpr const char* kServiceTimeUs = "net.service_time_us";
 /// Instantaneous total backlog across worker queues (sampled on admit).
 inline constexpr const char* kQueueDepth = "net.queue_depth";
+/// The resolved IoBackendKind, as a gauge (1 = epoll, 2 = io_uring), so
+/// a metrics dump says which engine actually served.
+inline constexpr const char* kBackend = "net.backend";
 }  // namespace net_metrics
 
+/// Validated aggregate, EdgeConfig-style: mutate via the fluent with_*
+/// copies, check with validated(), hand to EdgeServer::create (which
+/// validates again -- an EdgeServer never exists around a bad config).
 struct ServerConfig {
   /// Listen port; 0 = kernel-assigned (read it back via port()).
-  std::uint16_t port = 0;
+  /// Deliberately wider than uint16 so an out-of-range request is a
+  /// typed validation error instead of a silent truncation.
+  std::uint32_t port = 0;
   /// Worker threads, one bounded queue each.
   std::size_t workers = 2;
-  /// Per-worker queue bound: the admission-control knob.
+  /// Per-worker queue bound: the hard admission backstop.
   std::size_t queue_capacity = 1024;
   /// Outbound byte budget per connection before reads pause.
   std::size_t max_outbound_bytes = 1 << 20;
   /// Artificial per-request service delay (test hook: makes a tiny
   /// serve() long enough to force queueing/shedding deterministically).
   std::uint32_t service_delay_us = 0;
+  /// Which IO engine serves the sockets. kAuto defers to
+  /// PRIVLOCAD_NET_BACKEND and then capability; an explicit request this
+  /// build/kernel cannot satisfy fails EdgeServer::create loudly.
+  IoBackendKind backend = IoBackendKind::kAuto;
+  /// Which shed rule the worker queues apply at admission.
+  AdmissionPolicy admission = AdmissionPolicy::kQueueCapacity;
+  /// The projected-queue-delay budget for kLatencyBudget (ignored by
+  /// kQueueCapacity).
+  std::uint32_t latency_budget_us = 20000;
 
-  /// Throws util::InvalidArgument on out-of-domain fields.
-  void validate() const;
+  ServerConfig with_port(std::uint32_t value) const {
+    ServerConfig copy = *this;
+    copy.port = value;
+    return copy;
+  }
+  ServerConfig with_workers(std::size_t value) const {
+    ServerConfig copy = *this;
+    copy.workers = value;
+    return copy;
+  }
+  ServerConfig with_queue_capacity(std::size_t value) const {
+    ServerConfig copy = *this;
+    copy.queue_capacity = value;
+    return copy;
+  }
+  ServerConfig with_max_outbound_bytes(std::size_t value) const {
+    ServerConfig copy = *this;
+    copy.max_outbound_bytes = value;
+    return copy;
+  }
+  ServerConfig with_service_delay_us(std::uint32_t value) const {
+    ServerConfig copy = *this;
+    copy.service_delay_us = value;
+    return copy;
+  }
+  ServerConfig with_backend(IoBackendKind value) const {
+    ServerConfig copy = *this;
+    copy.backend = value;
+    return copy;
+  }
+  ServerConfig with_admission(AdmissionPolicy value) const {
+    ServerConfig copy = *this;
+    copy.admission = value;
+    return copy;
+  }
+  ServerConfig with_latency_budget_us(std::uint32_t value) const {
+    ServerConfig copy = *this;
+    copy.latency_budget_us = value;
+    return copy;
+  }
+
+  /// Typed kInvalidArgument naming the first out-of-domain field.
+  util::Status validated() const;
 };
 
-/// The server. start() spawns the threads; stop() (or the destructor)
-/// drains and joins them. Between the two, clients connect to
-/// 127.0.0.1:port() and speak the wire format.
-class EdgeServer {
+/// The server. Construct through create() -- it validates the config,
+/// resolves + constructs the IO backend, binds the socket, and returns a
+/// typed Status for every failure (bad port, bind failure, unsatisfiable
+/// backend request) instead of throwing. start() spawns the threads;
+/// stop() (or the destructor) drains and joins them. Between the two,
+/// clients connect to 127.0.0.1:port() and speak the wire format.
+class EdgeServer final : private IoSink {
  public:
-  EdgeServer(core::EdgeConfig edge_config, ServerConfig server_config);
-  ~EdgeServer();
+  static util::Result<std::unique_ptr<EdgeServer>> create(
+      core::EdgeConfig edge_config, ServerConfig server_config);
+
+  ~EdgeServer() override;
   EdgeServer(const EdgeServer&) = delete;
   EdgeServer& operator=(const EdgeServer&) = delete;
 
+  /// Spawns the worker + IO threads. kFailedPrecondition if already
+  /// started.
   util::Status start();
 
   /// Idempotent. Closes the admission queues (workers drain their
@@ -98,31 +172,70 @@ class EdgeServer {
   /// stops the IO thread after it has flushed what it can.
   void stop();
 
-  /// The bound port; valid after start().
+  /// The bound port; valid as soon as create() returns.
   std::uint16_t port() const { return port_; }
+
+  /// The engine actually serving (resolved: kEpoll or kIoUring).
+  IoBackendKind backend_kind() const { return backend_kind_; }
 
   core::ConcurrentEdge& edge() { return edge_; }
   /// The shared registry (edge_metrics + net_metrics).
   obs::MetricsRegistry& metrics() { return edge_.metrics(); }
 
  private:
-  struct Connection;
+  /// Protocol-side per-connection state: the inbound framing buffer and
+  /// the core's own view of backpressure. The backend owns the fd and
+  /// the outbound buffer. `in` is head-indexed so framing never
+  /// memmoves the whole buffer per event.
+  struct ConnState {
+    std::vector<std::uint8_t> in;
+    std::size_t in_head = 0;
+    bool read_paused = false;
+
+    void compact_in();
+  };
   struct CompletedResponse {
     std::uint64_t conn_id = 0;
     ServeResponseFrame frame{};
   };
 
+  EdgeServer(core::EdgeConfig edge_config, ServerConfig server_config,
+             IoBackendKind backend_kind,
+             std::unique_ptr<IoBackend> backend);
+
+  // IoSink (all on the IO thread, from inside backend_->poll()).
+  void on_accept(std::uint64_t conn_id) override;
+  void on_data(std::uint64_t conn_id, const std::uint8_t* data,
+               std::size_t n) override;
+  void on_writable_resume(std::uint64_t conn_id) override;
+  void on_closed(std::uint64_t conn_id) override;
+
   void io_loop();
   void worker_loop(std::size_t worker_index);
   std::size_t worker_for(std::uint64_t user_id) const;
+  /// Serializes `frame` and queues it on `conn_id` (no flush).
+  void queue_response(std::uint64_t conn_id,
+                      const ServeResponseFrame& frame);
+  /// Sink-initiated close: poisoned stream. Counts the close and drops
+  /// both sides' state.
+  void close_and_forget(std::uint64_t conn_id);
+  /// Pause/resume decision against the byte budget after a flush.
+  void reevaluate_backpressure(std::uint64_t conn_id);
+  void drain_completed();
 
   ServerConfig config_;
   core::ConcurrentEdge edge_;
+  IoBackendKind backend_kind_ = IoBackendKind::kEpoll;
+  std::unique_ptr<IoBackend> backend_;
 
   UniqueFd listen_fd_;
-  UniqueFd epoll_fd_;
   UniqueFd wake_fd_;
   std::uint16_t port_ = 0;
+
+  std::unordered_map<std::uint64_t, ConnState> conn_states_;
+  std::vector<std::uint8_t> encode_scratch_;
+  std::vector<CompletedResponse> drain_scratch_;
+  std::vector<std::uint64_t> flush_scratch_;
 
   std::vector<std::unique_ptr<BoundedRequestQueue>> queues_;
   std::vector<std::thread> workers_;
@@ -133,7 +246,7 @@ class EdgeServer {
   std::mutex completed_mutex_;
   std::vector<CompletedResponse> completed_;
 
-  // Hot-path metric handles, resolved once in start().
+  // Hot-path metric handles, resolved once in create().
   obs::Counter* connections_opened_ = nullptr;
   obs::Counter* connections_closed_ = nullptr;
   obs::Counter* requests_ = nullptr;

@@ -1,0 +1,302 @@
+// IoBackend conformance suite (ctest label: net_backend).
+//
+// The contract under test: the IO backend is a TRANSPORT, not a policy
+// layer. Swapping epoll for io_uring must not change a single observable
+// byte -- same seeds produce the same served/shed/degraded partitions
+// and bit-identical response frames, with or without an injected fault
+// schedule. Every case runs against each backend the host supports
+// (epoll always; io_uring when the kernel accepts the ring) and compares
+// the full response stream across them. The suite is also the TSan
+// target for the backends: it exercises accept, framing, admission,
+// worker handoff, backpressure, and teardown on both implementations.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/edge_device.hpp"
+#include "fault/fault.hpp"
+#include "net/admission.hpp"
+#include "net/client.hpp"
+#include "net/io_backend.hpp"
+#include "net/load_model.hpp"
+#include "net/server.hpp"
+#include "trace/check_in.hpp"
+
+namespace privlocad {
+namespace {
+
+/// Every backend this host can actually run. epoll is unconditional;
+/// io_uring joins when the build compiled it in AND the kernel accepts
+/// the ring (the same probe the auto selector uses).
+std::vector<net::IoBackendKind> conformance_kinds() {
+  std::vector<net::IoBackendKind> kinds{net::IoBackendKind::kEpoll};
+  if (net::io_uring_compiled_in() && net::io_uring_available()) {
+    kinds.push_back(net::IoBackendKind::kIoUring);
+  }
+  return kinds;
+}
+
+std::unique_ptr<net::EdgeServer> boot(const core::EdgeConfig& edge_config,
+                                      const net::ServerConfig& config) {
+  util::Result<std::unique_ptr<net::EdgeServer>> created =
+      net::EdgeServer::create(edge_config, config);
+  EXPECT_TRUE(created.ok()) << created.status().to_string();
+  if (!created.ok()) return nullptr;
+  std::unique_ptr<net::EdgeServer> server = std::move(created.value());
+  const util::Status started = server->start();
+  EXPECT_TRUE(started.ok()) << started.to_string();
+  if (!started.ok()) return nullptr;
+  return server;
+}
+
+/// One response frame, every field bit-exact (double coordinates
+/// compared through their bit patterns, so -0.0 vs 0.0 or NaN payload
+/// differences cannot hide behind operator==).
+struct ResponseRecord {
+  std::uint64_t request_id = 0;
+  std::uint8_t outcome = 0;
+  std::uint8_t kind = 0;
+  std::uint8_t status_code = 0;
+  std::uint8_t released = 0;
+  std::uint32_t retries = 0;
+  std::uint64_t x_bits = 0;
+  std::uint64_t y_bits = 0;
+
+  bool operator==(const ResponseRecord&) const = default;
+};
+
+ResponseRecord record_of(const net::ServeResponseFrame& frame) {
+  ResponseRecord record;
+  record.request_id = frame.request_id;
+  record.outcome = frame.outcome;
+  record.kind = frame.kind;
+  record.status_code = frame.status_code;
+  record.released = frame.released;
+  record.retries = frame.retries;
+  record.x_bits = std::bit_cast<std::uint64_t>(frame.x);
+  record.y_bits = std::bit_cast<std::uint64_t>(frame.y);
+  return record;
+}
+
+net::ServeRequestFrame conformance_request(std::uint64_t i) {
+  net::ServeRequestFrame request;
+  request.request_id = i;
+  request.user_id = 1 + (i % 8);
+  request.x = 1000.0 + static_cast<double>(i % 8) * 10.0 +
+              static_cast<double>(i % 5);
+  request.y = 2000.0 + static_cast<double>(i % 3);
+  request.time = trace::kStudyStart + static_cast<std::int64_t>(i);
+  return request;
+}
+
+/// Drives `n` sequential requests through one connection against a
+/// fresh server on `kind` and returns the full response stream.
+std::vector<ResponseRecord> drive_sequential(net::IoBackendKind kind,
+                                             std::uint64_t n,
+                                             fault::FaultInjector* faults,
+                                             std::size_t workers) {
+  core::EdgeConfig edge_config;
+  edge_config.seed = 11;
+  edge_config.shards = 4;
+  edge_config.faults = faults;
+  std::unique_ptr<net::EdgeServer> server = boot(
+      edge_config,
+      net::ServerConfig{}.with_workers(workers).with_backend(kind));
+  if (server == nullptr) return {};
+
+  util::Result<net::BlockingClient> client =
+      net::BlockingClient::connect(server->port());
+  EXPECT_TRUE(client.ok()) << client.status().to_string();
+  if (!client.ok()) return {};
+
+  std::vector<ResponseRecord> records;
+  records.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    util::Result<net::ServeResponseFrame> response =
+        client->call(conformance_request(i));
+    EXPECT_TRUE(response.ok()) << response.status().to_string();
+    if (!response.ok()) break;
+    records.push_back(record_of(response.value()));
+  }
+  server->stop();
+  return records;
+}
+
+TEST(BackendConformance, SameSeedsYieldBitIdenticalResponseStreams) {
+  const std::vector<net::IoBackendKind> kinds = conformance_kinds();
+  const std::vector<ResponseRecord> reference =
+      drive_sequential(kinds.front(), 96, nullptr, 2);
+  ASSERT_EQ(reference.size(), 96u);
+
+  // Re-running the FIRST backend establishes that the stream is a pure
+  // function of the seed; then every other backend must match it.
+  for (const net::IoBackendKind kind : kinds) {
+    const std::vector<ResponseRecord> stream =
+        drive_sequential(kind, 96, nullptr, 2);
+    EXPECT_EQ(stream, reference)
+        << "stream diverged on " << net::io_backend_kind_name(kind);
+  }
+  if (kinds.size() == 1) {
+    ::testing::Test::RecordProperty("io_uring", "unavailable");
+  }
+}
+
+TEST(BackendConformance, FaultScheduleYieldsIdenticalOutcomePartitions) {
+  // A seeded fault plan at the serve site: the i-th serve draws the same
+  // decision on every backend (workers=1 + one sequential connection
+  // fixes the arrival order), so retries, degraded fallbacks, and drops
+  // must land on the SAME requests with the same wire bytes.
+  util::Result<fault::FaultPlan> plan =
+      fault::FaultPlan::parse("seed=42;serve:p=0.3");
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+
+  std::vector<std::vector<ResponseRecord>> streams;
+  for (const net::IoBackendKind kind : conformance_kinds()) {
+    fault::FaultInjector injector(plan.value());
+    streams.push_back(drive_sequential(kind, 64, &injector, 1));
+    ASSERT_EQ(streams.back().size(), 64u)
+        << net::io_backend_kind_name(kind);
+  }
+  std::uint64_t not_plain_served = 0;
+  for (const ResponseRecord& record : streams.front()) {
+    if (record.outcome !=
+        static_cast<std::uint8_t>(core::ServeOutcome::kServed)) {
+      ++not_plain_served;
+    }
+  }
+  EXPECT_GT(not_plain_served, 0u)
+      << "fault plan injected nothing; the conformance check is vacuous";
+  for (std::size_t i = 1; i < streams.size(); ++i) {
+    EXPECT_EQ(streams[i], streams.front());
+  }
+}
+
+TEST(BackendConformance, ShedPartitionIsDeterministicAcrossBackends) {
+  // workers=1, capacity=1, slow service: request 0 occupies the worker,
+  // request 1 the queue slot, and every later request MUST shed at push.
+  // The partition is then a pure function of the request order, so both
+  // backends must produce it exactly -- and shed responses must carry
+  // zeroed coordinates (fail private on the wire).
+  auto drive = [](net::IoBackendKind kind) {
+    core::EdgeConfig edge_config;
+    edge_config.seed = 11;
+    edge_config.shards = 2;
+    std::unique_ptr<net::EdgeServer> server =
+        boot(edge_config, net::ServerConfig{}
+                              .with_workers(1)
+                              .with_queue_capacity(1)
+                              .with_service_delay_us(200000)
+                              .with_backend(kind));
+    std::map<std::uint64_t, ResponseRecord> by_id;
+    if (server == nullptr) return by_id;
+    util::Result<net::BlockingClient> client =
+        net::BlockingClient::connect(server->port());
+    EXPECT_TRUE(client.ok()) << client.status().to_string();
+    if (!client.ok()) return by_id;
+
+    EXPECT_TRUE(client->send(conformance_request(0)).ok());
+    // Let the worker pop request 0 into its 200 ms service delay so the
+    // queue slot is empty when the burst below lands.
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    for (std::uint64_t i = 1; i <= 12; ++i) {
+      EXPECT_TRUE(client->send(conformance_request(i)).ok());
+    }
+    for (int i = 0; i < 13; ++i) {
+      util::Result<net::ServeResponseFrame> response = client->receive();
+      EXPECT_TRUE(response.ok()) << response.status().to_string();
+      if (!response.ok()) break;
+      by_id[response->request_id] = record_of(response.value());
+    }
+    server->stop();
+    return by_id;
+  };
+
+  std::vector<std::map<std::uint64_t, ResponseRecord>> partitions;
+  for (const net::IoBackendKind kind : conformance_kinds()) {
+    partitions.push_back(drive(kind));
+    const std::map<std::uint64_t, ResponseRecord>& by_id =
+        partitions.back();
+    ASSERT_EQ(by_id.size(), 13u) << net::io_backend_kind_name(kind);
+    for (const auto& [id, record] : by_id) {
+      if (id <= 1) {
+        EXPECT_NE(record.outcome,
+                  static_cast<std::uint8_t>(
+                      core::ServeOutcome::kDegradedDropped))
+            << "admitted request " << id << " was shed on "
+            << net::io_backend_kind_name(kind);
+      } else {
+        EXPECT_EQ(record.outcome,
+                  static_cast<std::uint8_t>(
+                      core::ServeOutcome::kDegradedDropped))
+            << "request " << id << " escaped the full queue on "
+            << net::io_backend_kind_name(kind);
+        EXPECT_EQ(record.released, 0u);
+        EXPECT_EQ(record.x_bits, 0u);
+        EXPECT_EQ(record.y_bits, 0u);
+      }
+    }
+  }
+  for (std::size_t i = 1; i < partitions.size(); ++i) {
+    EXPECT_EQ(partitions[i], partitions.front());
+  }
+}
+
+TEST(BackendConformance, LatencyBudgetAccountsEveryRequestUnderOverload) {
+  // 4x overload against the latency-budget policy: projected-delay
+  // shedding must keep PR 8's at-push accounting -- every request that
+  // went out comes back as exactly one response (served or shed), with
+  // nothing missing and nothing leaked -- on BOTH backends.
+  for (const net::IoBackendKind kind : conformance_kinds()) {
+    core::EdgeConfig edge_config;
+    edge_config.seed = 11;
+    edge_config.shards = 4;
+    std::unique_ptr<net::EdgeServer> server =
+        boot(edge_config,
+             net::ServerConfig{}
+                 .with_workers(2)
+                 .with_queue_capacity(256)
+                 .with_service_delay_us(500)
+                 .with_admission(net::AdmissionPolicy::kLatencyBudget)
+                 .with_latency_budget_us(2000)
+                 .with_backend(kind));
+    ASSERT_NE(server, nullptr);
+
+    // 2 workers x 500 us/service caps throughput near 4000 rps; offer
+    // 4x that.
+    net::LoadPlanConfig plan_config;
+    plan_config.target_rps = 16000.0;
+    plan_config.duration_s = 0.25;
+    plan_config.users = 64;
+    plan_config.seed = 77;
+    net::OpenLoopConfig loop_config;
+    loop_config.port = server->port();
+    loop_config.connections = 4;
+    util::Result<net::OpenLoopStats> run = net::run_open_loop(
+        loop_config, net::build_open_loop_plan(plan_config));
+    ASSERT_TRUE(run.ok()) << run.status().to_string();
+    const net::OpenLoopStats& stats = run.value();
+    server->stop();
+
+    EXPECT_EQ(stats.missing, 0u) << net::io_backend_kind_name(kind);
+    EXPECT_EQ(stats.responses, stats.sent);
+    EXPECT_EQ(stats.served + stats.served_after_retry +
+                  stats.degraded_cached + stats.degraded_dropped +
+                  stats.failed,
+              stats.responses);
+    EXPECT_GT(stats.degraded_dropped, 0u)
+        << "4x overload shed nothing; the budget is not binding";
+    EXPECT_EQ(stats.raw_leaks, 0u);
+    EXPECT_EQ(stats.wire_errors, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace privlocad

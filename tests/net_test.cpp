@@ -5,10 +5,14 @@
 // under injected faults and under overload.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/edge_device.hpp"
@@ -33,6 +37,16 @@ core::EdgeConfig small_edge_config() {
   c.management.window_seconds = 1000;
   c.shards = 2;
   return c;
+}
+
+/// Every server in this file goes through the Result factory: a test
+/// that trips a create() error reports the typed status, not a throw.
+std::unique_ptr<net::EdgeServer> make_server(
+    core::EdgeConfig edge_config, net::ServerConfig server_config = {}) {
+  util::Result<std::unique_ptr<net::EdgeServer>> created =
+      net::EdgeServer::create(std::move(edge_config), server_config);
+  EXPECT_TRUE(created.ok()) << created.status().to_string();
+  return created.ok() ? std::move(created.value()) : nullptr;
 }
 
 net::ServeRequestFrame request_frame(std::uint64_t id, std::uint64_t user,
@@ -163,6 +177,66 @@ TEST(Admission, CloseDrainsBacklogThenUnblocks) {
   EXPECT_FALSE(queue.pop(out));  // drained + closed
 }
 
+TEST(Admission, PolicyNamesRoundTripAndRejectGarbage) {
+  EXPECT_STREQ(
+      net::admission_policy_name(net::AdmissionPolicy::kQueueCapacity),
+      "queue_capacity");
+  EXPECT_STREQ(
+      net::admission_policy_name(net::AdmissionPolicy::kLatencyBudget),
+      "latency_budget");
+  EXPECT_EQ(net::parse_admission_policy("queue_capacity").value(),
+            net::AdmissionPolicy::kQueueCapacity);
+  EXPECT_EQ(net::parse_admission_policy("latency_budget").value(),
+            net::AdmissionPolicy::kLatencyBudget);
+  EXPECT_EQ(net::parse_admission_policy("lifo").status().code(),
+            util::ErrorCode::kParseError);
+  EXPECT_EQ(net::parse_admission_policy(nullptr).status().code(),
+            util::ErrorCode::kParseError);
+}
+
+TEST(Admission, LatencyBudgetShedsOnProjectedDelayAtPush) {
+  // Capacity is generous; the budget is the binding constraint. Feed the
+  // EWMA until it converges to ~1000us per queued item, then: an empty
+  // queue projects 0 (admit), one queued item projects ~1000us > 500us
+  // budget (shed). The decision is entirely at push time.
+  net::BoundedRequestQueue queue(100,
+                                 net::AdmissionPolicy::kLatencyBudget,
+                                 /*latency_budget_us=*/500);
+  for (int i = 0; i < 64; ++i) queue.observe_queue_delay_us(1000.0, 1);
+  EXPECT_NEAR(queue.ewma_item_delay_us(), 1000.0, 10.0);
+
+  net::PendingRequest pending;
+  EXPECT_TRUE(queue.try_push(pending));   // depth 0: projected 0
+  EXPECT_GT(queue.projected_delay_us(), 500.0);
+  EXPECT_FALSE(queue.try_push(pending));  // depth 1: ~1000us > budget
+
+  net::PendingRequest out;
+  ASSERT_TRUE(queue.pop(out));
+  EXPECT_EQ(out.depth_at_admit, 0u);
+  EXPECT_TRUE(queue.try_push(pending));   // drained: projected 0 again
+}
+
+TEST(Admission, LatencyBudgetKeepsCapacityAsHardBackstop) {
+  // A huge budget never lets the queue grow past its capacity bound.
+  net::BoundedRequestQueue queue(2, net::AdmissionPolicy::kLatencyBudget,
+                                 /*latency_budget_us=*/1u << 30);
+  net::PendingRequest pending;
+  EXPECT_TRUE(queue.try_push(pending));
+  EXPECT_TRUE(queue.try_push(pending));
+  EXPECT_FALSE(queue.try_push(pending));  // capacity, not budget
+}
+
+TEST(Admission, LatencyBudgetWithNoObservationsAdmitsFreely) {
+  // Before any worker feedback the projection is 0: an idle box must not
+  // shed its first requests.
+  net::BoundedRequestQueue queue(8, net::AdmissionPolicy::kLatencyBudget,
+                                 /*latency_budget_us=*/1);
+  net::PendingRequest pending;
+  EXPECT_TRUE(queue.try_push(pending));
+  EXPECT_TRUE(queue.try_push(pending));
+  EXPECT_DOUBLE_EQ(queue.ewma_item_delay_us(), 0.0);
+}
+
 // ------------------------------------------------------------ load model
 
 TEST(LoadModel, PlansAreDeterministicInTheSeed) {
@@ -235,6 +309,82 @@ TEST(LoadModel, BurstyPlanKeepsTheMeanRate) {
   EXPECT_GT(on_share, config.burst_fraction * 2.0);
 }
 
+TEST(LoadModel, DiurnalPlanIsDeterministicInTheSeed) {
+  net::LoadPlanConfig config;
+  config.target_rps = 1500.0;
+  config.duration_s = 2.0;
+  config.process = net::ArrivalProcess::kDiurnal;
+  config.diurnal_period_s = 0.5;
+  config.users = 64;
+  config.seed = 21;
+  const std::vector<net::TimedRequest> a =
+      net::build_open_loop_plan(config);
+  const std::vector<net::TimedRequest> b =
+      net::build_open_loop_plan(config);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].at_s),
+              std::bit_cast<std::uint64_t>(b[i].at_s));
+    EXPECT_EQ(a[i].request.user_id, b[i].request.user_id);
+  }
+}
+
+TEST(LoadModel, DiurnalEnvelopeIntegratesToTheTargetAnalytically) {
+  // The mean-rate preservation property, checked on the envelope itself
+  // (no sampling noise): the integral of diurnal_rate_rps over the run
+  // must equal target_rps * duration_s even when the run covers a
+  // FRACTIONAL number of cycles at a nonzero phase.
+  net::LoadPlanConfig config;
+  config.target_rps = 2000.0;
+  config.duration_s = 1.3;  // 2.6 cycles: partial-cycle compensation
+  config.process = net::ArrivalProcess::kDiurnal;
+  config.diurnal_period_s = 0.5;
+  config.diurnal_amplitude = 0.8;
+  config.diurnal_phase = 0.25;
+  const std::size_t steps = 200000;
+  const double dt = config.duration_s / static_cast<double>(steps);
+  double integral = 0.0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double t = (static_cast<double>(i) + 0.5) * dt;
+    integral += net::diurnal_rate_rps(config, t) * dt;
+  }
+  EXPECT_NEAR(integral, config.target_rps * config.duration_s,
+              config.target_rps * config.duration_s * 1e-4);
+}
+
+TEST(LoadModel, DiurnalPlanKeepsTheMeanRateAndShowsPeaks) {
+  net::LoadPlanConfig config;
+  config.target_rps = 2000.0;
+  config.duration_s = 4.0;
+  config.process = net::ArrivalProcess::kDiurnal;
+  config.diurnal_period_s = 1.0;
+  config.diurnal_amplitude = 0.8;
+  config.users = 100;
+  const std::vector<net::TimedRequest> plan =
+      net::build_open_loop_plan(config);
+  const double achieved =
+      static_cast<double>(plan.size()) / config.duration_s;
+  EXPECT_NEAR(achieved, config.target_rps, config.target_rps * 0.10);
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_LE(plan[i - 1].at_s, plan[i].at_s);
+  }
+
+  // The rising half-cycle (sin > 0) must be visibly denser than the
+  // falling half: with amplitude 0.8 the split is (1 + 2*0.8/pi)/2 vs
+  // the rest, ~0.75/0.25.
+  std::size_t peak_half = 0;
+  for (const net::TimedRequest& timed : plan) {
+    const double phase =
+        std::fmod(timed.at_s, config.diurnal_period_s) /
+        config.diurnal_period_s;
+    if (phase < 0.5) ++peak_half;
+  }
+  const double peak_share =
+      static_cast<double>(peak_half) / static_cast<double>(plan.size());
+  EXPECT_GT(peak_share, 0.65);
+}
+
 TEST(LoadModel, ZipfSkewsTowardLowRanks) {
   const net::ZipfSampler zipf(1000, 1.1);
   rng::Engine engine(4);
@@ -247,16 +397,143 @@ TEST(LoadModel, ZipfSkewsTowardLowRanks) {
   EXPECT_GT(top10, draws / 5);
 }
 
+// ------------------------------------------- server config + create()
+
+TEST(ServerConfig, FluentCopiesComposeWithoutMutatingTheSource) {
+  const net::ServerConfig base;
+  const net::ServerConfig tuned =
+      base.with_workers(7)
+          .with_queue_capacity(99)
+          .with_backend(net::IoBackendKind::kEpoll)
+          .with_admission(net::AdmissionPolicy::kLatencyBudget)
+          .with_latency_budget_us(1234)
+          .with_service_delay_us(55)
+          .with_max_outbound_bytes(1 << 16)
+          .with_port(8080);
+  EXPECT_EQ(tuned.workers, 7u);
+  EXPECT_EQ(tuned.queue_capacity, 99u);
+  EXPECT_EQ(tuned.backend, net::IoBackendKind::kEpoll);
+  EXPECT_EQ(tuned.admission, net::AdmissionPolicy::kLatencyBudget);
+  EXPECT_EQ(tuned.latency_budget_us, 1234u);
+  EXPECT_EQ(tuned.service_delay_us, 55u);
+  EXPECT_EQ(tuned.max_outbound_bytes, std::size_t{1} << 16);
+  EXPECT_EQ(tuned.port, 8080u);
+  // The source is untouched.
+  EXPECT_EQ(base.workers, 2u);
+  EXPECT_EQ(base.backend, net::IoBackendKind::kAuto);
+  EXPECT_EQ(base.port, 0u);
+  EXPECT_TRUE(tuned.validated().ok());
+}
+
+TEST(ServerConfig, ValidatedNamesEachBadField) {
+  const net::ServerConfig good;
+  EXPECT_TRUE(good.validated().ok());
+
+  const util::Status bad_port = good.with_port(70000).validated();
+  EXPECT_EQ(bad_port.code(), util::ErrorCode::kInvalidArgument);
+  EXPECT_NE(bad_port.message().find("port"), std::string::npos);
+
+  EXPECT_EQ(good.with_workers(0).validated().code(),
+            util::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(good.with_queue_capacity(0).validated().code(),
+            util::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(good.with_max_outbound_bytes(8).validated().code(),
+            util::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(good.with_admission(net::AdmissionPolicy::kLatencyBudget)
+                .with_latency_budget_us(0)
+                .validated()
+                .code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST(IoBackendSelection, NamesRoundTripAndRejectGarbage) {
+  EXPECT_STREQ(net::io_backend_kind_name(net::IoBackendKind::kAuto),
+               "auto");
+  EXPECT_STREQ(net::io_backend_kind_name(net::IoBackendKind::kEpoll),
+               "epoll");
+  EXPECT_STREQ(net::io_backend_kind_name(net::IoBackendKind::kIoUring),
+               "io_uring");
+  EXPECT_EQ(net::parse_io_backend_kind("epoll").value(),
+            net::IoBackendKind::kEpoll);
+  EXPECT_EQ(net::parse_io_backend_kind("io_uring").value(),
+            net::IoBackendKind::kIoUring);
+  EXPECT_EQ(net::parse_io_backend_kind("auto").value(),
+            net::IoBackendKind::kAuto);
+  EXPECT_EQ(net::parse_io_backend_kind(nullptr).value(),
+            net::IoBackendKind::kAuto);  // unset env means auto
+  EXPECT_EQ(net::parse_io_backend_kind("uring").status().code(),
+            util::ErrorCode::kParseError);
+}
+
+TEST(EdgeServer, CreateRejectsBadConfigWithTypedStatus) {
+  util::Result<std::unique_ptr<net::EdgeServer>> bad_port =
+      net::EdgeServer::create(small_edge_config(),
+                              net::ServerConfig{}.with_port(65536));
+  ASSERT_FALSE(bad_port.ok());
+  EXPECT_EQ(bad_port.status().code(), util::ErrorCode::kInvalidArgument);
+
+  util::Result<std::unique_ptr<net::EdgeServer>> bad_workers =
+      net::EdgeServer::create(small_edge_config(),
+                              net::ServerConfig{}.with_workers(0));
+  ASSERT_FALSE(bad_workers.ok());
+  EXPECT_EQ(bad_workers.status().code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST(EdgeServer, CreateReportsBindFailureAsTypedStatus) {
+  // Occupy an ephemeral port, then ask a second server for the same one.
+  const std::unique_ptr<net::EdgeServer> first =
+      make_server(small_edge_config());
+  ASSERT_NE(first, nullptr);
+  util::Result<std::unique_ptr<net::EdgeServer>> second =
+      net::EdgeServer::create(
+          small_edge_config(),
+          net::ServerConfig{}.with_port(first->port()));
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), util::ErrorCode::kIoError);
+}
+
+TEST(EdgeServer, ExplicitIoUringRequestNeverSilentlyDowngrades) {
+  util::Result<std::unique_ptr<net::EdgeServer>> created =
+      net::EdgeServer::create(
+          small_edge_config(),
+          net::ServerConfig{}.with_backend(net::IoBackendKind::kIoUring));
+  if (net::io_uring_available()) {
+    // Satisfiable: the explicit request must land on io_uring exactly.
+    ASSERT_TRUE(created.ok()) << created.status().to_string();
+    EXPECT_EQ(created.value()->backend_kind(),
+              net::IoBackendKind::kIoUring);
+  } else {
+    // Unsatisfiable: a LOUD typed error, never an epoll downgrade.
+    ASSERT_FALSE(created.ok());
+    EXPECT_EQ(created.status().code(),
+              util::ErrorCode::kFailedPrecondition);
+    EXPECT_NE(created.status().message().find("io_uring"),
+              std::string::npos);
+  }
+}
+
+TEST(EdgeServer, StartTwiceIsATypedError) {
+  const std::unique_ptr<net::EdgeServer> server =
+      make_server(small_edge_config());
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->start().ok());
+  EXPECT_EQ(server->start().code(), util::ErrorCode::kFailedPrecondition);
+  server->stop();
+}
+
 // ------------------------------------------------------- loopback serving
 
 TEST(EdgeServer, ServesOverLoopbackAndNeverEchoesRawCoordinates) {
   net::ServerConfig server_config;
   server_config.workers = 2;
-  net::EdgeServer server(small_edge_config(), server_config);
-  ASSERT_TRUE(server.start().ok());
+  const std::unique_ptr<net::EdgeServer> server =
+      make_server(small_edge_config(), server_config);
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->start().ok());
 
   util::Result<net::BlockingClient> client =
-      net::BlockingClient::connect(server.port());
+      net::BlockingClient::connect(server->port());
   ASSERT_TRUE(client.ok());
   for (std::uint64_t i = 0; i < 32; ++i) {
     const net::ServeRequestFrame request =
@@ -269,21 +546,23 @@ TEST(EdgeServer, ServesOverLoopbackAndNeverEchoesRawCoordinates) {
     // Obfuscated, not echoed.
     EXPECT_FALSE(response->x == request.x && response->y == request.y);
   }
-  EXPECT_EQ(server.metrics().counter_value(net::net_metrics::kRequests),
+  EXPECT_EQ(server->metrics().counter_value(net::net_metrics::kRequests),
             32u);
-  EXPECT_EQ(server.metrics().counter_value(net::net_metrics::kResponses),
+  EXPECT_EQ(server->metrics().counter_value(net::net_metrics::kResponses),
             32u);
-  server.stop();
+  server->stop();
 }
 
 TEST(EdgeServer, PipelinedRequestsAllComeBackMatched) {
   net::ServerConfig server_config;
   server_config.workers = 2;
-  net::EdgeServer server(small_edge_config(), server_config);
-  ASSERT_TRUE(server.start().ok());
+  const std::unique_ptr<net::EdgeServer> server =
+      make_server(small_edge_config(), server_config);
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->start().ok());
 
   util::Result<net::BlockingClient> client =
-      net::BlockingClient::connect(server.port());
+      net::BlockingClient::connect(server->port());
   ASSERT_TRUE(client.ok());
   const std::uint64_t n = 64;
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -298,14 +577,16 @@ TEST(EdgeServer, PipelinedRequestsAllComeBackMatched) {
     EXPECT_FALSE(seen[response->request_id]);  // each id exactly once
     seen[response->request_id] = true;
   }
-  server.stop();
+  server->stop();
 }
 
 TEST(EdgeServer, StopIsCleanAndIdempotent) {
-  net::EdgeServer server(small_edge_config(), net::ServerConfig{});
-  ASSERT_TRUE(server.start().ok());
-  server.stop();
-  server.stop();  // second stop is a no-op
+  const std::unique_ptr<net::EdgeServer> server =
+      make_server(small_edge_config());
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->start().ok());
+  server->stop();
+  server->stop();  // second stop is a no-op
 }
 
 // ------------------------------------------------- shedding and the split
@@ -317,11 +598,13 @@ TEST(EdgeServer, FullQueueShedsAsDegradedDroppedAndCountsIt) {
   server_config.workers = 1;
   server_config.queue_capacity = 4;
   server_config.service_delay_us = 2000;
-  net::EdgeServer server(small_edge_config(), server_config);
-  ASSERT_TRUE(server.start().ok());
+  const std::unique_ptr<net::EdgeServer> server =
+      make_server(small_edge_config(), server_config);
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->start().ok());
 
   util::Result<net::BlockingClient> client =
-      net::BlockingClient::connect(server.port());
+      net::BlockingClient::connect(server->port());
   ASSERT_TRUE(client.ok());
   const std::uint64_t n = 64;
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -349,12 +632,12 @@ TEST(EdgeServer, FullQueueShedsAsDegradedDroppedAndCountsIt) {
   EXPECT_EQ(served + shed, n);  // every request accounted for
   EXPECT_GT(shed, 0u);          // the burst really overflowed
   EXPECT_GT(served, 0u);        // and the queue really drained
-  EXPECT_EQ(server.metrics().counter_value(net::net_metrics::kShed), shed);
+  EXPECT_EQ(server->metrics().counter_value(net::net_metrics::kShed), shed);
   // Admission sheds land in the box-level fail-private taxonomy too.
-  EXPECT_GE(server.metrics().counter_value(
+  EXPECT_GE(server->metrics().counter_value(
                 core::edge_metrics::kDegradedDropped),
             shed);
-  server.stop();
+  server->stop();
 }
 
 TEST(EdgeServer, SplitsQueueDelayFromServiceTime) {
@@ -362,11 +645,13 @@ TEST(EdgeServer, SplitsQueueDelayFromServiceTime) {
   server_config.workers = 1;
   server_config.queue_capacity = 256;
   server_config.service_delay_us = 1000;
-  net::EdgeServer server(small_edge_config(), server_config);
-  ASSERT_TRUE(server.start().ok());
+  const std::unique_ptr<net::EdgeServer> server =
+      make_server(small_edge_config(), server_config);
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->start().ok());
 
   util::Result<net::BlockingClient> client =
-      net::BlockingClient::connect(server.port());
+      net::BlockingClient::connect(server->port());
   ASSERT_TRUE(client.ok());
   const std::uint64_t n = 16;
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -376,9 +661,9 @@ TEST(EdgeServer, SplitsQueueDelayFromServiceTime) {
     ASSERT_TRUE(client->receive().ok());
   }
   const obs::LatencyHistogram& queue_delay =
-      server.metrics().histogram(net::net_metrics::kQueueDelayUs);
+      server->metrics().histogram(net::net_metrics::kQueueDelayUs);
   const obs::LatencyHistogram& service_time =
-      server.metrics().histogram(net::net_metrics::kServiceTimeUs);
+      server->metrics().histogram(net::net_metrics::kServiceTimeUs);
   EXPECT_EQ(queue_delay.count(), n);
   EXPECT_EQ(service_time.count(), n);
   // Every request sleeps 1ms in service, so the mean must reflect it.
@@ -387,7 +672,7 @@ TEST(EdgeServer, SplitsQueueDelayFromServiceTime) {
   // all earlier 1ms services, so mean queue delay well exceeds a single
   // service time.
   EXPECT_GE(queue_delay.mean(), 1000.0);
-  server.stop();
+  server->stop();
 }
 
 // -------------------------------------------- fail private over the wire
@@ -406,11 +691,13 @@ TEST(EdgeServer, InjectedFaultsNeverLeakRawCoordinatesOnTheWire) {
 
   net::ServerConfig server_config;
   server_config.workers = 2;
-  net::EdgeServer server(edge_config, server_config);
-  ASSERT_TRUE(server.start().ok());
+  const std::unique_ptr<net::EdgeServer> server =
+      make_server(edge_config, server_config);
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->start().ok());
 
   util::Result<net::BlockingClient> client =
-      net::BlockingClient::connect(server.port());
+      net::BlockingClient::connect(server->port());
   ASSERT_TRUE(client.ok());
   std::uint64_t dropped = 0;
   std::uint64_t released = 0;
@@ -431,7 +718,7 @@ TEST(EdgeServer, InjectedFaultsNeverLeakRawCoordinatesOnTheWire) {
   }
   EXPECT_GT(dropped, 0u);   // the plan really fired
   EXPECT_GT(released, 0u);  // and service still flowed
-  server.stop();
+  server->stop();
 }
 
 // ---------------------------------------------------- open-loop overload
@@ -444,8 +731,10 @@ TEST(OpenLoop, OverloadStaysBoundedAccountedAndLeakFree) {
   server_config.workers = 1;
   server_config.queue_capacity = 16;
   server_config.service_delay_us = 500;
-  net::EdgeServer server(small_edge_config(), server_config);
-  ASSERT_TRUE(server.start().ok());
+  const std::unique_ptr<net::EdgeServer> server =
+      make_server(small_edge_config(), server_config);
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(server->start().ok());
 
   net::LoadPlanConfig plan_config;
   plan_config.target_rps = 4000.0;  // capacity is ~2000/s at 500us each
@@ -458,7 +747,7 @@ TEST(OpenLoop, OverloadStaysBoundedAccountedAndLeakFree) {
   ASSERT_FALSE(plan.empty());
 
   net::OpenLoopConfig loop_config;
-  loop_config.port = server.port();
+  loop_config.port = server->port();
   loop_config.connections = 2;
   util::Result<net::OpenLoopStats> run =
       net::run_open_loop(loop_config, plan);
@@ -472,15 +761,24 @@ TEST(OpenLoop, OverloadStaysBoundedAccountedAndLeakFree) {
   EXPECT_EQ(stats.wire_errors, 0u);
   EXPECT_GT(stats.degraded_dropped, 0u);  // overload really shed
   EXPECT_GT(stats.served, 0u);            // but service continued
-  // The queue bound held: the backlog gauge can never have exceeded
-  // capacity, so queue delay is bounded by capacity * service time
-  // (plus scheduling slack -- generous factor below).
+  // The queue bound held: the backlog can never have exceeded capacity,
+  // so queue delay is bounded by capacity * service time plus slack.
+  // Service time is taken from the server's own measurement, not the
+  // configured 500us: a loaded CI box stretches the worker's sleeps,
+  // and the bound must stretch with them. An UNBOUNDED queue would
+  // still blow through it -- its backlog is hundreds of requests deep,
+  // not `queue_capacity`.
   const obs::LatencyHistogram& queue_delay =
-      server.metrics().histogram(net::net_metrics::kQueueDelayUs);
+      server->metrics().histogram(net::net_metrics::kQueueDelayUs);
+  const obs::LatencyHistogram& service_time =
+      server->metrics().histogram(net::net_metrics::kServiceTimeUs);
+  const double effective_service_us =
+      std::max(static_cast<double>(server_config.service_delay_us),
+               service_time.quantile(0.99));
   EXPECT_LE(queue_delay.quantile(0.99),
             static_cast<double>(server_config.queue_capacity) *
-                static_cast<double>(server_config.service_delay_us) * 4.0);
-  server.stop();
+                effective_service_us * 4.0);
+  server->stop();
 }
 
 }  // namespace
